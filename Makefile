@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every paper artifact into benchmarks/out/
+experiments: bench
+	@ls benchmarks/out/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/salt_melt.py
+	$(PYTHON) examples/nanocar_drive.py
+	$(PYTHON) examples/ewald_ionic_crystal.py
+	$(PYTHON) examples/custom_model.py
+	$(PYTHON) examples/perf_study.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,10 @@
+"""Helpers shared by the experiment benchmarks."""
+
+import pathlib
+
+
+def write_report(path: pathlib.Path, title: str, body: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    text = f"== {title} ==\n\n{body}\n"
+    path.write_text(text)
+    print("\n" + text)

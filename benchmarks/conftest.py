@@ -1,0 +1,39 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Physics (the expensive part) runs once per workload per session; every
+benchmark then replays the captured work trace on simulated machines.
+Each experiment writes its paper-style output into ``benchmarks/out/``
+so the regenerated tables and figures survive the pytest capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import capture_trace
+from repro.workloads import BUILDERS
+
+#: timesteps of real physics per workload (the paper ran 10,000-20,000;
+#: the speedup/topology shapes stabilize within tens of steps)
+TRACE_STEPS = 20
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """{name: (workload, [StepReport, ...])} for the three benchmarks."""
+    out = {}
+    for name, builder in BUILDERS.items():
+        wl = builder()
+        out[name] = (wl, capture_trace(wl, TRACE_STEPS))
+    return out
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+

@@ -1,0 +1,63 @@
+"""Experiment fig1 — Fig. 1: Observed Speedup on an Intel Core i7 System.
+
+Replays each benchmark's work trace at 1-4 threads on the simulated
+i7 920.  Shape targets from the paper: salt ≈ 3.63x, nanocar ≈ 3.03x,
+Al-1000 ≈ 1.42x at four cores — salt scales best, nanocar next, and the
+LJ-dominated Al-1000 barely moves past 1.4x.
+"""
+
+from _util import write_report
+
+from repro.analysis import ascii_bar_chart
+from repro.analysis.speedup import replay
+from repro.machine import CORE_I7_920
+
+PAPER_SPEEDUP_4 = {"salt": 3.63, "nanocar": 3.03, "Al-1000": 1.42}
+BANDS_4 = {
+    "salt": (3.2, 4.0),
+    "nanocar": (2.5, 3.3),
+    "Al-1000": (1.15, 1.7),
+}
+THREADS = (1, 2, 3, 4)
+
+
+def sweep(traces):
+    curves = {}
+    for name, (wl, trace) in traces.items():
+        seconds = [
+            replay(trace, wl.system.n_atoms, CORE_I7_920, n, name=name).sim_seconds
+            for n in THREADS
+        ]
+        curves[name] = [seconds[0] / s for s in seconds]
+    return curves
+
+
+def test_fig1_speedup(benchmark, traces, out_dir):
+    curves = benchmark.pedantic(sweep, args=(traces,), rounds=1, iterations=1)
+
+    for name, (lo, hi) in BANDS_4.items():
+        s4 = curves[name][-1]
+        assert lo <= s4 <= hi, f"{name}: {s4:.2f} outside [{lo}, {hi}]"
+    # the ordering of the three curves is the paper's headline shape
+    assert curves["salt"][-1] > curves["nanocar"][-1] > curves["Al-1000"][-1]
+    # speedup never regresses badly as cores are added
+    for name, s in curves.items():
+        assert all(b >= a * 0.92 for a, b in zip(s, s[1:])), name
+    # Al-1000 saturates early: going 2 -> 4 cores gains < 35%
+    assert curves["Al-1000"][-1] / curves["Al-1000"][1] < 1.35
+
+    rows = []
+    for name in ("salt", "nanocar", "Al-1000"):
+        rows.append(
+            f"{name:<10} "
+            + "  ".join(f"{s:4.2f}x" for s in curves[name])
+            + f"   (paper @4: {PAPER_SPEEDUP_4[name]:.2f}x)"
+        )
+    body = "Speedup at 1/2/3/4 simulated cores (Intel Core i7 920):\n"
+    body += "\n".join(rows) + "\n\n"
+    body += ascii_bar_chart(
+        {k: v for k, v in curves.items()},
+        THREADS,
+        title="Fig. 1 (reproduced): speedup vs cores",
+    )
+    write_report(out_dir / "fig1.txt", "Fig. 1: Observed Speedup", body)

@@ -1,0 +1,59 @@
+"""Experiment table2 — TABLE II: Test Machines and Their Memory
+Hierarchies.
+
+Static topology data, verified cell by cell against the paper, plus the
+hwloc-style rendering (§V-C's wished-for tool output)."""
+
+from _util import write_report
+
+from repro.analysis import table2
+from repro.machine import MACHINES
+from repro.machine.topology import Topology
+from repro.perftools import topology_report
+
+PAPER_TABLE2 = {
+    "Intel Core i7 920": {
+        "Procs x Cores": "1x4",
+        "L1 Data Cache": "32 kB",
+        "L2 Cache": "256 kB",
+        "L3 Cache": "1 x (8 MB shared/4 cores)",
+        "Memory": "6 GB",
+    },
+    "Intel Xeon E5450": {
+        "Procs x Cores": "2x4",
+        "L1 Data Cache": "32 kB",
+        "L2 Cache": "256 kB",
+        "L3 Cache": "4 x (6 MB shared/2 cores)",
+        "Memory": "16 GB",
+    },
+    "Intel Xeon X7560": {
+        "Procs x Cores": "4x8",
+        "L1 Data Cache": "32 kB",
+        "L2 Cache": "256 kB",
+        "L3 Cache": "4 x (24 MB shared/8 cores)",
+        "Memory": "192 GB",
+    },
+}
+
+
+def build_rows():
+    return {
+        spec.name: Topology(spec).table2_row()
+        for spec in MACHINES.values()
+    }
+
+
+def test_table2(benchmark, out_dir):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    for name, expected in PAPER_TABLE2.items():
+        row = rows[name]
+        for col, value in expected.items():
+            assert row[col] == value, (name, col)
+    body = table2(MACHINES.values())
+    body += "\n\nTopology discovery report (X7560):\n"
+    body += topology_report(MACHINES["x7560x4"])
+    write_report(
+        out_dir / "table2.txt",
+        "TABLE II: Test Machines and Their Memory Hierarchies",
+        body,
+    )

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Building your own simulation declaratively — the MW-model workflow.
+
+Molecular Workbench users assemble models in an editor and the engine
+runs them; ``repro.md.model.build_model`` is the equivalent API: a JSON
+compatible dict describing atoms, bonds and forces becomes a runnable
+workload.  This example builds a small bonded "butane-like" chain
+solvated by argon-ish LJ atoms, runs it, checks energy conservation,
+analyses its structure, and prices it on the simulated quad-core.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+from repro.analysis.structure import TrajectoryObserver
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.machine import CORE_I7_920, SimMachine
+from repro.md.model import build_model
+
+
+def chain_positions(n, spacing, origin):
+    """A zig-zag chain in the x-y plane."""
+    pts = []
+    for i in range(n):
+        pts.append(
+            [origin[0] + i * spacing, origin[1] + (i % 2) * 1.2, origin[2]]
+        )
+    return pts
+
+
+def make_spec():
+    rng = np.random.default_rng(0)
+    chain = chain_positions(8, 3.4, (12.0, 20.0, 20.0))
+    solvent = (rng.uniform(6, 34, (40, 3))).tolist()
+    radial = [
+        {"atoms": [i, i + 1], "k": 12.0, "r0": 3.6} for i in range(7)
+    ]
+    angular = [
+        {"atoms": [i, i + 1, i + 2], "theta0": 2.2, "k": 2.0}
+        for i in range(6)
+    ]
+    torsional = [
+        {"atoms": [i, i + 1, i + 2, i + 3], "v": 0.05, "periodicity": 3}
+        for i in range(5)
+    ]
+    return {
+        "name": "chain-in-solvent",
+        "description": "8-atom bonded chain in an LJ solvent bath",
+        "box": [40, 40, 40],
+        "dt_fs": 1.0,
+        "groups": [
+            {"element": "C", "positions": chain},
+            {"element": "X2", "positions": solvent},
+        ],
+        "bonds": {
+            "radial": radial,
+            "angular": angular,
+            "torsional": torsional,
+        },
+        "forces": {"lj": True},
+    }
+
+
+def main() -> None:
+    workload = build_model(make_spec())
+    print(
+        f"model {workload.name!r}: {workload.system.n_atoms} atoms, "
+        f"{workload.n_bonds} bond terms"
+    )
+
+    engine = workload.make_engine()
+    engine.prime()
+    observer = TrajectoryObserver(engine.system, subset=np.arange(8))
+    observer.record()
+    energies = []
+    for _ in range(8):
+        for report in engine.run(25):
+            energies.append(report.total_energy)
+        observer.record()
+    drift = abs(energies[-1] - energies[0])
+    print(
+        f"200 fs run: energy {energies[0]:+.3f} -> {energies[-1]:+.3f} eV "
+        f"(drift {drift:.4f})"
+    )
+    msd = observer.mean_squared_displacement()
+    print(f"chain MSD after 200 fs: {msd[-1]:.3f} Å² (it moves, gently)")
+
+    trace = capture_trace(workload, 20)
+    machine = SimMachine(CORE_I7_920, seed=2)
+    result = SimulatedParallelRun(
+        trace, workload.system.n_atoms, machine, 4, name="chain"
+    ).run()
+    print(
+        f"on the simulated i7 920 with 4 threads: "
+        f"{result.seconds_per_step * 1e6:.0f} us/step "
+        f"({result.updates_per_second:,.0f} steps/s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

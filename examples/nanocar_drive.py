@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Driving the nanocar: the bond-dominated benchmark as a physics demo.
+
+The 489-atom carbon car (four fullerene-like wheels, a chassis plate,
+axle struts — 2277 bond terms in total) rolls along a fixed 500-atom
+gold platform.  The script tracks how far the car drives, that it stays
+assembled (bond energy bounded), and why the fixed platform makes this
+simulation cheap: platform-platform pairs are skipped entirely.
+
+Run:  python examples/nanocar_drive.py
+"""
+
+import numpy as np
+
+from repro.workloads import build_nanocar
+
+
+def main() -> None:
+    workload = build_nanocar(seed=0, drive_speed=0.006)
+    engine = workload.make_engine()
+    engine.prime()
+    system = engine.system
+    car = system.movable
+
+    x0 = system.positions[car, 0].mean()
+    print(f"car atoms: {int(car.sum())}, platform atoms: "
+          f"{int((~car).sum())} (immovable)")
+    print(f"bond terms: {workload.n_bonds} "
+          "(radial + angular + torsional = Table I's 2277)\n")
+
+    print(f"{'step':>6} {'x (Å)':>8} {'driven (Å)':>11} "
+          f"{'E_total (eV)':>13} {'bond E (eV)':>12}")
+    for chunk in range(6):
+        last = None
+        for _ in range(50):
+            last = engine.step()
+        bond_e = sum(
+            res.energy
+            for name, res in last.force_results.items()
+            if name.startswith("bond")
+        )
+        x = system.positions[car, 0].mean()
+        print(
+            f"{engine.step_count:>6} {x:>8.2f} {x - x0:>11.3f} "
+            f"{last.total_energy:>13.3f} {bond_e:>12.4f}"
+        )
+
+    lj = last.force_results["lj"]
+    print(
+        f"\nLJ pairs this step: {lj.terms:,} — low for a 989-atom system "
+        "because the 500 platform atoms do not interact with one another "
+        "(§III), leaving bonds as the dominant computation."
+    )
+    assert np.abs(system.velocities).max() < 0.2, "car disintegrated!"
+    print("car still assembled after "
+          f"{engine.step_count} fs of driving.")
+
+
+if __name__ == "__main__":
+    main()

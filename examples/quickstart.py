@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: build a small MD system, run it serially and in
+parallel, and price the parallel run on a simulated quad-core.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ParallelMDEngine, SimulatedParallelRun, capture_trace
+from repro.machine import CORE_I7_920, SimMachine
+from repro.md import AtomSystem, LennardJonesForce, MDEngine
+from repro.workloads.base import Workload
+
+
+def build_cluster() -> AtomSystem:
+    """A 5x5x5 block of aluminum atoms, slightly perturbed and warm."""
+    rng = np.random.default_rng(0)
+    system = AtomSystem(box=[40.0, 40.0, 40.0])
+    grid = np.stack(
+        np.meshgrid(*([np.arange(5)] * 3), indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    positions = 12.0 + grid * 2.94 + rng.normal(0, 0.02, (125, 3))
+    system.add_atoms("Al", positions)
+    system.set_thermal_velocities(300.0, rng)
+    return system
+
+
+def main() -> None:
+    # --- 1. serial physics -------------------------------------------------
+    system = build_cluster()
+    engine = MDEngine(system, forces=[LennardJonesForce()], dt_fs=1.0)
+    engine.prime()
+    reports = engine.run(200)
+    e0, e1 = reports[0].total_energy, reports[-1].total_energy
+    print(f"serial:   200 steps, energy {e0:+.3f} -> {e1:+.3f} eV "
+          f"(drift {abs(e1 - e0):.4f})")
+    print(f"          temperature {system.temperature():.0f} K, "
+          f"{engine.neighbors.rebuild_count} neighbor rebuilds")
+
+    # --- 2. parallel engine gives the same trajectory ----------------------
+    with ParallelMDEngine(
+        build_cluster(), [LennardJonesForce()], n_threads=4, dt_fs=1.0
+    ) as parallel:
+        parallel.run(200)
+        same = np.allclose(
+            parallel.system.positions, system.positions, atol=1e-10
+        )
+    print(f"parallel: 4 threads, trajectory matches serial: {same}")
+
+    # --- 3. price the run on a simulated Core i7 ---------------------------
+    workload = Workload(
+        name="cluster",
+        system=build_cluster(),
+        forces=[LennardJonesForce()],
+        dt_fs=1.0,
+    )
+    trace = capture_trace(workload, 30)
+    print("simulated Intel Core i7 920:")
+    base = None
+    for n in (1, 2, 4):
+        machine = SimMachine(CORE_I7_920, seed=2)
+        result = SimulatedParallelRun(
+            trace, workload.system.n_atoms, machine, n, name="cluster"
+        ).run()
+        base = base or result.sim_seconds
+        print(
+            f"  {n} thread(s): {result.sim_seconds * 1e3:7.2f} ms "
+            f"simulated  (speedup {base / result.sim_seconds:.2f}x, "
+            f"{result.updates_per_second:,.0f} steps/s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of Krieger & Strout (ICPP 2010),
+"Performance Evaluation of an Irregular Application Parallelized in
+Java".
+
+The package rebuilds the paper's entire stack in Python:
+
+* :mod:`repro.md` — the Molecular Workbench-style MD engine
+  (predictor/corrector, linked cells, Verlet lists, LJ/Coulomb/bonded
+  forces),
+* :mod:`repro.core` — its parallelization (thread pools, 1/N atom
+  partitions, privatized force arrays, latch-closed phases), with a
+  real-thread correctness backend and a simulated-machine timing
+  backend,
+* :mod:`repro.machine` — a deterministic multicore machine model
+  (topology, caches, DRAM bandwidth, an OS scheduler with migration and
+  affinity) standing in for the paper's three Intel test systems,
+* :mod:`repro.concurrent` — the ``java.util.concurrent`` analog,
+* :mod:`repro.jvm` — heap placement, allocation churn, GC statistics,
+* :mod:`repro.perftools` — models of JaMON, VisualVM, VTune and Shark,
+  including their observer effects and sampling blind spots,
+* :mod:`repro.workloads` — the salt / nanocar / Al-1000 benchmarks,
+* :mod:`repro.analysis` — load-balance metrics and paper-style reports.
+
+Quickstart: see ``examples/quickstart.py`` and DESIGN.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Analysis and reporting: load balance, speedups, paper-style tables."""
+
+from repro.analysis.loadbalance import (
+    LoadBalanceReport,
+    analyze_run,
+    skew_statistics,
+)
+from repro.analysis.report import (
+    ascii_bar_chart,
+    fig2_heatmap,
+    format_table,
+    table1,
+    table2,
+    table3,
+)
+from repro.analysis.speedup import SpeedupCurve, fig1_sweep, replay
+
+__all__ = [
+    "LoadBalanceReport",
+    "SpeedupCurve",
+    "analyze_run",
+    "ascii_bar_chart",
+    "fig1_sweep",
+    "fig2_heatmap",
+    "format_table",
+    "replay",
+    "skew_statistics",
+    "table1",
+    "table2",
+    "table3",
+]

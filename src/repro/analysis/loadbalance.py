@@ -1,0 +1,117 @@
+"""Load-balance analysis (§IV).
+
+The paper's central measurement lesson: "An equal total amount of time
+spent by a worker thread in its work routines may or may not indicate
+good load balance.  Imbalance on any particular iteration can disappear
+when averaged over many iterations."
+
+:func:`analyze_run` therefore separates the two quantities for a
+:class:`~repro.core.simulate.RunResult`:
+
+* *aggregate* balance — per-worker busy-time spread (what JaMON-style
+  monitors show), and
+* *per-iteration* balance — the distribution of per-phase latch skews
+  (what actually stalls the barrier every step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SkewStats:
+    mean: float
+    p50: float
+    p95: float
+    max: float
+    count: int
+
+
+def skew_statistics(skews: Sequence[float]) -> SkewStats:
+    """Summary statistics (mean/median/p95/max) of latch skews."""
+    if not len(skews):
+        return SkewStats(0.0, 0.0, 0.0, 0.0, 0)
+    arr = np.asarray(skews, dtype=np.float64)
+    return SkewStats(
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        max=float(arr.max()),
+        count=len(arr),
+    )
+
+
+@dataclass
+class LoadBalanceReport:
+    """Aggregate vs per-iteration balance for one run."""
+
+    #: per-worker total busy seconds
+    worker_busy: List[float]
+    #: max/mean - 1 over worker totals: the "averaged" view
+    aggregate_imbalance: float
+    #: per-phase latch skew statistics: the per-iteration truth
+    phase_skews: Dict[str, SkewStats]
+    #: total seconds lost to barrier waits (sum of skews)
+    barrier_loss: float
+    steps: int
+
+    def hides_imbalance(self, phase: str = "forces") -> bool:
+        """True when aggregate balance looks fine (< 10% spread) while
+        per-iteration skew is significant (> 15% of the mean phase
+        work) — the paper's 'overly simplistic view' case."""
+        stats = self.phase_skews.get(phase)
+        if stats is None or stats.count == 0 or not self.worker_busy:
+            return False
+        mean_phase = max(
+            sum(self.worker_busy) / max(stats.count, 1), 1e-12
+        )
+        return (
+            self.aggregate_imbalance < 0.10
+            and stats.p95 / mean_phase > 0.15
+        )
+
+    def render(self) -> str:
+        """Human-readable balance report (both views)."""
+        lines = ["Per-worker busy seconds (aggregate view):"]
+        for i, b in enumerate(self.worker_busy):
+            lines.append(f"  worker {i}: {b * 1e3:9.3f} ms")
+        lines.append(
+            f"aggregate imbalance (max/mean - 1): "
+            f"{self.aggregate_imbalance * 100:.1f}%"
+        )
+        lines.append("Per-phase latch skew (per-iteration view):")
+        for phase, s in sorted(self.phase_skews.items()):
+            lines.append(
+                f"  {phase:<10} mean {s.mean * 1e6:8.1f} us   "
+                f"p95 {s.p95 * 1e6:8.1f} us   max {s.max * 1e6:8.1f} us"
+            )
+        lines.append(
+            f"total barrier loss: {self.barrier_loss * 1e3:.3f} ms "
+            f"over {self.steps} steps"
+        )
+        return "\n".join(lines)
+
+
+def analyze_run(result) -> LoadBalanceReport:
+    """Build a load-balance report from a RunResult."""
+    busy = list(result.worker_busy)
+    mean = np.mean(busy) if busy else 0.0
+    aggregate = float(max(busy) / mean - 1.0) if mean > 0 else 0.0
+    phase_skews = {
+        phase: skew_statistics(skews)
+        for phase, skews in result.phase_skews.items()
+    }
+    barrier_loss = float(
+        sum(sum(skews) for skews in result.phase_skews.values())
+    )
+    return LoadBalanceReport(
+        worker_busy=busy,
+        aggregate_imbalance=aggregate,
+        phase_skews=phase_skews,
+        barrier_loss=barrier_loss,
+        steps=result.steps,
+    )

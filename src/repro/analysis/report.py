@@ -1,0 +1,90 @@
+"""Paper-style tables and ASCII figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty table)"
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+        for c in cols
+    }
+    def line(values):
+        return "  ".join(str(v).ljust(widths[c]) for c, v in zip(cols, values))
+
+    out = [line(cols), line(["-" * widths[c] for c in cols])]
+    out.extend(line([r.get(c, "") for c in cols]) for r in rows)
+    return "\n".join(out)
+
+
+def table1(workloads) -> str:
+    """TABLE I: Representative Benchmark Characteristics."""
+    return format_table([w.characteristics() for w in workloads])
+
+
+def table2(specs) -> str:
+    """TABLE II: Test Machines and Their Memory Hierarchies."""
+    from repro.machine.topology import Topology
+
+    return format_table([Topology(s).table2_row() for s in specs])
+
+
+def table3(rows: Sequence[Dict[str, object]]) -> str:
+    """TABLE III: Differences in runtime with the same number of cores
+    but different topologies.  ``rows`` carry Cores/Topology/Runtime."""
+    return format_table(list(rows))
+
+
+def ascii_bar_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[object],
+    *,
+    width: int = 40,
+    y_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Horizontal-bar rendering of Fig. 1-style grouped data."""
+    peak = y_max or max(max(v) for v in series.values())
+    lines = [title] if title else []
+    for name, values in series.items():
+        lines.append(f"{name}:")
+        for x, v in zip(x_labels, values):
+            bar = "#" * max(1, int(round(v / peak * width)))
+            lines.append(f"  {str(x):>4} | {bar} {v:.2f}")
+    return "\n".join(lines)
+
+
+def fig2_heatmap(
+    residency: np.ndarray,
+    thread_names: Sequence[str],
+    *,
+    title: str = "Worker Thread to Core Affinity",
+) -> str:
+    """Fig. 2-style rendering: rows = threads, cols = PUs.
+
+    '#' = heavy residency (red in the paper), '+' moderate, '.' light.
+    """
+    total = residency.sum(axis=1, keepdims=True)
+    total[total == 0] = 1.0
+    frac = residency / total
+    lines = [title, "          PU " + "".join(str(p % 10) for p in range(residency.shape[1]))]
+    for name, row in zip(thread_names, frac):
+        cells = []
+        for f in row:
+            if f >= 0.5:
+                cells.append("#")
+            elif f >= 0.15:
+                cells.append("+")
+            elif f > 0.0:
+                cells.append(".")
+            else:
+                cells.append(" ")
+        lines.append(f"{name[-12:]:>12} " + "".join(cells))
+    return "\n".join(lines)

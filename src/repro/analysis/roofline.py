@@ -1,0 +1,139 @@
+"""Roofline analysis — the standard lens on the paper's core finding.
+
+"Prior experience with irregular applications led us to suspect that
+the performance limiter for MW was the memory subsystem." (§V)  The
+roofline model makes that suspicion quantitative: a phase whose
+arithmetic intensity (flops per byte of DRAM traffic) falls below the
+machine's *ridge point* is bandwidth-bound and cannot profit from more
+cores sharing the same memory controller.
+
+:func:`phase_roofline` classifies each phase of a captured work trace
+against a machine; :func:`render_roofline` draws the classic ASCII
+chart.  These are the numbers behind Fig. 1's shape: salt's Coulomb
+phase sits far right of the ridge, Al-1000's LJ phase far left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.costmodel import CostParams
+from repro.machine.topology import MachineSpec
+from repro.md.engine import StepReport
+
+
+@dataclass
+class RooflinePoint:
+    """One phase's position on the roofline."""
+
+    phase: str
+    #: flops per DRAM byte (after object-graph amplification)
+    intensity: float
+    #: flops/s one core attains at this intensity
+    attainable_single: float
+    #: flops/s n cores attain sharing one socket's bandwidth
+    attainable_parallel: float
+    memory_bound_single: bool
+    memory_bound_parallel: bool
+
+    @property
+    def parallel_efficiency_cap(self) -> float:
+        """Upper bound on per-core efficiency when sharing the socket."""
+        if self.attainable_single <= 0:
+            return 1.0
+        return min(
+            1.0, self.attainable_parallel / self.attainable_single
+        )
+
+
+def machine_ridge_point(
+    spec: MachineSpec, params: CostParams = CostParams()
+) -> float:
+    """Arithmetic intensity at which one core turns compute-bound."""
+    peak_flops = spec.freq_hz / params.cycles_per_flop
+    return peak_flops / spec.core_bw
+
+
+def phase_roofline(
+    trace: Sequence[StepReport],
+    spec: MachineSpec,
+    n_cores: int = 4,
+    params: CostParams = CostParams(),
+) -> Dict[str, RooflinePoint]:
+    """Classify each phase of a work trace against a machine."""
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1: {n_cores}")
+    totals: Dict[str, List[float]] = {}
+    for report in trace:
+        for phase, work in report.phase_work.items():
+            flops, nbytes = totals.setdefault(phase, [0.0, 0.0])
+            totals[phase][0] += work.flops
+            totals[phase][1] += (
+                work.bytes_irregular * params.irregular_amplification
+                + work.bytes_regular * params.regular_amplification
+            )
+    peak_flops = spec.freq_hz / params.cycles_per_flop
+    out: Dict[str, RooflinePoint] = {}
+    for phase, (flops, nbytes) in totals.items():
+        if flops <= 0:
+            continue
+        intensity = flops / nbytes if nbytes > 0 else float("inf")
+        single = min(peak_flops, intensity * spec.core_bw)
+        per_core_bw = spec.socket_bw / n_cores
+        parallel = min(peak_flops, intensity * per_core_bw)
+        out[phase] = RooflinePoint(
+            phase=phase,
+            intensity=intensity,
+            attainable_single=single,
+            attainable_parallel=parallel,
+            memory_bound_single=single < peak_flops,
+            memory_bound_parallel=parallel < peak_flops,
+        )
+    return out
+
+
+def render_roofline(
+    points: Dict[str, RooflinePoint],
+    spec: MachineSpec,
+    params: CostParams = CostParams(),
+    width: int = 60,
+) -> str:
+    """ASCII roofline: phases plotted on a log-intensity axis."""
+    ridge = machine_ridge_point(spec, params)
+    finite = [
+        p.intensity for p in points.values() if np.isfinite(p.intensity)
+    ]
+    if not finite:
+        return "(no memory-bound phases to plot)"
+    lo = min(min(finite), ridge) / 4
+    hi = max(max(finite), ridge) * 4
+    span = np.log10(hi / lo)
+
+    def col(x: float) -> int:
+        if not np.isfinite(x):
+            return width - 1
+        return int(np.clip(np.log10(x / lo) / span * (width - 1), 0, width - 1))
+
+    lines = [
+        f"roofline for {spec.name} "
+        f"(ridge at {ridge:.2f} flop/byte, '^')"
+    ]
+    axis = [" "] * width
+    axis[col(ridge)] = "^"
+    for name, p in sorted(points.items(), key=lambda kv: kv[1].intensity):
+        row = [" "] * width
+        row[col(p.intensity)] = "*"
+        tag = "memory-bound" if p.memory_bound_single else "compute-bound"
+        lines.append(
+            f"{name:>10} |{''.join(row)}| "
+            f"{p.intensity if np.isfinite(p.intensity) else float('inf'):8.2f}"
+            f" flop/B  {tag}"
+        )
+    lines.append(f"{'ridge':>10} |{''.join(axis)}|")
+    lines.append(
+        f"{'':>10}  low intensity <--------------------> high intensity"
+    )
+    return "\n".join(lines)

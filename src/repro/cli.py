@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every experiment in the paper is runnable from the shell:
+
+========== =====================================================
+command    regenerates
+========== =====================================================
+table1     Table I   — benchmark characteristics
+table2     Table II  — test machines and memory hierarchies
+fig1       Fig. 1    — speedup sweep on the simulated i7 920
+fig2       Fig. 2    — thread→core residency heat map
+table3     Table III — pinning topologies on the 4x X7560
+topology   §V-C      — hwloc-style topology report
+run        plain physics: run a workload, print energies,
+           optionally write an XYZ trajectory
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import ascii_bar_chart, table1, table2, table3
+from repro.analysis.speedup import fig1_sweep
+from repro.concurrent import QueueMode
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.machine import MACHINES, SimMachine, inject_background_load
+from repro.machine.background import inject_mobile_load
+from repro.machine.topology import Topology
+from repro.md.io import XyzTrajectoryWriter
+from repro.perftools import VTune, topology_report
+from repro.workloads import BUILDERS
+
+
+def _machine_spec(name: str):
+    if name not in MACHINES:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        )
+    return MACHINES[name]
+
+
+def _workloads(names: Optional[List[str]]):
+    names = names or list(BUILDERS)
+    bad = [n for n in names if n not in BUILDERS]
+    if bad:
+        raise SystemExit(
+            f"unknown workload(s) {bad}; choose from {sorted(BUILDERS)}"
+        )
+    return [BUILDERS[n]() for n in names]
+
+
+def cmd_table1(args) -> None:
+    print(table1(_workloads(args.workloads)))
+
+
+def cmd_table2(args) -> None:
+    print(table2(MACHINES.values()))
+
+
+def cmd_fig1(args) -> None:
+    spec = _machine_spec(args.machine)
+    threads = [int(t) for t in args.threads.split(",")]
+    curves = fig1_sweep(
+        _workloads(args.workloads), spec, threads=threads, steps=args.steps
+    )
+    print(
+        ascii_bar_chart(
+            {name: c.speedups for name, c in curves.items()},
+            threads,
+            title=f"Speedup vs cores on simulated {spec.name}",
+        )
+    )
+
+
+def cmd_fig2(args) -> None:
+    spec = _machine_spec(args.machine)
+    wl = BUILDERS[args.workload]()
+    trace = capture_trace(wl, args.steps)
+    machine = SimMachine(spec, seed=args.seed, migrate_prob=0.3)
+    aff = None
+    if args.pinned:
+        topo = Topology(spec)
+        pus = sorted(topo.mask_cores_on_one_socket(
+            min(args.threads, spec.cores_per_socket)
+        ))
+        aff = [[pus[i % len(pus)]] for i in range(args.threads)]
+    SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, args.threads,
+        affinities=aff, name="wl", repeat=2,
+    ).run()
+    vtune = VTune(machine)
+    workers = [f"wl-pool-worker-{i}" for i in range(args.threads)]
+    print(vtune.thread_to_core_plot(workers))
+    for w in workers:
+        print(f"  {w}: {vtune.migrations(w)} migrations, "
+              f"{vtune.cores_visited(w)} cores visited")
+
+
+def cmd_table3(args) -> None:
+    spec = _machine_spec("x7560x4")
+    topo = Topology(spec)
+    wl = BUILDERS["Al-1000"]()
+    trace = capture_trace(wl, args.steps)
+    configs = [
+        ("4, one core per processor", 4, topo.mask_one_core_per_socket(4)),
+        ("4, 4 cores on one processor", 4, topo.mask_cores_on_one_socket(4)),
+        ("4, OS scheduled", 4, None),
+        ("8, OS scheduled", 8, None),
+        ("8, two cores per processor", 8, topo.mask_n_cores_per_socket(2)),
+        ("8, 8 cores on one processor", 8, topo.mask_cores_on_one_socket(8)),
+        ("32, OS scheduled", 32, None),
+    ]
+    rows = []
+    for label, n, mask in configs:
+        machine = SimMachine(spec, seed=args.seed)
+        inject_background_load(
+            machine, [0, 2, 4, 16], utilization=0.45, duration=10.0
+        )
+        inject_mobile_load(machine, 8, utilization=0.3, duration=10.0)
+        aff = None
+        if mask is not None:
+            pus = sorted(mask)
+            aff = [[pus[i % len(pus)]] for i in range(n)]
+        res = SimulatedParallelRun(
+            trace, wl.system.n_atoms, machine, n,
+            affinities=aff, queue_mode=QueueMode.PER_THREAD,
+            name="al", repeat=2,
+        ).run()
+        rows.append(
+            {
+                "Number of Cores Used / Topology": label,
+                "Runtime (ms, simulated)": f"{res.sim_seconds * 1e3:.2f}",
+            }
+        )
+    print(table3(rows))
+
+
+PAPER_FIG1 = {"salt": 3.63, "nanocar": 3.03, "Al-1000": 1.42}
+FIG1_BANDS = {
+    "salt": (3.2, 4.0),
+    "nanocar": (2.5, 3.3),
+    "Al-1000": (1.15, 1.7),
+}
+
+
+def cmd_scorecard(args) -> None:
+    """Quick end-to-end reproduction check: Table I + Fig. 1 bands."""
+    rows = []
+
+    def check(label, measured, target, ok):
+        rows.append((label, measured, target, "PASS" if ok else "FAIL"))
+
+    workloads = [BUILDERS[n]() for n in ("nanocar", "salt", "Al-1000")]
+    expected = {
+        "nanocar": (989, 0, 2277, "Bonds"),
+        "salt": (800, 800, 0, "Ionic"),
+        "Al-1000": (1000, 0, 0, "Lennard-Jones"),
+    }
+    for wl in workloads:
+        row = wl.characteristics()
+        atoms, charged, bonds, dom = expected[wl.name]
+        ok = (
+            row["# of Atoms"] == atoms
+            and row["# of Charged Atoms"] == charged
+            and row["# of Bonds"] == bonds
+            and row["Dominant Computation Type"] == dom
+        )
+        check(
+            f"Table I: {wl.name}",
+            f"{row['# of Atoms']}/{row['# of Charged Atoms']}/"
+            f"{row['# of Bonds']}/{row['Dominant Computation Type']}",
+            f"{atoms}/{charged}/{bonds}/{dom}",
+            ok,
+        )
+
+    curves = fig1_sweep(workloads, threads=(1, 2, 3, 4), steps=args.steps)
+    for name, curve in curves.items():
+        s4 = curve.speedup_at(4)
+        lo, hi = FIG1_BANDS[name]
+        check(
+            f"Fig. 1 @4 cores: {name}",
+            f"{s4:.2f}x",
+            f"{PAPER_FIG1[name]:.2f}x (band {lo}-{hi})",
+            lo <= s4 <= hi,
+        )
+    ordered = (
+        curves["salt"].speedup_at(4)
+        > curves["nanocar"].speedup_at(4)
+        > curves["Al-1000"].speedup_at(4)
+    )
+    check("Fig. 1 ordering", "salt > nanocar > Al-1000",
+          "salt > nanocar > Al-1000", ordered)
+
+    width = max(len(r[0]) for r in rows)
+    failures = 0
+    for label, measured, target, verdict in rows:
+        if verdict == "FAIL":
+            failures += 1
+        print(f"{label:<{width}}  measured {measured:<28} "
+              f"paper {target:<32} [{verdict}]")
+    print(
+        f"\n{len(rows) - failures}/{len(rows)} checks pass; run "
+        "'pytest benchmarks/ --benchmark-only' for the full suite "
+        "(Table II/III, Fig. 2, §IV, §V, ablations, extensions)."
+    )
+    if failures:
+        raise SystemExit(1)
+
+
+def cmd_topology(args) -> None:
+    print(topology_report(_machine_spec(args.machine)))
+
+
+def cmd_run(args) -> None:
+    wl = BUILDERS[args.workload]()
+    engine = wl.make_engine()
+    engine.prime()
+    writer = None
+    if args.xyz:
+        writer = XyzTrajectoryWriter(args.xyz, every=args.xyz_every)
+        writer.__enter__()
+    try:
+        for chunk in range(0, args.steps, args.report_every):
+            report = None
+            for _ in range(min(args.report_every, args.steps - chunk)):
+                report = engine.step()
+                if writer:
+                    writer.frame(engine)
+            print(
+                f"step {engine.step_count:>6}: "
+                f"E_pot {report.potential_energy:>12.3f} eV  "
+                f"E_kin {report.kinetic_energy:>9.3f} eV  "
+                f"T {engine.system.temperature():>7.0f} K  "
+                f"rebuilds {engine.neighbors.rebuild_count:>4}"
+            )
+    finally:
+        if writer:
+            writer.__exit__(None, None, None)
+            print(f"wrote {writer.frames_written} frames to {args.xyz}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Krieger & Strout (ICPP 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="benchmark characteristics")
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="test machines")
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("fig1", help="speedup sweep")
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--threads", default="1,2,3,4")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.set_defaults(fn=cmd_fig1)
+
+    p = sub.add_parser("fig2", help="thread-to-core residency")
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--workload", default="Al-1000")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--pinned", action="store_true")
+    p.set_defaults(fn=cmd_fig2)
+
+    p = sub.add_parser("table3", help="pinning topologies")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--seed", type=int, default=3)
+    p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser(
+        "scorecard", help="quick paper-vs-measured reproduction check"
+    )
+    p.add_argument("--steps", type=int, default=20)
+    p.set_defaults(fn=cmd_scorecard)
+
+    p = sub.add_parser("topology", help="hwloc-style report")
+    p.add_argument("--machine", default="x7560x4")
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("run", help="run a workload's physics")
+    p.add_argument("workload", choices=sorted(BUILDERS))
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--report-every", type=int, default=50)
+    p.add_argument("--xyz", default=None, help="write trajectory here")
+    p.add_argument("--xyz-every", type=int, default=10)
+    p.set_defaults(fn=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        args.fn(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piping into `head`) — not an error
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Real-thread fixed-size pools with single or per-thread work queues.
+
+Mirrors the structure §II-B describes: "A number of fixed-sized thread
+pools, managed by Java ExecutorServices, is created at simulation start
+time. ... If all threads are in a single thread pool, they share a
+single work queue. ... Conversely, having one queue per thread
+eliminates contention, but can result in the situation where one queue
+has considerable work while other threads, with empty work queues, sit
+idle."
+
+Both queue configurations are provided so the ablation benchmark can
+compare them; the default matches the paper's primary configuration
+(one pool, one shared queue, one thread per core).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class QueueMode(enum.Enum):
+    """Work-queue configuration for a fixed thread pool."""
+
+    SINGLE = "single"  # one shared queue: no idling, but contention
+    PER_THREAD = "per-thread"  # one queue per worker: no contention, can idle
+
+
+class Future:
+    """Minimal write-once future (Java ``Future`` analog)."""
+
+    __slots__ = ("_event", "_value", "_exc")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._exc: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """True once a result or exception has been set."""
+        return self._event.is_set()
+
+    def set_result(self, value) -> None:
+        """Complete the future with a value."""
+        self._value = value
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Complete the future with an exception."""
+        self._exc = exc
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for completion; re-raises the task's exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("future not done")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+_SHUTDOWN = object()
+
+
+class ExecutorService:
+    """A fixed-size worker pool fed by FIFO work queue(s).
+
+    Tasks are plain callables.  With ``QueueMode.SINGLE`` all workers
+    drain one queue; with ``QueueMode.PER_THREAD`` submissions are
+    distributed round-robin (or to an explicit worker via
+    ``submit(..., worker=i)``), so a skewed task distribution leaves
+    some workers idle — the trade-off the paper discusses.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        queue_mode: QueueMode = QueueMode.SINGLE,
+        name: str = "pool",
+    ):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1: {n_threads}")
+        self.n_threads = n_threads
+        self.queue_mode = queue_mode
+        self.name = name
+        if queue_mode is QueueMode.SINGLE:
+            self._queues: List[queue.SimpleQueue] = [queue.SimpleQueue()]
+        else:
+            self._queues = [queue.SimpleQueue() for _ in range(n_threads)]
+        self._rr = itertools.count()
+        self._shutdown = False
+        self._lock = threading.Lock()
+        #: per-worker count of tasks executed (load-balance visibility)
+        self.tasks_executed = [0] * n_threads
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(i,),
+                name=f"{name}-worker-{i}",
+                daemon=True,
+            )
+            for i in range(n_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _queue_for(self, worker: Optional[int]) -> queue.SimpleQueue:
+        if self.queue_mode is QueueMode.SINGLE:
+            return self._queues[0]
+        if worker is None:
+            worker = next(self._rr) % self.n_threads
+        return self._queues[worker % self.n_threads]
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args,
+        worker: Optional[int] = None,
+        **kwargs,
+    ) -> Future:
+        """Enqueue ``fn(*args, **kwargs)``; returns its Future.
+
+        ``worker`` selects the target queue in per-thread mode (ignored
+        with a single queue).
+        """
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError(f"executor {self.name!r} is shut down")
+            fut = Future()
+            self._queue_for(worker).put((fn, args, kwargs, fut))
+        return fut
+
+    def invoke_all(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Submit every task and block until all complete (Java
+        ``invokeAll``).  Returns results in task order; re-raises the
+        first task exception encountered."""
+        futures = [self.submit(t) for t in tasks]
+        return [f.result() for f in futures]
+
+    def _worker(self, index: int) -> None:
+        q = (
+            self._queues[0]
+            if self.queue_mode is QueueMode.SINGLE
+            else self._queues[index]
+        )
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                return
+            fn, args, kwargs, fut = item
+            try:
+                fut.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                fut.set_exception(exc)
+            self.tasks_executed[index] += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting tasks; workers exit after draining their queues."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            if self.queue_mode is QueueMode.SINGLE:
+                for _ in range(self.n_threads):
+                    self._queues[0].put(_SHUTDOWN)
+            else:
+                for q in self._queues:
+                    q.put(_SHUTDOWN)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "ExecutorService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def new_fixed_thread_pool(
+    n_threads: int,
+    queue_mode: QueueMode = QueueMode.SINGLE,
+    name: str = "pool",
+) -> ExecutorService:
+    """Factory named after ``Executors.newFixedThreadPool``."""
+    return ExecutorService(n_threads, queue_mode, name)

@@ -1,0 +1,245 @@
+"""Simulated ExecutorService: fixed pools of SimThreads fed by work queues.
+
+This is where the paper's §II-B execution pattern lives in simulated
+time.  Work items are :class:`~repro.machine.cost.WorkCost` descriptors;
+workers pull them from a single shared queue (contended: each dequeue
+passes through a short lock-guarded critical section) or from per-worker
+queues (uncontended, but a skewed distribution leaves workers idle).
+
+An :class:`Instrumentation` hook pair runs inside the worker around
+every task — the attachment point for the JaMON/VisualVM observer-effect
+models in :mod:`repro.perftools`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.des import Event, FifoStore, Lock
+from repro.machine.cost import WorkCost
+from repro.concurrent.executor import QueueMode
+from repro.concurrent.simsync import SimCountDownLatch
+
+
+class SimFuture:
+    """Write-once completion handle; waitable (``yield future``)."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, name: str = "future"):
+        self._event = Event(name=name)
+
+    @property
+    def done(self) -> bool:
+        return self._event.fired
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        return self._event.value if self._event.fired else None
+
+    def _fire(self, time: float, sim) -> None:
+        self._event.fire(time, sim=sim)
+
+    def _subscribe(self, sim, process) -> None:
+        self._event._subscribe(sim, process)
+
+
+class SimTask:
+    """One unit of queued work."""
+
+    __slots__ = ("cost", "meta", "future", "submitted_at", "latch")
+
+    def __init__(
+        self,
+        cost: WorkCost,
+        meta: Any = None,
+        latch: Optional[SimCountDownLatch] = None,
+        submitted_at: float = 0.0,
+    ):
+        self.cost = cost
+        self.meta = meta
+        self.latch = latch
+        self.future = SimFuture()
+        self.submitted_at = submitted_at
+
+
+class Instrumentation:
+    """Base class for per-task instrumentation (observer-effect models).
+
+    ``on_task_start`` / ``on_task_end`` are *generator* hooks executed by
+    the worker thread itself — anything they yield (lock acquisitions,
+    WorkCost bursts) costs simulated time inside the worker, which is
+    exactly how real instrumentation perturbs the program under test.
+    ``transform_cost`` may inflate the task's own cost (per-method
+    instrumentation overhead).
+    """
+
+    def on_task_start(self, worker_index: int, task: SimTask):
+        """Generator hook run by the worker before the task."""
+        yield from ()
+
+    def on_task_end(self, worker_index: int, task: SimTask):
+        """Generator hook run by the worker after the task."""
+        yield from ()
+
+    def transform_cost(self, worker_index: int, cost: WorkCost) -> WorkCost:
+        """Optionally inflate/replace a task's cost (overhead model)."""
+        return cost
+
+
+class SimExecutorService:
+    """Fixed-size pool of SimThreads with FIFO work queue(s).
+
+    Parameters
+    ----------
+    machine:
+        The :class:`~repro.machine.SimMachine` to run on.
+    n_threads:
+        Pool size ("typically, one thread is created per core").
+    queue_mode:
+        ``QueueMode.SINGLE`` (shared queue + contention) or
+        ``QueueMode.PER_THREAD``.
+    affinities:
+        Optional per-worker PU masks (the pinning experiments);
+        None = OS-scheduled.
+    instrumentation:
+        Optional :class:`Instrumentation` (performance-tool models).
+    pop_overhead_cycles:
+        Cost of the dequeue critical section in the single-queue mode.
+    """
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int,
+        queue_mode: QueueMode = QueueMode.SINGLE,
+        affinities: Optional[Sequence[Optional[Iterable[int]]]] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        pop_overhead_cycles: float = 150.0,
+        name: str = "pool",
+    ):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1: {n_threads}")
+        if affinities is not None and len(affinities) != n_threads:
+            raise ValueError("affinities must have one entry per worker")
+        self.machine = machine
+        self.sim = machine.sim
+        self.n_threads = n_threads
+        self.queue_mode = queue_mode
+        self.instrumentation = instrumentation
+        self.pop_overhead_cycles = pop_overhead_cycles
+        self.name = name
+        if queue_mode is QueueMode.SINGLE:
+            self.queues: List[FifoStore] = [
+                FifoStore(self.sim, name=f"{name}.q")
+            ]
+        else:
+            self.queues = [
+                FifoStore(self.sim, name=f"{name}.q{i}")
+                for i in range(n_threads)
+            ]
+        self._qlock = Lock(self.sim, name=f"{name}.qlock")
+        self._rr = 0
+        self._shutdown = False
+        self.tasks_executed = [0] * n_threads
+        #: wall simulated time each worker spent from task start to end
+        self.busy_time = [0.0] * n_threads
+        self.workers = [
+            machine.thread(
+                self._worker_body(i),
+                f"{name}-worker-{i}",
+                affinity=None if affinities is None else affinities[i],
+            )
+            for i in range(n_threads)
+        ]
+
+    # -- submission -----------------------------------------------------------
+
+    def _queue_for(self, worker: Optional[int]) -> FifoStore:
+        if self.queue_mode is QueueMode.SINGLE:
+            return self.queues[0]
+        if worker is None:
+            worker = self._rr
+            self._rr = (self._rr + 1) % self.n_threads
+        return self.queues[worker % self.n_threads]
+
+    def submit(
+        self,
+        cost: WorkCost,
+        meta: Any = None,
+        worker: Optional[int] = None,
+        latch: Optional[SimCountDownLatch] = None,
+    ) -> SimTask:
+        """Enqueue one task; returns it (``task.future`` is waitable)."""
+        if self._shutdown:
+            raise RuntimeError(f"executor {self.name!r} is shut down")
+        task = SimTask(cost, meta, latch, submitted_at=self.sim.now)
+        self._queue_for(worker).put(task)
+        return task
+
+    def submit_phase(
+        self, costs: Sequence[WorkCost], metas: Optional[Sequence[Any]] = None
+    ) -> SimCountDownLatch:
+        """Submit one task per cost and return a latch that trips when
+        all of them complete — the per-phase pattern of parallel MW."""
+        latch = SimCountDownLatch(
+            self.sim, len(costs), name=f"{self.name}.phase"
+        )
+        for i, cost in enumerate(costs):
+            meta = metas[i] if metas is not None else None
+            # per-thread mode: distribute task i to worker i (block map)
+            worker = i if self.queue_mode is QueueMode.PER_THREAD else None
+            self.submit(cost, meta=meta, worker=worker, latch=latch)
+        return latch
+
+    def shutdown(self) -> None:
+        """Send poison pills; workers exit after draining their queues."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if self.queue_mode is QueueMode.SINGLE:
+            for _ in range(self.n_threads):
+                self.queues[0].put(None)
+        else:
+            for q in self.queues:
+                q.put(None)
+
+    # -- worker ---------------------------------------------------------------
+
+    def _worker_body(self, index: int):
+        q = (
+            self.queues[0]
+            if self.queue_mode is QueueMode.SINGLE
+            else self.queues[index]
+        )
+        machine = self.machine
+        instr = self.instrumentation
+        while True:
+            task = yield q.get()
+            if task is None:
+                return
+            if (
+                self.queue_mode is QueueMode.SINGLE
+                and self.pop_overhead_cycles > 0
+                and self.n_threads > 1
+            ):
+                # the contended dequeue critical section
+                yield self._qlock.acquire()
+                yield WorkCost(
+                    cycles=self.pop_overhead_cycles, label="queue-pop"
+                )
+                self._qlock.release()
+            if instr is not None:
+                yield from instr.on_task_start(index, task)
+                cost = instr.transform_cost(index, task.cost)
+            else:
+                cost = task.cost
+            started = machine.now
+            yield cost
+            self.busy_time[index] += machine.now - started
+            self.tasks_executed[index] += 1
+            if instr is not None:
+                yield from instr.on_task_end(index, task)
+            task.future._fire(machine.now, self.sim)
+            if task.latch is not None:
+                task.latch.count_down()

@@ -1,0 +1,141 @@
+"""Simulated-time synchronization primitives.
+
+DES counterparts of :mod:`repro.concurrent.sync`, used by SimThreads.
+Both primitives record arrival statistics because the paper's load-
+balance analysis (§IV) is entirely about *when threads reach the
+barrier*: a barrier trip where one thread arrives late is load
+imbalance; equal per-phase totals can still hide per-iteration skew.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.des import Event
+from repro.des.errors import DesError
+
+
+class SimCountDownLatch:
+    """One-shot latch in simulated time.
+
+    ``yield latch`` (the latch itself is waitable) suspends the thread
+    until ``count_down()`` has been called ``count`` times.
+    """
+
+    def __init__(self, sim, count: int, name: str = "latch"):
+        if count < 0:
+            raise ValueError(f"negative latch count: {count}")
+        self.sim = sim
+        self.name = name
+        self._count = count
+        self._event = Event(name=name)
+        if count == 0:
+            self._event.fire(sim=sim)
+        #: simulated times at which count_down() was called
+        self.arrival_times: List[float] = []
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def count_down(self) -> None:
+        """Decrement; at zero all waiters resume (one-shot)."""
+        if self._count > 0:
+            self._count -= 1
+            self.arrival_times.append(self.sim.now)
+            if self._count == 0:
+                self._event.fire(self.sim.now, sim=self.sim)
+
+    @property
+    def skew(self) -> float:
+        """Seconds between first and last count_down so far."""
+        if len(self.arrival_times) < 2:
+            return 0.0
+        return max(self.arrival_times) - min(self.arrival_times)
+
+    def _subscribe(self, sim, process) -> None:
+        self._event._subscribe(sim, process)
+
+
+class SimCyclicBarrier:
+    """Reusable barrier in simulated time.
+
+    Threads ``yield barrier.arrive()``.  When the last party arrives the
+    optional ``action`` callable runs (zero simulated cost — model any
+    cost as a burst in the arriving thread) and all parties resume.
+
+    Every trip's arrival times are recorded in :attr:`trip_arrivals`,
+    giving the exact per-iteration skew that §IV-B shows sampling tools
+    cannot see.
+    """
+
+    def __init__(
+        self,
+        sim,
+        parties: int,
+        name: str = "barrier",
+        action: Optional[Callable[[], None]] = None,
+    ):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1: {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._action = action
+        self._waiting = 0
+        self._gen_event = Event(name=f"{name}#0")
+        self._generation = 0
+        self._current_arrivals: List[float] = []
+        #: list per trip of (first_arrival, last_arrival, [arrival times])
+        self.trip_arrivals: List[Tuple[float, float, List[float]]] = []
+
+    @property
+    def trips(self) -> int:
+        return len(self.trip_arrivals)
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    def arrive(self) -> "_BarrierArrival":
+        """Request to ``yield``: suspends until every party arrives."""
+        return _BarrierArrival(self)
+
+    def skew_per_trip(self) -> List[float]:
+        """Last-minus-first arrival time for every completed trip."""
+        return [last - first for first, last, _ in self.trip_arrivals]
+
+    def _on_arrive(self, sim, process) -> None:
+        self._waiting += 1
+        self._current_arrivals.append(sim.now)
+        if self._waiting > self.parties:
+            raise DesError(
+                f"barrier {self.name!r}: more arrivals than parties"
+            )
+        if self._waiting == self.parties:
+            arrivals = self._current_arrivals
+            self.trip_arrivals.append(
+                (min(arrivals), max(arrivals), list(arrivals))
+            )
+            if self._action is not None:
+                self._action()
+            event = self._gen_event
+            self._waiting = 0
+            self._current_arrivals = []
+            self._generation += 1
+            self._gen_event = Event(name=f"{self.name}#{self._generation}")
+            # resume the last arriver too (it also waited, trivially)
+            event._waiters.append(process)
+            event.fire(sim.now, sim=sim)
+        else:
+            self._gen_event._waiters.append(process)
+
+
+class _BarrierArrival:
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: SimCyclicBarrier):
+        self.barrier = barrier
+
+    def _subscribe(self, sim, process) -> None:
+        self.barrier._on_arrive(sim, process)

@@ -1,0 +1,195 @@
+"""Process-parallel force evaluation — the CPython GIL workaround.
+
+The real-thread :class:`~repro.core.parallel.ParallelMDEngine` proves
+the decomposition correct but cannot speed up under the GIL.  This
+backend runs the force phase across *processes* instead: each worker
+process owns one restricted force set (the same ``Force.restrict``
+decomposition), receives the current positions each step, and returns
+its privatized force contribution; the master reduces.
+
+This is the honest CPython analog of the paper's thread pool: the same
+phases, the same ownership split, real hardware parallelism when cores
+exist — at the price of per-step serialization traffic, which is why
+production Python MD uses compiled kernels instead.  On a single-core
+host it still runs correctly (and the tests only assert correctness).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.partition import block_partition
+from repro.md.boundary import Boundary, ReflectiveBox
+from repro.md.engine import StepReport
+from repro.md.forces.base import Force
+from repro.md.integrator import TaylorPredictorCorrector
+from repro.md.neighbors import NeighborList
+from repro.md.system import AtomSystem
+from repro.md.thermostat import BerendsenThermostat
+
+# Worker-process state, installed once by the pool initializer so the
+# per-step payload is only positions + the pair list.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    _WORKER_STATE["ctx"] = pickle.loads(payload)
+
+
+def _worker_forces(args):
+    """Evaluate one worker's restricted forces at given positions."""
+    rank, positions, pairs_i, pairs_j = args
+    ctx = _WORKER_STATE["ctx"]
+    system: AtomSystem = ctx["system"]
+    boundary: Boundary = ctx["boundary"]
+    forces: List[Force] = ctx["forces"][rank]
+    system.positions[:] = positions
+    nl = ctx["neighbors"]
+    nl.pairs_i = pairs_i
+    nl.pairs_j = pairs_j
+    nl._ref_positions = positions
+    out = np.zeros_like(positions)
+    energy = 0.0
+    terms = 0
+    for force in forces:
+        res = force.compute(system, boundary, nl, out)
+        energy += res.energy
+        terms += res.terms
+    return out, energy, terms
+
+
+class ProcessParallelMDEngine:
+    """MD engine with a multiprocessing force phase.
+
+    Parameters mirror :class:`~repro.md.engine.MDEngine` plus
+    ``n_workers``.  Requires a fork-capable platform (POSIX); the pool
+    is created lazily on :meth:`prime`.
+    """
+
+    def __init__(
+        self,
+        system: AtomSystem,
+        forces: Sequence[Force],
+        n_workers: int = 2,
+        boundary: Optional[Boundary] = None,
+        dt_fs: float = 2.0,
+        neighbor_cutoff: Optional[float] = None,
+        skin: float = 0.8,
+        thermostat: Optional[BerendsenThermostat] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        self.system = system
+        self.n_workers = n_workers
+        self.boundary = boundary or ReflectiveBox(system.box)
+        self.integrator = TaylorPredictorCorrector(dt_fs)
+        self.thermostat = thermostat
+        self._needs_nlist = any(f.uses_neighbor_list() for f in forces)
+        if neighbor_cutoff is None:
+            sig_max = float(system.sigma.max()) if system.n_atoms else 3.0
+            neighbor_cutoff = 2.5 * sig_max
+        self.neighbors = NeighborList(neighbor_cutoff, skin=skin)
+        self.ranges = block_partition(system.n_atoms, n_workers)
+        self.thread_forces = [
+            [f.restrict(lo, hi) for f in forces] for lo, hi in self.ranges
+        ]
+        self._pool: Optional[mp.pool.Pool] = None
+        self.step_count = 0
+        self._primed = False
+
+    # -- pool management ---------------------------------------------------
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        ctx = mp.get_context("fork")
+        payload = pickle.dumps(
+            {
+                "system": self.system.copy(),
+                "boundary": self.boundary,
+                "forces": self.thread_forces,
+                "neighbors": NeighborList(
+                    self.neighbors.cutoff, self.neighbors.skin
+                ),
+            }
+        )
+        self._pool = ctx.Pool(
+            self.n_workers, initializer=_worker_init, initargs=(payload,)
+        )
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes (also via context manager)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessParallelMDEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- stepping ---------------------------------------------------------
+
+    def _forces_parallel(self):
+        self._ensure_pool()
+        jobs = [
+            (
+                rank,
+                self.system.positions,
+                self.neighbors.pairs_i,
+                self.neighbors.pairs_j,
+            )
+            for rank in range(self.n_workers)
+        ]
+        results = self._pool.map(_worker_forces, jobs)
+        total = np.zeros_like(self.system.positions)
+        energy = 0.0
+        terms = 0
+        for out, e, t in results:
+            total += out  # the phase-5 reduction
+            energy += e
+            terms += t
+        self.system.forces[:] = total
+        return energy, terms
+
+    def prime(self) -> None:
+        """Evaluate initial forces/accelerations once (idempotent)."""
+        if self._primed:
+            return
+        if self._needs_nlist:
+            self.neighbors.ensure(self.system.positions, self.boundary)
+        self._forces_parallel()
+        self.integrator.prime(self.system)
+        self._primed = True
+
+    def step(self) -> StepReport:
+        """One timestep with the force phase fanned out to processes."""
+        self.prime()
+        self.integrator.predict(self.system)
+        self.boundary.apply(self.system.positions, self.system.velocities)
+        rebuilt = False
+        if self._needs_nlist:
+            rebuilt = self.neighbors.ensure(
+                self.system.positions, self.boundary
+            )
+        energy, _terms = self._forces_parallel()
+        self.integrator.correct(self.system)
+        if self.thermostat is not None:
+            self.thermostat.apply(self.system, self.integrator.dt)
+        self.step_count += 1
+        return StepReport(
+            step=self.step_count,
+            rebuilt=rebuilt,
+            potential_energy=energy,
+            kinetic_energy=self.system.kinetic_energy(),
+        )
+
+    def run(self, n_steps: int) -> List[StepReport]:
+        """Advance ``n_steps`` timesteps; returns their reports."""
+        return [self.step() for _ in range(n_steps)]

@@ -1,0 +1,84 @@
+"""Work partitioning over atoms.
+
+"During each phase ... each thread is assigned a fraction 1/N of the
+total atoms to process, where N is the number of threads." (§II-B)
+That is :func:`block_partition`.  :func:`balanced_partition` is the
+inspector-style alternative (contiguous ranges equalizing measured
+per-atom work) used by the partitioning ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Range = Tuple[int, int]
+
+
+def block_partition(n_items: int, n_parts: int) -> List[Range]:
+    """Contiguous 1/N blocks; earlier blocks get the remainder."""
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1: {n_parts}")
+    if n_items < 0:
+        raise ValueError(f"negative n_items: {n_items}")
+    base, extra = divmod(n_items, n_parts)
+    ranges = []
+    lo = 0
+    for p in range(n_parts):
+        hi = lo + base + (1 if p < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def balanced_partition(
+    weights: np.ndarray, n_parts: int
+) -> List[Range]:
+    """Contiguous ranges whose weight sums are as equal as a greedy
+    prefix scan can make them (each range closes once it reaches the
+    ideal share)."""
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1: {n_parts}")
+    weights = np.asarray(weights, dtype=np.float64)
+    n = len(weights)
+    total = float(weights.sum())
+    if total <= 0 or n_parts == 1:
+        return block_partition(n, n_parts)
+    target = total / n_parts
+    ranges: List[Range] = []
+    lo = 0
+    acc = 0.0
+    for i in range(n):
+        acc += weights[i]
+        remaining_parts = n_parts - len(ranges)
+        remaining_items = n - (i + 1)
+        # close the range at the target, but never leave more parts
+        # than items behind
+        if len(ranges) < n_parts - 1 and (
+            acc >= target or remaining_items <= remaining_parts - 1
+        ):
+            ranges.append((lo, i + 1))
+            lo = i + 1
+            acc = 0.0
+    ranges.append((lo, n))
+    while len(ranges) < n_parts:
+        ranges.append((n, n))
+    return ranges
+
+
+def range_weights(
+    ranges: Sequence[Range], weights: np.ndarray
+) -> np.ndarray:
+    """Total weight per range."""
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.array([weights[lo:hi].sum() for lo, hi in ranges])
+
+
+def imbalance(per_part: np.ndarray) -> float:
+    """Load imbalance = max/mean − 1 (0 = perfectly balanced)."""
+    per_part = np.asarray(per_part, dtype=np.float64)
+    mean = per_part.mean() if len(per_part) else 0.0
+    if mean <= 0:
+        return 0.0
+    return float(per_part.max() / mean - 1.0)

@@ -1,0 +1,229 @@
+"""Replaying captured work traces on the simulated machine.
+
+``capture_trace`` runs the *real* serial engine and keeps each step's
+work counts; :class:`SimulatedParallelRun` then replays those counts as
+the §II-B parallel execution — master thread dispatching per-thread
+tasks phase by phase through a :class:`SimExecutorService`, closing
+each phase with a countdown latch — on a :class:`SimMachine`.  One
+physics run therefore prices any thread count, machine, pinning
+topology, queue configuration, or instrumentation setting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.concurrent import QueueMode, SimExecutorService
+from repro.concurrent.simexec import Instrumentation
+from repro.core.costmodel import CostParams, MachineCostModel
+from repro.core.partition import balanced_partition, block_partition
+from repro.des import Timeout
+from repro.jvm.gc import GcModel
+from repro.machine.machine import SimMachine
+from repro.md.engine import StepReport
+
+
+def capture_trace(workload, n_steps: int) -> List[StepReport]:
+    """Run the serial engine for ``n_steps`` and return its reports
+    (the physics runs once; replays are pure timing)."""
+    engine = workload.make_engine()
+    engine.prime()
+    return engine.run(n_steps)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated parallel run."""
+
+    sim_seconds: float
+    steps: int
+    n_threads: int
+    phase_seconds: Dict[str, float]
+    #: per-phase list of latch skews (last minus first arrival)
+    phase_skews: Dict[str, List[float]]
+    #: per-worker busy seconds (what JaMON-style monitors would report)
+    worker_busy: List[float]
+    tasks_executed: List[int]
+    migrations: Dict[str, int]
+    #: stop-the-world collections injected during the run
+    gc_pauses: int = 0
+    gc_pause_seconds: float = 0.0
+    machine: SimMachine = field(repr=False, default=None)
+
+    @property
+    def seconds_per_step(self) -> float:
+        return self.sim_seconds / self.steps if self.steps else 0.0
+
+    @property
+    def updates_per_second(self) -> float:
+        """The paper's headline display metric."""
+        return 1.0 / self.seconds_per_step if self.steps else 0.0
+
+    def mean_skew(self, phase: str = "forces") -> float:
+        """Mean latch skew (last minus first arrival) of one phase."""
+        skews = self.phase_skews.get(phase, [])
+        return float(np.mean(skews)) if skews else 0.0
+
+
+class SimulatedParallelRun:
+    """One parallel MW execution on the simulated machine.
+
+    Parameters
+    ----------
+    trace:
+        Step reports from :func:`capture_trace`.
+    n_atoms:
+        Atom count of the traced workload.
+    machine:
+        A fresh :class:`SimMachine` (consumed by this run).
+    n_threads:
+        Worker-pool size.
+    affinities:
+        Optional per-worker PU masks (pinning experiments); None = OS.
+    partition:
+        ``"block"`` (the paper's 1/N split) or ``"balanced"``
+        (equalizes measured force work; the partition ablation).
+    queue_mode / instrumentation / params / fuse_rebuild:
+        See :class:`SimExecutorService` and :class:`MachineCostModel`.
+    repeat:
+        Replay the trace this many times (longer simulated runs).
+    """
+
+    def __init__(
+        self,
+        trace: Sequence[StepReport],
+        n_atoms: int,
+        machine: SimMachine,
+        n_threads: int,
+        *,
+        affinities: Optional[Sequence] = None,
+        partition: str = "block",
+        queue_mode: QueueMode = QueueMode.SINGLE,
+        instrumentation: Optional[Instrumentation] = None,
+        params: CostParams = CostParams(),
+        fuse_rebuild: bool = True,
+        repeat: int = 1,
+        name: str = "wl",
+        master_affinity: Optional[Iterable[int]] = None,
+        gc_model: Optional[GcModel] = None,
+    ):
+        if not trace:
+            raise ValueError("empty trace")
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1: {repeat}")
+        self.trace = list(trace)
+        self.machine = machine
+        self.n_threads = n_threads
+        self.repeat = repeat
+        if partition == "block":
+            ranges = block_partition(n_atoms, n_threads)
+        elif partition == "balanced":
+            weights = self.trace[0].phase_work["forces"].per_atom + 1e-9
+            ranges = balanced_partition(weights, n_threads)
+        else:
+            raise ValueError(f"unknown partition {partition!r}")
+        self.ranges = ranges
+        self.cost_model = MachineCostModel(
+            n_atoms,
+            ranges,
+            params=params,
+            name=name,
+            fuse_rebuild=fuse_rebuild,
+            hot_bytes_per_step=self._hot_bytes_per_step(params),
+        )
+        self.pool = SimExecutorService(
+            machine,
+            n_threads,
+            queue_mode=queue_mode,
+            affinities=affinities,
+            instrumentation=instrumentation,
+            name=f"{name}-pool",
+        )
+        self._master_affinity = master_affinity
+        #: optional JVM GC model: the temp-object churn of each step is
+        #: recorded, and young-gen collections inject stop-the-world
+        #: pauses at step boundaries (another §IV-B imbalance source)
+        self.gc_model = gc_model
+        self._gc_pauses = 0
+        self._gc_pause_seconds = 0.0
+        self._temp_bytes = params.temp_bytes_per_term
+
+    def _hot_bytes_per_step(self, params: CostParams) -> float:
+        """Mean bytes one timestep cycles through (after object-graph
+        amplification) — sizes the cache regions; see MachineCostModel."""
+        totals = []
+        for report in self.trace:
+            total = 0.0
+            for key in ("forces", "rebuild"):
+                work = report.phase_work.get(key)
+                if work is None:
+                    continue
+                total += (
+                    work.bytes_irregular * params.irregular_amplification
+                    + work.bytes_regular * params.regular_amplification
+                )
+            totals.append(total)
+        return float(np.mean(totals)) if totals else params.working_set_bytes
+
+    def _master_body(self, phase_seconds, phase_skews):
+        machine = self.machine
+        cm = self.cost_model
+        for _ in range(self.repeat):
+            for report in self.trace:
+                yield cm.master_step_overhead()
+                for phase_name, costs in cm.step_phases(report):
+                    yield cm.dispatch_cost(len(costs))
+                    t0 = machine.now
+                    latch = self.pool.submit_phase(costs)
+                    yield latch
+                    phase_seconds[phase_name] += machine.now - t0
+                    phase_skews[phase_name].append(latch.skew)
+                if self.gc_model is not None:
+                    terms = report.phase_work["forces"].terms
+                    self.gc_model.recorder.record(
+                        "org.mw.math.Vector3",
+                        int(self._temp_bytes),
+                        count=terms,
+                    )
+                    event = self.gc_model.maybe_collect(machine.now)
+                    if event is not None:
+                        self._gc_pauses += 1
+                        self._gc_pause_seconds += event.pause_seconds
+                        yield Timeout(event.pause_seconds)
+        self._finished_at = machine.now
+        self.pool.shutdown()
+
+    def run(self) -> RunResult:
+        """Execute the replay to completion and collect the results."""
+        phase_seconds: Dict[str, float] = defaultdict(float)
+        phase_skews: Dict[str, List[float]] = defaultdict(list)
+        self._finished_at = None
+        self.machine.thread(
+            self._master_body(phase_seconds, phase_skews),
+            "master",
+            affinity=self._master_affinity,
+        )
+        self.machine.run()
+        trace = self.machine.scheduler.trace
+        finished = (
+            self._finished_at
+            if self._finished_at is not None
+            else self.machine.now
+        )
+        return RunResult(
+            sim_seconds=finished,
+            steps=len(self.trace) * self.repeat,
+            n_threads=self.n_threads,
+            phase_seconds=dict(phase_seconds),
+            phase_skews=dict(phase_skews),
+            worker_busy=list(self.pool.busy_time),
+            tasks_executed=list(self.pool.tasks_executed),
+            migrations=dict(trace.migrations),
+            gc_pauses=self._gc_pauses,
+            gc_pause_seconds=self._gc_pause_seconds,
+            machine=self.machine,
+        )

@@ -1,0 +1,30 @@
+"""Exception types raised by the DES kernel."""
+
+
+class DesError(Exception):
+    """Base class for all kernel errors."""
+
+
+class SimulationDeadlock(DesError):
+    """Raised by :meth:`Simulator.run` when live processes remain but the
+    event queue is empty (every remaining process waits on something that
+    can no longer happen)."""
+
+    def __init__(self, waiting: list[str]):
+        self.waiting = list(waiting)
+        super().__init__(
+            "simulation deadlocked with %d waiting process(es): %s"
+            % (len(self.waiting), ", ".join(self.waiting))
+        )
+
+
+class Interrupted(DesError):
+    """Thrown *into* a process generator when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        self.cause = cause
+        super().__init__(f"interrupted: {cause!r}")

@@ -1,0 +1,189 @@
+"""Shared-resource primitives for DES processes: locks, semaphores, stores.
+
+All primitives grant strictly in FIFO order, which keeps simulations
+deterministic and models the fair queueing of ``java.util.concurrent``
+structures closely enough for the paper's contention experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.des.errors import DesError
+
+
+class Semaphore:
+    """Counting semaphore with FIFO grant order.
+
+    ``yield sem.acquire()`` suspends until a permit is available;
+    ``sem.release()`` is immediate (no yield).  Statistics on waiting are
+    kept so experiments can quantify contention:
+
+    ``wait_count``   number of acquires that had to queue,
+    ``wait_time``    total simulated time spent queued,
+    ``hold_time``    total time permits were held.
+    """
+
+    def __init__(self, sim, permits: int = 1, name: str = ""):
+        if permits < 1:
+            raise ValueError(f"permits must be >= 1, got {permits}")
+        self.sim = sim
+        self.name = name
+        self._permits = permits
+        self._available = permits
+        self._queue: deque = deque()
+        self._acquired_at: dict = {}
+        self.wait_count = 0
+        self.wait_time = 0.0
+        self.hold_time = 0.0
+        self.acquire_count = 0
+
+    @property
+    def available(self) -> int:
+        """Permits currently free."""
+        return self._available
+
+    @property
+    def queue_length(self) -> int:
+        """Processes currently waiting."""
+        return len(self._queue)
+
+    def acquire(self) -> "_AcquireRequest":
+        """Return a request object to ``yield``."""
+        return _AcquireRequest(self)
+
+    def release(self, holder=None) -> None:
+        """Return one permit; wakes the head of the wait queue, if any."""
+        key = holder if holder is not None else None
+        start = self._acquired_at.pop(id(key), None) if key is not None else None
+        if start is not None:
+            self.hold_time += self.sim.now - start
+        while self._queue:
+            proc, enqueued_at = self._queue.popleft()
+            if not proc.alive:
+                continue  # interrupted while waiting; skip
+            self.wait_time += self.sim.now - enqueued_at
+            self.acquire_count += 1
+            self._acquired_at[id(proc)] = self.sim.now
+            self.sim._schedule(0.0, proc._resume, self)
+            return
+        self._available += 1
+        if self._available > self._permits:
+            raise DesError(f"semaphore {self.name!r} over-released")
+
+    def _try_grant(self, process) -> bool:
+        if self._available > 0:
+            self._available -= 1
+            self.acquire_count += 1
+            self._acquired_at[id(process)] = self.sim.now
+            return True
+        return False
+
+
+class _AcquireRequest:
+    __slots__ = ("sem",)
+
+    def __init__(self, sem: Semaphore):
+        self.sem = sem
+
+    def _subscribe(self, sim, process) -> None:
+        sem = self.sem
+        if sem._try_grant(process):
+            sim._schedule(0.0, process._resume, sem)
+        else:
+            sem.wait_count += 1
+            sem._queue.append((process, sim.now))
+
+
+class Lock(Semaphore):
+    """A mutex: a one-permit semaphore.
+
+    ``release(holder)`` should pass the owning process so hold times are
+    attributed; for brevity ``release()`` without a holder is accepted.
+    """
+
+    def __init__(self, sim, name: str = ""):
+        super().__init__(sim, permits=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self._available == 0
+
+
+class FifoStore:
+    """Unbounded FIFO queue of items with blocking ``get``.
+
+    This is the work-queue primitive: producers ``put`` (non-blocking),
+    consumers ``yield store.get()``.  Grant order across blocked
+    consumers is FIFO.  ``close()`` causes current and future getters to
+    receive ``None`` — a simple shutdown sentinel protocol.
+    """
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self._closed = False
+        self.put_count = 0
+        self.get_count = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item) -> None:
+        """Enqueue an item, waking one blocked getter if present."""
+        if self._closed:
+            raise DesError(f"put on closed store {self.name!r}")
+        self.put_count += 1
+        while self._getters:
+            proc = self._getters.popleft()
+            if not proc.alive:
+                continue
+            self.get_count += 1
+            self.sim._schedule(0.0, proc._resume, item)
+            return
+        self._items.append(item)
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    def get(self) -> "_GetRequest":
+        """Return a request to ``yield``; resolves to an item or None if
+        the store is closed and drained."""
+        return _GetRequest(self)
+
+    def try_get(self):
+        """Non-blocking pop: returns an item, or None if empty."""
+        if self._items:
+            self.get_count += 1
+            return self._items.popleft()
+        return None
+
+    def close(self) -> None:
+        """Mark the store closed; blocked getters resolve to ``None``."""
+        self._closed = True
+        while self._getters:
+            proc = self._getters.popleft()
+            if proc.alive:
+                self.sim._schedule(0.0, proc._resume, None)
+
+
+class _GetRequest:
+    __slots__ = ("store",)
+
+    def __init__(self, store: FifoStore):
+        self.store = store
+
+    def _subscribe(self, sim, process) -> None:
+        store = self.store
+        if store._items:
+            store.get_count += 1
+            sim._schedule(0.0, process._resume, store._items.popleft())
+        elif store._closed:
+            sim._schedule(0.0, process._resume, None)
+        else:
+            store._getters.append(process)

@@ -1,0 +1,98 @@
+"""The DES event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Optional
+
+from repro.des.errors import SimulationDeadlock
+from repro.des.process import Process
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Maintains simulated time (:attr:`now`, an arbitrary unit — the machine
+    model uses seconds) and a heap of ``(time, seq, callback, value)``
+    entries.  Simultaneous events run in scheduling order (``seq`` is a
+    monotone counter), so runs are exactly reproducible.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._live: set = set()
+        self.event_count: int = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, delay: float, callback, value=None) -> None:
+        """Schedule ``callback(value)`` at ``now + delay`` (kernel use)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, value))
+
+    def call_at(self, time: float, callback, value=None) -> None:
+        """Schedule ``callback(value)`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._schedule(time - self.now, callback, value)
+
+    def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
+        """Create a :class:`Process` from a generator and start it at the
+        current simulated time.  Daemon processes are excluded from the
+        deadlock check (they are expected to wait forever)."""
+        proc = Process(self, gen, name=name, daemon=daemon)
+        self._live.add(proc)
+        self._schedule(0.0, proc._resume, None)
+        return proc
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or simulated time reaches
+        ``until``.  Returns the final simulated time.
+
+        Raises :class:`SimulationDeadlock` if live processes remain when
+        the queue drains and no ``until`` bound was given, since that
+        always indicates a lost wakeup (e.g. a barrier that can never
+        trip).
+        """
+        while self._heap:
+            time, _seq, callback, value = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, _seq, callback, value))
+                self.now = until
+                return self.now
+            self.now = time
+            self.event_count += 1
+            callback(value)
+        if until is None:
+            stuck = [p.name for p in self._live if not p.daemon]
+            if stuck:
+                raise SimulationDeadlock(stuck)
+        if until is not None:
+            self.now = max(self.now, until) if not self._heap else self.now
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, callback, value = heapq.heappop(self._heap)
+        self.now = time
+        self.event_count += 1
+        callback(value)
+        return True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self.now:.6g}, pending={len(self._heap)}, "
+            f"live={len(self._live)})"
+        )

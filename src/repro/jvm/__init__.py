@@ -1,0 +1,42 @@
+"""A model of the JVM memory manager, as seen from a performance tool.
+
+The paper's memory-performance chapter (§V) is a study of what the Java
+virtual machine *prevents*: you cannot choose object addresses, you
+cannot verify packing because no tool exposes addresses, and ubiquitous
+short-lived wrapper objects pollute the caches.  This package models the
+relevant mechanisms:
+
+* :mod:`~repro.jvm.layout` — Java object layouts: headers, reference
+  fields, the ``Vector3`` wrapper class, and the "array of atom objects
+  holding references" structure MW used,
+* :mod:`~repro.jvm.heap` — a heap with selectable placement policy:
+  ``bump`` (idealised TLAB: rapid successive ``new()`` calls are
+  adjacent — what the paper's reordering attempt hoped for) and
+  ``fragmented`` (allocation into scattered free gaps — what it got),
+* :mod:`~repro.jvm.gc` — allocation statistics and a generational
+  garbage-collection model producing the "live allocated objects"
+  class histogram that VisualVM showed (>50 % of live memory in one
+  three-float convenience class).
+"""
+
+from repro.jvm.gc import AllocationRecorder, GcModel
+from repro.jvm.heap import Heap, PlacementPolicy
+from repro.jvm.layout import (
+    ATOM_LAYOUT,
+    VECTOR3_LAYOUT,
+    ObjectLayout,
+    array_header_bytes,
+    atom_object_graph,
+)
+
+__all__ = [
+    "ATOM_LAYOUT",
+    "AllocationRecorder",
+    "GcModel",
+    "Heap",
+    "ObjectLayout",
+    "PlacementPolicy",
+    "VECTOR3_LAYOUT",
+    "array_header_bytes",
+    "atom_object_graph",
+]

@@ -1,0 +1,105 @@
+"""Java object layouts.
+
+Sizes follow 64-bit HotSpot conventions of the paper's era (2009/2010,
+compressed oops off for simplicity): 16-byte object headers, 8-byte
+references, 8-byte alignment.  Molecular Workbench "stores data about
+each atom in an array of objects" — i.e. a reference array whose slots
+point at ``Atom`` objects, which in turn reference ``Vector3`` wrapper
+objects for position/velocity/acceleration.  Touching one atom's
+position therefore chases: array slot → Atom header+field → Vector3
+object, each a potential cache miss.  This module describes those
+shapes so the heap model can lay them out and the cache simulator can
+be fed realistic address streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+OBJECT_HEADER_BYTES = 16
+REFERENCE_BYTES = 8
+ALIGNMENT = 8
+
+
+def _align(n: int, a: int = ALIGNMENT) -> int:
+    return (n + a - 1) // a * a
+
+
+@dataclass(frozen=True)
+class ObjectLayout:
+    """Instance layout of one Java class."""
+
+    class_name: str
+    #: (field_name, byte size) for primitives; references are 8 bytes
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def instance_bytes(self) -> int:
+        return _align(
+            OBJECT_HEADER_BYTES + sum(size for _, size in self.fields)
+        )
+
+    def field_offset(self, name: str) -> int:
+        """Byte offset of a named field within the instance."""
+        off = OBJECT_HEADER_BYTES
+        for fname, size in self.fields:
+            if fname == name:
+                return off
+            off += size
+        raise KeyError(f"{self.class_name} has no field {name!r}")
+
+
+#: The "simple convenience class that wraps together three floating point
+#: values" of §V-B — "representing three dimensional forces, placements,
+#: and velocities".  3 doubles + header = 40 bytes each.
+VECTOR3_LAYOUT = ObjectLayout(
+    "org.mw.math.Vector3",
+    (("x", 8), ("y", 8), ("z", 8)),
+)
+
+#: An MW-style Atom object: scalar fields plus references to Vector3
+#: position/velocity/acceleration/force objects.
+ATOM_LAYOUT = ObjectLayout(
+    "org.mw.md.Atom",
+    (
+        ("mass", 8),
+        ("charge", 8),
+        ("sigma", 8),
+        ("epsilon", 8),
+        ("index", 4),
+        ("element", 4),
+        ("movable", 1),
+        ("_pad", 7),
+        ("position", REFERENCE_BYTES),
+        ("velocity", REFERENCE_BYTES),
+        ("acceleration", REFERENCE_BYTES),
+        ("force", REFERENCE_BYTES),
+    ),
+)
+
+
+def array_header_bytes() -> int:
+    """Header of a Java array (mark word + klass + length, aligned)."""
+    return _align(OBJECT_HEADER_BYTES + 4)
+
+
+def atom_object_graph(n_atoms: int) -> List[Tuple[str, int]]:
+    """Allocation sequence for an MW atom array, in program order.
+
+    Returns ``(class_name, size)`` tuples: the reference array first,
+    then per atom an Atom object followed by its four Vector3s — the
+    order rapid successive ``new()`` calls would issue them.
+    """
+    if n_atoms < 0:
+        raise ValueError(f"negative atom count: {n_atoms}")
+    seq: List[Tuple[str, int]] = [
+        ("org.mw.md.Atom[]", array_header_bytes() + REFERENCE_BYTES * n_atoms)
+    ]
+    for _ in range(n_atoms):
+        seq.append((ATOM_LAYOUT.class_name, ATOM_LAYOUT.instance_bytes))
+        for _ in range(4):
+            seq.append(
+                (VECTOR3_LAYOUT.class_name, VECTOR3_LAYOUT.instance_bytes)
+            )
+    return seq

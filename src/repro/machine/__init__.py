@@ -1,0 +1,65 @@
+"""Simulated multicore machine.
+
+The paper's performance findings hinge on hardware behaviour that a
+1-CPU GIL-bound Python host cannot exhibit: cache sharing between cores,
+finite DRAM bandwidth, OS thread migration, and affinity pinning.  This
+package models those mechanisms as a deterministic discrete-event
+simulation on top of :mod:`repro.des`:
+
+* :mod:`~repro.machine.topology` — hwloc-style topology trees, including
+  the paper's three test machines (Table II),
+* :mod:`~repro.machine.cache` — a trace-driven set-associative LRU cache
+  simulator (used for the data-packing study, §V-A),
+* :mod:`~repro.machine.cachestate` — an analytic region-warmth model used
+  during timing simulation,
+* :mod:`~repro.machine.memory` — per-socket finite-bandwidth memory
+  controllers,
+* :mod:`~repro.machine.cost` — work-cost descriptors that turn measured
+  work counts into simulated durations,
+* :mod:`~repro.machine.scheduler` — run queues, placement, migration at
+  wakeup, affinity masks (the ``sched_setaffinity`` analog),
+* :mod:`~repro.machine.machine` — the :class:`SimMachine` facade and
+  :class:`SimThread`.
+"""
+
+from repro.machine.background import inject_background_load
+from repro.machine.cache import CacheHierarchy, SetAssocCache
+from repro.machine.cachestate import LlcState, Region
+from repro.machine.cost import Traffic, WorkCost, compute_only, streaming
+from repro.machine.machine import SimMachine, SimThread
+from repro.machine.memory import MemoryController, MemorySystem
+from repro.machine.scheduler import Scheduler, SchedulerTrace
+from repro.machine.topology import (
+    CORE_I7_920,
+    MACHINES,
+    XEON_E5450_2S,
+    XEON_X7560_4S,
+    CacheLevel,
+    MachineSpec,
+    Topology,
+)
+
+__all__ = [
+    "CORE_I7_920",
+    "CacheHierarchy",
+    "CacheLevel",
+    "LlcState",
+    "MACHINES",
+    "MachineSpec",
+    "MemoryController",
+    "MemorySystem",
+    "Region",
+    "Scheduler",
+    "SchedulerTrace",
+    "SetAssocCache",
+    "SimMachine",
+    "SimThread",
+    "Topology",
+    "Traffic",
+    "WorkCost",
+    "XEON_E5450_2S",
+    "XEON_X7560_4S",
+    "compute_only",
+    "inject_background_load",
+    "streaming",
+]

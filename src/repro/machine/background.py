@@ -1,0 +1,84 @@
+"""Background system load for the simulated machine.
+
+Table III's low-core-count rows show OS scheduling *beating* pinning:
+"with low core counts, more flexibility regarding on which core to
+assign a thread results in better performance, as the OS can avoid
+cores loaded with other tasks."  For that to be reproducible the
+machine needs other tasks.  This module injects daemon-style background
+threads — periodic CPU bursts pinned to specific PUs (system services,
+GUI compositor, kernel threads) — so an OS-scheduled workload can route
+around them while a pinned workload sharing those PUs must timeshare.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.des import Timeout
+from repro.machine.cost import WorkCost
+from repro.machine.machine import SimMachine, SimThread
+
+
+def daemon_body(
+    machine: SimMachine,
+    busy_seconds: float,
+    idle_seconds: float,
+    duration: Optional[float] = None,
+):
+    """Generator body: burst/sleep forever (or until ``duration``)."""
+    cycles = busy_seconds * machine.spec.freq_hz
+    while True:
+        if duration is not None and machine.now >= duration:
+            return
+        yield WorkCost(cycles=cycles, label="background")
+        yield Timeout(idle_seconds)
+
+
+def inject_background_load(
+    machine: SimMachine,
+    pus: Iterable[int],
+    *,
+    utilization: float = 0.25,
+    period: float = 0.004,
+    duration: Optional[float] = None,
+    name_prefix: str = "daemon",
+) -> List[SimThread]:
+    """Pin one periodic background task to each PU in ``pus``.
+
+    Each task is busy ``utilization`` of every ``period`` seconds.
+    Returns the created threads.
+    """
+    if not 0.0 < utilization < 1.0:
+        raise ValueError(f"utilization must be in (0,1): {utilization}")
+    busy = period * utilization
+    idle = period - busy
+    threads = []
+    for pu in pus:
+        body = daemon_body(machine, busy, idle, duration)
+        threads.append(
+            machine.thread(body, f"{name_prefix}{pu}", affinity=[pu])
+        )
+    return threads
+
+
+def inject_mobile_load(
+    machine: SimMachine,
+    n_tasks: int,
+    *,
+    utilization: float = 0.3,
+    period: float = 0.004,
+    duration: Optional[float] = None,
+    name_prefix: str = "svc",
+) -> List[SimThread]:
+    """OS-scheduled background services (no affinity): they drift away
+    from busy cores, but their wakeups keep perturbing placement — the
+    "cores loaded with other tasks" of Table III."""
+    if not 0.0 < utilization < 1.0:
+        raise ValueError(f"utilization must be in (0,1): {utilization}")
+    busy = period * utilization
+    idle = period - busy
+    threads = []
+    for i in range(n_tasks):
+        body = daemon_body(machine, busy, idle, duration)
+        threads.append(machine.thread(body, f"{name_prefix}{i}"))
+    return threads

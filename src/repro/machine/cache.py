@@ -1,0 +1,177 @@
+"""Trace-driven set-associative cache simulation.
+
+This is the "hardware performance monitoring unit" of the reproduction:
+the data-packing study (§V-A) measured mid-level and last-level cache
+miss rates with VTune to decide whether object reordering had worked.
+Here we can do what the paper could not — feed the *actual* address
+stream produced by the heap model and the MD engine's access pattern
+through a faithful cache model and read exact miss counts.
+
+:class:`SetAssocCache` is a classic set-associative LRU cache; LRU
+bookkeeping is kept per set in a plain list ordered by recency (small
+associativity makes the list operations cheap).  :class:`CacheHierarchy`
+chains levels with inclusive semantics: an access missing L1 proceeds to
+L2, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.topology import CacheLevel
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+class SetAssocCache:
+    """A set-associative cache with true LRU replacement.
+
+    Addresses are byte addresses; the cache operates on aligned lines.
+    ``access`` returns True on hit.  The same instance may be shared by
+    several upstream caches (e.g. an LLC below several L2s).
+    """
+
+    def __init__(self, level: CacheLevel, name: str = ""):
+        self.level = level
+        self.name = name or f"L{level.level}"
+        self._n_sets = level.n_sets
+        self._assoc = level.associativity
+        self._line_shift = level.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != level.line_bytes:
+            raise ValueError("line size must be a power of two")
+        # per-set list of tags, most-recently-used last
+        self._sets: List[List[int]] = [[] for _ in range(self._n_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        return line % self._n_sets, line // self._n_sets
+
+    def access(self, addr: int) -> bool:
+        """Touch one byte address; returns True on hit."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self._assoc:
+                ways.pop(0)
+                self.stats.evictions += 1
+            ways.append(tag)
+            return False
+        self.stats.hits += 1
+        ways.append(tag)
+        return True
+
+    def contains(self, addr: int) -> bool:
+        """Check residency without updating LRU or counters."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def flush(self) -> None:
+        """Drop every cached line (a cold restart)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(w) for w in self._sets)
+
+    def run_trace(self, addrs: Iterable[int]) -> CacheStats:
+        """Feed a full address trace; returns the stats object."""
+        access = self.access
+        for a in addrs:
+            access(a)
+        return self.stats
+
+
+class CacheHierarchy:
+    """An inclusive L1/L2/LLC chain for one core.
+
+    ``access`` walks down on miss, returning the deepest level that hit
+    (1-based) or 0 for a DRAM access.  The LLC instance may be shared:
+    build it once and pass it to several hierarchies.
+    """
+
+    def __init__(
+        self,
+        levels: Tuple[CacheLevel, ...],
+        shared_llc: Optional[SetAssocCache] = None,
+        name: str = "",
+    ):
+        self.name = name
+        self.caches: List[SetAssocCache] = []
+        for i, lvl in enumerate(levels):
+            is_last = i == len(levels) - 1
+            if is_last and shared_llc is not None:
+                if shared_llc.level is not lvl and shared_llc.level != lvl:
+                    raise ValueError("shared LLC spec mismatch")
+                self.caches.append(shared_llc)
+            else:
+                self.caches.append(
+                    SetAssocCache(lvl, name=f"{name}.L{lvl.level}")
+                )
+
+    def access(self, addr: int) -> int:
+        """Access an address; returns the level that hit (0 = memory)."""
+        for cache in self.caches:
+            if cache.access(addr):
+                return cache.level.level
+        return 0
+
+    def run_trace(self, addrs: Iterable[int]) -> Dict[str, CacheStats]:
+        """Feed a full address trace through every level."""
+        for a in addrs:
+            self.access(a)
+        return self.stats()
+
+    def stats(self) -> Dict[str, CacheStats]:
+        """Per-level hit/miss counters, keyed "L1"/"L2"/...."""
+        return {f"L{c.level.level}": c.stats for c in self.caches}
+
+    def flush(self) -> None:
+        """Cold-restart every level of the hierarchy."""
+        for c in self.caches:
+            c.flush()
+
+    def miss_rates(self) -> Dict[str, float]:
+        """Per-level miss rates — what VTune's HW counters reported."""
+        return {
+            f"L{c.level.level}": c.stats.miss_rate for c in self.caches
+        }
+
+
+def trace_from_accesses(
+    base_addrs: np.ndarray, order: np.ndarray, record_bytes: int, fields: int = 1
+) -> np.ndarray:
+    """Expand an object-access sequence into a byte-address trace.
+
+    ``base_addrs[i]`` is the heap address of object ``i``;
+    ``order`` is the sequence of object indices actually touched;
+    each touch reads ``fields`` words spread over ``record_bytes``.
+    """
+    base = base_addrs[order]
+    if fields == 1:
+        return base
+    offsets = np.linspace(0, max(record_bytes - 8, 0), fields).astype(np.int64)
+    return (base[:, None] + offsets[None, :]).ravel()

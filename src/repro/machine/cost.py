@@ -1,0 +1,119 @@
+"""Work-cost descriptors: what one task costs the machine.
+
+The parallel MD engine executes its physics for real (NumPy) and counts
+what it did — pairs examined, bond terms evaluated, bytes gathered.
+Those counts are converted by :mod:`repro.core.costmodel` into
+:class:`WorkCost` objects, which the simulated machine turns into time.
+
+A :class:`WorkCost` has an arithmetic part (``cycles``) and a memory
+part (reads/writes against named :class:`~repro.machine.cachestate.Region`
+blocks).  The machine applies a roofline rule: a burst's duration is the
+*maximum* of its compute time and its memory time, since real cores
+overlap outstanding misses with arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.machine.cachestate import Region
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """Bytes moved against one region by one task."""
+
+    region: Region
+    n_bytes: float
+    write: bool = False
+
+    def __post_init__(self):
+        if self.n_bytes < 0:
+            raise ValueError(f"negative traffic: {self.n_bytes}")
+
+
+@dataclass(frozen=True)
+class WorkCost:
+    """The machine-level cost of one task.
+
+    Parameters
+    ----------
+    cycles:
+        Arithmetic work in core clock cycles.
+    reads / writes:
+        Memory traffic as ``Traffic`` tuples.  Reads check cache warmth;
+        writes install into the executing core's LLC and move the
+        region's *home* to that socket (later remote readers pay the
+        cross-socket penalty).
+    label:
+        Phase/debug tag carried into scheduler traces.
+    """
+
+    cycles: float = 0.0
+    reads: Tuple[Traffic, ...] = ()
+    writes: Tuple[Traffic, ...] = ()
+    label: str = ""
+
+    def __post_init__(self):
+        if self.cycles < 0:
+            raise ValueError(f"negative cycles: {self.cycles}")
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(t.n_bytes for t in self.reads)
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(t.n_bytes for t in self.writes)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    def arithmetic_intensity(self) -> float:
+        """Cycles per byte — the roofline knob.  inf for pure compute."""
+        b = self.total_bytes
+        return self.cycles / b if b else float("inf")
+
+    def scaled(self, factor: float) -> "WorkCost":
+        """Uniformly scale compute and traffic (used by instrumentation
+        overhead models, e.g. VisualVM's ~4x inflation)."""
+        if factor < 0:
+            raise ValueError(f"negative scale: {factor}")
+        return WorkCost(
+            cycles=self.cycles * factor,
+            reads=tuple(
+                Traffic(t.region, t.n_bytes * factor, t.write)
+                for t in self.reads
+            ),
+            writes=tuple(
+                Traffic(t.region, t.n_bytes * factor, t.write)
+                for t in self.writes
+            ),
+            label=self.label,
+        )
+
+    def __add__(self, other: "WorkCost") -> "WorkCost":
+        if not isinstance(other, WorkCost):
+            return NotImplemented
+        return WorkCost(
+            cycles=self.cycles + other.cycles,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            label=self.label or other.label,
+        )
+
+
+def compute_only(cycles: float, label: str = "") -> WorkCost:
+    """A pure-arithmetic cost (no memory traffic beyond caches)."""
+    return WorkCost(cycles=cycles, label=label)
+
+
+def streaming(
+    cycles: float, region: Region, n_bytes: float, label: str = ""
+) -> WorkCost:
+    """A cost that reads ``n_bytes`` of one region linearly."""
+    return WorkCost(
+        cycles=cycles, reads=(Traffic(region, n_bytes),), label=label
+    )

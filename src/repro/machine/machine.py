@@ -1,0 +1,286 @@
+"""The SimMachine facade and SimThread.
+
+:class:`SimMachine` ties the pieces together: a DES simulator, the
+topology, per-LLC warmth states, per-socket memory controllers, and the
+OS scheduler.  :class:`SimThread` is the user-facing thread abstraction:
+its *body* is a generator that yields
+
+* :class:`~repro.machine.cost.WorkCost` — execute that much work on a
+  core (placed by the scheduler; this is where time passes), or
+* any DES request (lock acquire, event wait, timeout) — the thread
+  *parks*: it holds no core while blocked, and its next burst placement
+  may migrate it, exactly the synchronization-driven migration of §V-B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.des import Event, Lock, Simulator
+from repro.machine.cachestate import LlcState
+from repro.machine.cost import WorkCost
+from repro.machine.memory import MemorySystem
+from repro.machine.scheduler import Scheduler
+from repro.machine.topology import MachineSpec, Topology
+
+
+class SimThread:
+    """A simulated software thread.
+
+    Parameters
+    ----------
+    machine:
+        The owning :class:`SimMachine`.
+    body:
+        Generator yielding :class:`WorkCost` and DES requests.
+    name:
+        Trace name.
+    affinity:
+        Optional iterable of PU ids (the ``sched_setaffinity`` mask).
+        None means all PUs (OS-scheduled).
+    """
+
+    def __init__(
+        self,
+        machine: "SimMachine",
+        body,
+        name: str,
+        affinity: Optional[Iterable[int]] = None,
+    ):
+        self.machine = machine
+        self.name = name
+        self.set_affinity(affinity)
+        self.last_pu: Optional[int] = None
+        self.last_llc: Optional[int] = None
+        self.current_pu: Optional[int] = None
+        self.burst_remaining: float = 0.0
+        self.pending_cost: Optional[WorkCost] = None
+        self.pending_migration = False
+        self.hot_regions: tuple = ()
+        self._burst_done: Optional[Event] = None
+        self._streaming = False
+        #: wall seconds spent executing on a core
+        self.cpu_time = 0.0
+        #: number of bursts completed
+        self.burst_count = 0
+        self.proc = machine.sim.spawn(self._drive(body), name=name)
+
+    def set_affinity(self, affinity: Optional[Iterable[int]]) -> None:
+        """Install a new affinity mask (takes effect at next placement)."""
+        if affinity is None:
+            mask = self.machine.topology.mask_all()
+        else:
+            mask = frozenset(int(p) for p in affinity)
+            bad = mask - set(self.machine.topology.pus())
+            if bad:
+                raise ValueError(f"affinity references unknown PUs: {sorted(bad)}")
+            if not mask:
+                raise ValueError("empty affinity mask")
+        self.affinity = mask
+        self.affinity_list = sorted(mask)
+
+    @property
+    def terminated(self) -> Event:
+        return self.proc.terminated
+
+    def _drive(self, body):
+        value = None
+        error: Optional[BaseException] = None
+        while True:
+            try:
+                item = body.throw(error) if error is not None else body.send(value)
+            except StopIteration as stop:
+                return stop.value
+            error = None
+            if isinstance(item, WorkCost):
+                self.pending_cost = item
+                self.burst_remaining = 0.0
+                self._burst_done = Event(name=f"{self.name}.burst")
+                self.machine.scheduler.submit(self)
+                try:
+                    yield self._burst_done
+                    value = None
+                except BaseException as exc:  # interrupt while running
+                    error = exc
+            else:
+                try:
+                    value = yield item
+                except BaseException as exc:
+                    error = exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimThread({self.name!r}, cpu_time={self.cpu_time:.4f})"
+
+
+class SimMachine:
+    """A deterministic simulated multicore machine.
+
+    Example
+    -------
+    >>> from repro.machine import SimMachine, CORE_I7_920, WorkCost
+    >>> m = SimMachine(CORE_I7_920)
+    >>> def body():
+    ...     yield WorkCost(cycles=2.66e9)   # one second of arithmetic
+    >>> t = m.thread(body(), "worker")
+    >>> m.run()
+    >>> round(m.now, 2)
+    1.0
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        *,
+        seed: int = 0,
+        quantum: float = 0.002,
+        migrate_prob: float = 0.25,
+        smt_throughput: float = 0.62,
+        overlap: float = 0.35,
+        writeback_fraction: float = 0.5,
+    ):
+        self.spec = spec
+        self.sim = Simulator()
+        self.topology = Topology(spec)
+        self.llc_states: List[LlcState] = [
+            LlcState(i, spec.llc.size_bytes)
+            for i in range(self.topology.n_llc_groups)
+        ]
+        self.memory = MemorySystem(spec, self.topology)
+        #: region name -> socket that last wrote it (home for remote reads)
+        self.region_home: Dict[str, int] = {}
+        self.overlap = overlap
+        self.writeback_fraction = writeback_fraction
+        self.scheduler = Scheduler(
+            self,
+            quantum=quantum,
+            migrate_prob=migrate_prob,
+            smt_throughput=smt_throughput,
+            seed=seed,
+        )
+        self.threads: List[SimThread] = []
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation; see :meth:`Simulator.run`."""
+        return self.sim.run(until=until)
+
+    # -- construction --------------------------------------------------------
+
+    def thread(
+        self, body, name: str, affinity: Optional[Iterable[int]] = None
+    ) -> SimThread:
+        """Create (and start) a simulated thread from a generator body."""
+        t = SimThread(self, body, name, affinity)
+        self.threads.append(t)
+        return t
+
+    def lock(self, name: str = "") -> Lock:
+        """A FIFO mutex living in this machine's simulated time."""
+        return Lock(self.sim, name=name)
+
+    def llc_for_pu(self, pu: int) -> LlcState:
+        """The warmth state of the LLC serving a PU."""
+        return self.llc_states[self.topology.llc_of(pu)]
+
+    # -- cost evaluation -------------------------------------------------------
+
+    def burst_duration(self, pu: int, cost: WorkCost) -> float:
+        """Seconds the given work takes on ``pu`` right now.
+
+        Roofline composition: compute and memory streams overlap, so the
+        duration is ``max(compute, memory) + overlap * min(...)`` — the
+        ``overlap`` parameter (< 1) models imperfect overlap.
+        """
+        spec = self.spec
+        compute = cost.cycles / spec.freq_hz
+        llc = self.llc_for_pu(pu)
+        ctrl = self.memory.controller_for_pu(pu)
+        socket = self.topology.socket_of(pu)
+        mem = 0.0
+        for t in cost.reads:
+            miss = llc.touch(t.region, t.n_bytes)
+            home = self.region_home.get(t.region.name)
+            remote = (
+                t.region.shared and home is not None and home != socket
+            )
+            mem += ctrl.transfer_time(miss, remote=remote, extra_streams=1)
+        for t in cost.writes:
+            llc.install(t.region, t.n_bytes)
+            self.region_home[t.region.name] = socket
+            # coherence: writing invalidates every other cache's copy,
+            # so a thread that migrates away finds its data gone
+            for other in self.llc_states:
+                if other is not llc:
+                    other.evict_region(t.region)
+            mem += ctrl.transfer_time(
+                t.n_bytes * self.writeback_fraction, extra_streams=1
+            )
+        lo, hi = sorted((compute, mem))
+        return hi + self.overlap * lo
+
+    def migration_penalty(self, thread: SimThread, pu: int) -> float:
+        """Cold-cache cost of arriving on a PU under a different LLC.
+
+        The thread's recently used regions are not resident in the new
+        LLC; re-fetching the touched bytes is charged up front (and warms
+        the new cache)."""
+        if not thread.hot_regions:
+            return 0.0
+        llc = self.llc_for_pu(pu)
+        ctrl = self.memory.controller_for_pu(pu)
+        penalty = 0.0
+        for region, n_bytes in thread.hot_regions:
+            miss = llc.touch(region, n_bytes)
+            penalty += ctrl.transfer_time(miss, extra_streams=1)
+        return penalty
+
+    # -- scheduler callbacks ---------------------------------------------------
+
+    def on_dispatch(self, thread: SimThread, pu: int) -> None:
+        """Scheduler callback: price a burst as it lands on a PU."""
+        cost = thread.pending_cost
+        fresh = thread.burst_remaining <= 1e-12 and cost is not None
+        if fresh:
+            duration = self.burst_duration(pu, cost)
+            duration += self.scheduler.ctx_switch
+            thread.burst_remaining = duration
+            thread.hot_regions = tuple(
+                (t.region, t.n_bytes) for t in cost.reads
+            )
+        # cold-cache cost of arriving under a different LLC (applies to
+        # both fresh bursts after a park and resumed preempted bursts;
+        # for fresh bursts burst_duration() already touched the new LLC,
+        # so only charge the explicit penalty on resume)
+        if thread.pending_migration:
+            if (
+                not fresh
+                and thread.last_llc is not None
+                and self.topology.llc_of(pu) != thread.last_llc
+            ):
+                thread.burst_remaining += self.migration_penalty(thread, pu)
+            thread.pending_migration = False
+        if cost is not None and cost.total_bytes > 0:
+            self.memory.controller_for_pu(pu).begin_stream()
+            thread._streaming = True
+
+    def on_burst_pause(self, thread: SimThread, pu: int) -> None:
+        """Scheduler callback: the burst was preempted mid-flight."""
+        if thread._streaming:
+            self.memory.controller_for_pu(pu).end_stream()
+            thread._streaming = False
+
+    def on_burst_end(self, thread: SimThread, pu: int) -> None:
+        """Scheduler callback: the burst completed."""
+        if thread._streaming:
+            self.memory.controller_for_pu(pu).end_stream()
+            thread._streaming = False
+        thread.burst_count += 1
+        thread.pending_cost = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimMachine({self.spec.name!r}, now={self.now:.4f})"

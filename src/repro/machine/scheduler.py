@@ -1,0 +1,238 @@
+"""OS scheduler model: run queues, placement, migration, affinity.
+
+The paper observed (§V-B, Fig. 2) that "the Java runtime, in concert
+with the underlying operating system, can migrate a thread between
+various cores ... particularly frequent when threads encounter
+synchronization operations", and that without pinning a worker thread
+visits every core of a quad-core within a second.  This scheduler
+reproduces that behaviour:
+
+* each PU (hardware thread) has a FIFO run queue served by a dispatcher
+  process;
+* when a thread becomes runnable (new burst, or wakeup after a park at a
+  lock/barrier), the scheduler *places* it: it prefers the last PU
+  ("some degree of affinity with the previously assigned core") but
+  consults load and, with probability ``migrate_prob``, re-places the
+  thread by load alone — modelling timer interrupts, daemons and the
+  kernel's load balancer;
+* an affinity mask (the ``sched_setaffinity`` analog used through JNI in
+  §V-B) restricts the candidate PU set;
+* quantum expiry preempts a thread when other work waits on its queue;
+* running on a PU whose SMT sibling is busy slows both (HyperThreading).
+
+All randomness comes from one seeded generator, so traces are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.des import FifoStore, Timeout
+
+
+@dataclass
+class SchedulerTrace:
+    """Ground-truth record of scheduling decisions.
+
+    ``residency[thread][pu]`` accumulates seconds executed on each PU —
+    the data behind the paper's Fig. 2 heat map.  ``events`` is the raw
+    ordered log of (time, thread, pu, what).
+    """
+
+    events: List[Tuple[float, str, int, str]] = field(default_factory=list)
+    residency: Dict[str, Dict[int, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float))
+    )
+    migrations: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    dispatches: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    record_events: bool = True
+
+    def record(self, time: float, thread: str, pu: int, what: str) -> None:
+        """Append one raw scheduling event."""
+        if self.record_events:
+            self.events.append((time, thread, pu, what))
+
+    def add_residency(self, thread: str, pu: int, dt: float) -> None:
+        """Accumulate executed seconds for (thread, pu)."""
+        self.residency[thread][pu] += dt
+
+    def cores_visited(self, thread: str) -> int:
+        """How many distinct PUs the thread has executed on."""
+        return sum(1 for v in self.residency[thread].values() if v > 0)
+
+    def residency_matrix(self, threads: List[str], n_pus: int):
+        """Rows = threads, cols = PUs, values = seconds executed there."""
+        import numpy as np
+
+        mat = np.zeros((len(threads), n_pus))
+        for i, t in enumerate(threads):
+            for pu, sec in self.residency[t].items():
+                mat[i, pu] = sec
+        return mat
+
+
+class Scheduler:
+    """Places runnable threads on PUs and time-slices them."""
+
+    def __init__(
+        self,
+        machine,
+        quantum: float = 0.002,
+        migrate_prob: float = 0.25,
+        rebalance_prob: float = 0.015,
+        smt_throughput: float = 0.62,
+        ctx_switch: float = 1e-6,
+        seed: int = 0,
+    ):
+        self.machine = machine
+        self.sim = machine.sim
+        self.topology = machine.topology
+        self.quantum = quantum
+        self.migrate_prob = migrate_prob
+        self.rebalance_prob = rebalance_prob
+        self.smt_throughput = smt_throughput
+        self.ctx_switch = ctx_switch
+        self._rng = random.Random(seed)
+        n = self.topology.spec.n_pus
+        self.runqueues: List[FifoStore] = [
+            FifoStore(self.sim, name=f"rq{p}") for p in range(n)
+        ]
+        self._running: List[Optional[object]] = [None] * n
+        # tasks submitted to a PU but not yet marked running: a put()
+        # hands the thread straight to a blocked dispatcher, leaving it
+        # invisible to len(runqueue); without this counter simultaneous
+        # placements pile onto one PU while others idle
+        self._pending: List[int] = [0] * n
+        self.trace = SchedulerTrace()
+        for p in range(n):
+            self.sim.spawn(self._dispatch(p), name=f"cpu{p}", daemon=True)
+
+    # -- placement ---------------------------------------------------------
+
+    def load(self, pu: int) -> float:
+        """Instantaneous load metric used for placement decisions."""
+        l = (
+            len(self.runqueues[pu])
+            + self._pending[pu]
+            + (1.0 if self._running[pu] else 0.0)
+        )
+        for sib in self.topology.smt_siblings(pu):
+            if sib != pu and (
+                self._running[sib] is not None or self._pending[sib]
+            ):
+                l += 0.45  # a busy HT sibling makes this PU less attractive
+        return l
+
+    def choose_pu(self, thread) -> int:
+        """Pick a PU within the thread's affinity mask.
+
+        Policy mirrors the paper's description: "the scheduler will place
+        it on a core based on the system load and some degree of affinity
+        with the previously assigned core".  Like CFS scheduling
+        domains, balancing prefers PUs under the thread's current LLC;
+        it spills to other cache domains only when the local domain is
+        distinctly busier.
+        """
+        aff = thread.affinity_list
+        if len(aff) == 1:
+            return aff[0]
+        last = thread.last_pu
+        loads = {p: self.load(p) for p in aff}
+        roll = self._rng.random()
+        wander = roll < self.migrate_prob
+        # a rarer event models the kernel's idle balancer pulling the
+        # thread to any socket; ordinary wander stays within the domain
+        rebalance = roll < self.rebalance_prob
+        if last in loads and loads[last] == 0 and not wander:
+            return last
+        pool = aff
+        if last is not None and not rebalance:
+            # CFS-style domain preference: stay under the current LLC
+            # unless the local domain is distinctly busier; a wander
+            # event models the idle balancer pulling the thread anywhere
+            local = [
+                p for p in aff
+                if self.topology.llc_of(p) == self.topology.llc_of(last)
+            ]
+            if local:
+                local_best = min(loads[p] for p in local)
+                global_best = min(loads.values())
+                if local_best <= global_best + 0.25:
+                    pool = local
+        best = min(loads[p] for p in pool)
+        cands = [p for p in pool if loads[p] == best]
+        if last in cands and not wander:
+            return last
+        return self._rng.choice(cands)
+
+    def submit(self, thread) -> int:
+        """Enqueue a runnable thread; returns the chosen PU."""
+        pu = self.choose_pu(thread)
+        if thread.last_pu is not None and pu != thread.last_pu:
+            thread.pending_migration = True
+            self.trace.migrations[thread.name] += 1
+            self.trace.record(self.sim.now, thread.name, pu, "migrate")
+        self._pending[pu] += 1
+        self.trace.record(self.sim.now, thread.name, pu, "ready")
+        self.runqueues[pu].put(thread)
+        return pu
+
+    # -- dispatch loop -------------------------------------------------------
+
+    def _smt_factor(self, pu: int) -> float:
+        """Execution-rate multiplier given SMT sibling activity."""
+        for sib in self.topology.smt_siblings(pu):
+            if sib != pu and self._running[sib] is not None:
+                return self.smt_throughput
+        return 1.0
+
+    def _dispatch(self, pu: int):
+        """Daemon process serving one PU's run queue."""
+        sim = self.sim
+        rq = self.runqueues[pu]
+        while True:
+            thread = yield rq.get()
+            if thread is None:
+                return
+            self._pending[pu] -= 1
+            self._running[pu] = thread
+            self.trace.dispatches[thread.name] += 1
+            label = getattr(thread.pending_cost, "label", "") or ""
+            self.trace.record(sim.now, thread.name, pu, f"run:{label}")
+            self.machine.on_dispatch(thread, pu)
+            thread.current_pu = pu
+            preempted = False
+            while thread.burst_remaining > 1e-12:
+                factor = self._smt_factor(pu)
+                slice_wall = min(
+                    self.quantum, thread.burst_remaining / factor
+                )
+                t0 = sim.now
+                yield Timeout(slice_wall)
+                dt = sim.now - t0
+                thread.burst_remaining -= dt * factor
+                thread.cpu_time += dt
+                self.trace.add_residency(thread.name, pu, dt)
+                if thread.burst_remaining > 1e-12 and len(rq) > 0:
+                    preempted = True
+                    break
+            thread.current_pu = None
+            thread.last_pu = pu
+            thread.last_llc = self.topology.llc_of(pu)
+            self._running[pu] = None
+            if preempted:
+                self.trace.record(sim.now, thread.name, pu, "preempt")
+                self.machine.on_burst_pause(thread, pu)
+                self.submit(thread)
+            else:
+                self.trace.record(sim.now, thread.name, pu, "done")
+                self.machine.on_burst_end(thread, pu)
+                thread._burst_done.fire(sim=self.sim)

@@ -1,0 +1,369 @@
+"""Hardware topology descriptions (hwloc-like).
+
+The paper (§V-C) calls for "a tool or API that aided in deciphering the
+core and cache topology of the underlying hardware", citing hwloc.  This
+module provides exactly that for the simulated machines: a declarative
+:class:`MachineSpec`, an expanded :class:`Topology` with queries
+(which PUs share an LLC, which PUs are SMT siblings, NUMA distances),
+and an ASCII renderer in the style of ``lstopo``.
+
+The three predefined machines reproduce Table II of the paper:
+
+========================  =========  ====  =====  ======  =================
+Machine                   P x C      L1d   L2     L3      Memory
+========================  =========  ====  =====  ======  =================
+Intel Core i7 920         1 x 4      32kB  256kB  1 x (8MB/4 cores)   6 GB
+Intel Xeon E5450 (x2)     2 x 4      32kB  256kB* 4 x (6MB/2 cores)  16 GB
+Intel Xeon X7560 (x4)     4 x 8      32kB  256kB  4 x (24MB/8 cores) 192 GB
+========================  =========  ====  =====  ======  =================
+
+(*) the paper's Table II lists 256 kB L2 for all three machines; we keep
+its numbers verbatim even where real E5450 hardware differed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    ``shared_by`` is the number of *cores* that share one instance of
+    this cache (1 = private per core).
+    """
+
+    level: int
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    latency_cycles: int = 4
+    shared_by: int = 1
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of line size")
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines % self.associativity:
+            raise ValueError(
+                f"L{self.level}: {n_lines} lines not divisible by "
+                f"associativity {self.associativity}"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Declarative description of a test machine.
+
+    ``llc_group_size`` is the number of cores sharing one last-level
+    cache; it must divide ``cores_per_socket``.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt: int  # hardware threads per core (1 = no HyperThreading)
+    freq_hz: float  # core clock
+    caches: Tuple[CacheLevel, ...]  # ordered L1..LLC
+    dram_bytes: int
+    #: peak DRAM bandwidth of one socket's memory controller (bytes/s)
+    socket_bw: float
+    #: max bandwidth a single core can draw (bytes/s)
+    core_bw: float
+    #: DRAM access latency in ns (local)
+    dram_latency_ns: float = 65.0
+    #: multiplier for a remote-socket memory access
+    remote_penalty: float = 1.7
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.smt < 1:
+            raise ValueError("sockets, cores, smt must be >= 1")
+        llc = self.caches[-1]
+        if self.cores_per_socket % llc.shared_by:
+            raise ValueError(
+                f"LLC shared_by={llc.shared_by} does not divide "
+                f"cores_per_socket={self.cores_per_socket}"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def n_pus(self) -> int:
+        """Number of schedulable processing units (virtual processors)."""
+        return self.n_cores * self.smt
+
+    @property
+    def llc(self) -> CacheLevel:
+        return self.caches[-1]
+
+    @property
+    def llc_groups_per_socket(self) -> int:
+        return self.cores_per_socket // self.llc.shared_by
+
+
+class Topology:
+    """Expanded machine topology with placement queries.
+
+    Numbering follows the common Linux convention: PU ids enumerate
+    SMT-sibling sets core by core, socket by socket; PU ``p`` lives on
+    core ``p // smt``, and core ``c`` lives on socket
+    ``c // cores_per_socket``.
+    """
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        smt = spec.smt
+        self._core_of_pu = [p // smt for p in range(spec.n_pus)]
+        self._socket_of_core = [
+            c // spec.cores_per_socket for c in range(spec.n_cores)
+        ]
+        shared = spec.llc.shared_by
+        self._llc_of_core = []
+        for c in range(spec.n_cores):
+            sock = self._socket_of_core[c]
+            within = c - sock * spec.cores_per_socket
+            self._llc_of_core.append(
+                sock * spec.llc_groups_per_socket + within // shared
+            )
+        self.n_llc_groups = spec.sockets * spec.llc_groups_per_socket
+
+    # -- id maps ---------------------------------------------------------
+
+    def pus(self) -> range:
+        """All processing-unit (hardware thread) ids."""
+        return range(self.spec.n_pus)
+
+    def cores(self) -> range:
+        """All physical core ids."""
+        return range(self.spec.n_cores)
+
+    def core_of(self, pu: int) -> int:
+        """Physical core hosting a PU."""
+        return self._core_of_pu[pu]
+
+    def socket_of(self, pu: int) -> int:
+        """Socket (processor package) hosting a PU."""
+        return self._socket_of_core[self._core_of_pu[pu]]
+
+    def llc_of(self, pu: int) -> int:
+        """Id of the last-level-cache group serving this PU."""
+        return self._llc_of_core[self._core_of_pu[pu]]
+
+    def pus_of_core(self, core: int) -> List[int]:
+        """The SMT sibling PUs of one physical core."""
+        smt = self.spec.smt
+        return list(range(core * smt, (core + 1) * smt))
+
+    def pus_of_socket(self, socket: int) -> List[int]:
+        """Every PU on one socket."""
+        return [p for p in self.pus() if self.socket_of(p) == socket]
+
+    def pus_of_llc(self, llc: int) -> List[int]:
+        """Every PU served by one last-level-cache group."""
+        return [p for p in self.pus() if self.llc_of(p) == llc]
+
+    def smt_siblings(self, pu: int) -> List[int]:
+        """All PUs on the same physical core (including ``pu``)."""
+        return self.pus_of_core(self.core_of(pu))
+
+    # -- relations ---------------------------------------------------------
+
+    def same_core(self, a: int, b: int) -> bool:
+        """True when two PUs are SMT siblings on one core."""
+        return self.core_of(a) == self.core_of(b)
+
+    def shares_llc(self, a: int, b: int) -> bool:
+        """True when two PUs sit under the same last-level cache."""
+        return self.llc_of(a) == self.llc_of(b)
+
+    def same_socket(self, a: int, b: int) -> bool:
+        """True when two PUs share a processor package."""
+        return self.socket_of(a) == self.socket_of(b)
+
+    def distance(self, a: int, b: int) -> int:
+        """Communication distance class between two PUs.
+
+        0 same core, 1 same LLC group, 2 same socket, 3 cross-socket.
+        """
+        if self.same_core(a, b):
+            return 0
+        if self.shares_llc(a, b):
+            return 1
+        if self.same_socket(a, b):
+            return 2
+        return 3
+
+    # -- affinity mask helpers (Table III topologies) ----------------------
+
+    def mask_all(self) -> frozenset:
+        """The unrestricted affinity mask (every PU)."""
+        return frozenset(self.pus())
+
+    def mask_one_core_per_socket(self, n: int) -> frozenset:
+        """First PU of the first core of each of ``n`` sockets."""
+        if n > self.spec.sockets:
+            raise ValueError(
+                f"requested {n} sockets, machine has {self.spec.sockets}"
+            )
+        return frozenset(
+            self.pus_of_socket(s)[0] for s in range(n)
+        )
+
+    def mask_cores_on_one_socket(self, n: int, socket: int = 0) -> frozenset:
+        """First PU of each of ``n`` distinct cores on one socket."""
+        cores = [
+            c
+            for c in self.cores()
+            if self._socket_of_core[c] == socket
+        ][:n]
+        if len(cores) < n:
+            raise ValueError(
+                f"socket {socket} has only {len(cores)} cores, need {n}"
+            )
+        return frozenset(self.pus_of_core(c)[0] for c in cores)
+
+    def mask_n_cores_per_socket(self, per_socket: int) -> frozenset:
+        """First PU of ``per_socket`` cores on every socket."""
+        mask = set()
+        for s in range(self.spec.sockets):
+            cores = [
+                c
+                for c in self.cores()
+                if self._socket_of_core[c] == s
+            ][:per_socket]
+            if len(cores) < per_socket:
+                raise ValueError(
+                    f"socket {s} has only {len(cores)} cores, "
+                    f"need {per_socket}"
+                )
+            mask.update(self.pus_of_core(c)[0] for c in cores)
+        return frozenset(mask)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """ASCII rendering in the spirit of ``lstopo`` — the topology
+        discovery aid §V-C asks for."""
+        spec = self.spec
+        out = [
+            f"Machine {spec.name} "
+            f"({spec.dram_bytes // 2**30} GB, "
+            f"{spec.sockets}P x {spec.cores_per_socket}C x {spec.smt}T)"
+        ]
+        for s in range(spec.sockets):
+            out.append(f"  Socket P#{s}")
+            seen_llc = []
+            for c in self.cores():
+                if self._socket_of_core[c] != s:
+                    continue
+                llc = self._llc_of_core[c]
+                if llc not in seen_llc:
+                    seen_llc.append(llc)
+                    out.append(
+                        f"    L{spec.llc.level} "
+                        f"({spec.llc.size_bytes // 2**20} MB) #{llc}"
+                    )
+                pus = ",".join(f"PU#{p}" for p in self.pus_of_core(c))
+                out.append(f"      Core #{c}  [{pus}]")
+        return "\n".join(out)
+
+    def table2_row(self) -> Dict[str, str]:
+        """This machine's row of the paper's Table II."""
+        spec = self.spec
+        l1, l2, l3 = spec.caches[0], spec.caches[1], spec.caches[2]
+        n_llc = self.n_llc_groups
+        return {
+            "Processor Type": spec.name,
+            "Procs x Cores": f"{spec.sockets}x{spec.cores_per_socket}",
+            "L1 Data Cache": f"{l1.size_bytes // 1024} kB",
+            "L2 Cache": f"{l2.size_bytes // 1024} kB",
+            "L3 Cache": (
+                f"{n_llc} x ({l3.size_bytes // 2**20} MB shared/"
+                f"{l3.shared_by} cores)"
+            ),
+            "Memory": f"{spec.dram_bytes // 2**30} GB",
+        }
+
+
+def _mb(n: float) -> int:
+    return int(n * 2**20)
+
+
+def _kb(n: float) -> int:
+    return int(n * 1024)
+
+
+#: Table II row 1 — the Fig. 1 machine.
+CORE_I7_920 = MachineSpec(
+    name="Intel Core i7 920",
+    sockets=1,
+    cores_per_socket=4,
+    smt=2,
+    freq_hz=2.66e9,
+    caches=(
+        CacheLevel(1, _kb(32), latency_cycles=4),
+        CacheLevel(2, _kb(256), latency_cycles=11),
+        CacheLevel(3, _mb(8), associativity=16, latency_cycles=38, shared_by=4),
+    ),
+    dram_bytes=6 * 2**30,
+    socket_bw=12.5e9,
+    core_bw=10e9,
+    dram_latency_ns=65.0,
+)
+
+#: Table II row 2 — two quad-core Harpertown Xeons, LLC shared per core pair.
+XEON_E5450_2S = MachineSpec(
+    name="Intel Xeon E5450",
+    sockets=2,
+    cores_per_socket=4,
+    smt=1,
+    freq_hz=3.0e9,
+    caches=(
+        CacheLevel(1, _kb(32), latency_cycles=3),
+        CacheLevel(2, _kb(256), latency_cycles=12),
+        CacheLevel(3, _mb(6), associativity=24, latency_cycles=40, shared_by=2),
+    ),
+    dram_bytes=16 * 2**30,
+    socket_bw=10e9,
+    core_bw=6e9,
+    dram_latency_ns=90.0,
+    remote_penalty=1.5,
+)
+
+#: Table II row 3 — four 8-core Nehalem-EX Xeons, 24 MB LLC per socket.
+XEON_X7560_4S = MachineSpec(
+    name="Intel Xeon X7560",
+    sockets=4,
+    cores_per_socket=8,
+    smt=2,
+    freq_hz=2.26e9,
+    caches=(
+        CacheLevel(1, _kb(32), latency_cycles=4),
+        CacheLevel(2, _kb(256), latency_cycles=11),
+        CacheLevel(
+            3, _mb(24), associativity=24, latency_cycles=50, shared_by=8
+        ),
+    ),
+    dram_bytes=192 * 2**30,
+    socket_bw=20e9,
+    core_bw=7e9,
+    dram_latency_ns=110.0,
+    remote_penalty=1.5,
+)
+
+#: All Table II machines by short name.
+MACHINES: Dict[str, MachineSpec] = {
+    "i7-920": CORE_I7_920,
+    "e5450x2": XEON_E5450_2S,
+    "x7560x4": XEON_X7560_4S,
+}

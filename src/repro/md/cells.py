@@ -1,0 +1,174 @@
+"""Linked-cell spatial decomposition (Hockney & Eastwood).
+
+"We use a linked-cell algorithm that keeps the complexity of the
+neighbor-finding algorithm to O(N).  Conceptually, the linked-cell
+approach superimposes a three-dimensional grid over the simulation
+space.  The grid is sized such that the neighbors of any given atom
+must fall within the grid box containing the atom or in one of the grid
+boxes adjacent to that box." (§II-B)
+
+The grid produces *candidate pairs* (i < j) from each cell against
+itself and a half stencil of 13 neighbor cells, so each unordered cell
+pair is visited once.  Distance filtering happens in the caller
+(:mod:`repro.md.neighbors`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import numpy as np
+
+#: half stencil: (0,0,0) handled separately; these 13 offsets cover each
+#: unordered adjacent-cell pair exactly once
+_HALF_STENCIL = [
+    off
+    for off in itertools.product((-1, 0, 1), repeat=3)
+    if off > (0, 0, 0)
+]
+
+
+class LinkedCellGrid:
+    """Uniform grid over the box with cells >= ``cell_size`` on a side."""
+
+    def __init__(
+        self, box: np.ndarray, cell_size: float, periodic: bool = False
+    ):
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive: {cell_size}")
+        self.box = np.asarray(box, dtype=np.float64)
+        if np.any(self.box <= 0):
+            raise ValueError(f"box lengths must be positive: {self.box}")
+        self.periodic = periodic
+        self.dims = np.maximum(
+            1, (self.box / cell_size).astype(np.int64)
+        )
+        if periodic and np.any((self.dims < 3) & (self.dims > 1)):
+            # with <3 cells per periodic axis the stencil would visit a
+            # cell twice; collapse such axes to a single cell instead
+            self.dims = np.where(self.dims < 3, 1, self.dims)
+        self.cell_size = self.box / self.dims
+        self.n_cells = int(np.prod(self.dims))
+        # build state (populated by build())
+        self._order: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._starts: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._built = False
+        self.build_count = 0
+        #: candidate pairs examined by the last pair sweep (work count)
+        self.last_candidates = 0
+
+    # -- coordinate maps -----------------------------------------------------
+
+    def cell_coords(self, positions: np.ndarray) -> np.ndarray:
+        """(N, 3) integer cell coordinates, clipped into the grid."""
+        coords = np.floor(positions / self.cell_size).astype(np.int64)
+        return np.clip(coords, 0, self.dims - 1)
+
+    def linear_ids(self, coords: np.ndarray) -> np.ndarray:
+        """Flatten (x, y, z) cell coordinates to scalar cell ids."""
+        d = self.dims
+        return (coords[:, 0] * d[1] + coords[:, 1]) * d[2] + coords[:, 2]
+
+    # -- population ------------------------------------------------------------
+
+    def build(self, positions: np.ndarray) -> None:
+        """Repopulate the cells (counting sort by cell id)."""
+        ids = self.linear_ids(self.cell_coords(positions))
+        self._order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[self._order]
+        self._starts = np.searchsorted(
+            sorted_ids, np.arange(self.n_cells + 1)
+        )
+        self._built = True
+        self.build_count += 1
+
+    def atoms_in_cell(self, cell_id: int) -> np.ndarray:
+        """Atom indices currently in one cell (requires build())."""
+        if not self._built:
+            raise RuntimeError("grid not built")
+        return self._order[self._starts[cell_id] : self._starts[cell_id + 1]]
+
+    def occupancy(self) -> np.ndarray:
+        """Atoms per cell (diagnostics / load statistics)."""
+        if not self._built:
+            raise RuntimeError("grid not built")
+        return np.diff(self._starts)
+
+    # -- pair generation ---------------------------------------------------------
+
+    def candidate_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All (i, j) candidate pairs with i < j from adjacent cells.
+
+        Each unordered pair of atoms in the same or adjacent cells
+        appears exactly once.  Returns two int arrays.
+        """
+        if not self._built:
+            raise RuntimeError("grid not built")
+        d = self.dims
+        out_i: List[np.ndarray] = []
+        out_j: List[np.ndarray] = []
+        occupied = np.nonzero(np.diff(self._starts) > 0)[0]
+        coords = np.stack(
+            [
+                occupied // (d[1] * d[2]),
+                (occupied // d[2]) % d[1],
+                occupied % d[2],
+            ],
+            axis=1,
+        )
+        for cell_id, (cx, cy, cz) in zip(occupied, coords):
+            a = self.atoms_in_cell(int(cell_id))
+            seen_cells = set()
+            # intra-cell pairs
+            if len(a) > 1:
+                ii, jj = np.triu_indices(len(a), k=1)
+                pi, pj = a[ii], a[jj]
+                # enforce i < j in *atom index* (ownership convention)
+                swap = pi > pj
+                pi2 = np.where(swap, pj, pi)
+                pj2 = np.where(swap, pi, pj)
+                out_i.append(pi2)
+                out_j.append(pj2)
+            # half-stencil neighbor cells
+            for ox, oy, oz in _HALF_STENCIL:
+                nx, ny, nz = cx + ox, cy + oy, cz + oz
+                if self.periodic:
+                    nx %= d[0]
+                    ny %= d[1]
+                    nz %= d[2]
+                elif (
+                    nx < 0 or ny < 0 or nz < 0
+                    or nx >= d[0] or ny >= d[1] or nz >= d[2]
+                ):
+                    continue
+                nid = int((nx * d[1] + ny) * d[2] + nz)
+                if self.periodic:
+                    # small grids can wrap several offsets onto one cell
+                    if nid == cell_id or nid in seen_cells:
+                        continue
+                    seen_cells.add(nid)
+                b = self.atoms_in_cell(nid)
+                if len(b) == 0:
+                    continue
+                pi = np.repeat(a, len(b))
+                pj = np.tile(b, len(a))
+                swap = pi > pj
+                pi2 = np.where(swap, pj, pi)
+                pj2 = np.where(swap, pi, pj)
+                out_i.append(pi2)
+                out_j.append(pj2)
+        if not out_i:
+            empty = np.zeros(0, dtype=np.int64)
+            self.last_candidates = 0
+            return empty, empty.copy()
+        i = np.concatenate(out_i)
+        j = np.concatenate(out_j)
+        if self.periodic:
+            # wrapping in tiny grids can still produce a cell *pair*
+            # twice (once from each side); dedupe on the pair key
+            key = i.astype(np.int64) * (int(j.max()) + 1) + j
+            _, keep = np.unique(key, return_index=True)
+            i, j = i[np.sort(keep)], j[np.sort(keep)]
+        self.last_candidates = len(i)
+        return i, j

@@ -1,0 +1,63 @@
+"""Element database and Lennard-Jones mixing rules.
+
+Parameters are textbook LJ fits adequate for an MW-class educational
+simulator: metals from Halicioglu & Pound (1975), ions and organics
+from common force-field values, converted to eV / Å.  MW itself ships
+editable per-element parameters; exact values only need to produce the
+right *work profile* (which atoms interact, over what cutoffs), not
+publication-grade thermodynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Element:
+    """Per-element MD parameters."""
+
+    symbol: str
+    number: int
+    mass: float  # amu
+    sigma: float  # Å   (LJ distance parameter)
+    epsilon: float  # eV  (LJ well depth)
+
+    def __post_init__(self):
+        if self.mass <= 0 or self.sigma <= 0 or self.epsilon < 0:
+            raise ValueError(f"invalid parameters for {self.symbol}")
+
+
+ELEMENTS: Dict[str, Element] = {
+    e.symbol: e
+    for e in [
+        Element("H", 1, 1.008, 2.50, 0.00065),
+        Element("C", 6, 12.011, 3.40, 0.00284),
+        Element("N", 7, 14.007, 3.30, 0.00319),
+        Element("O", 8, 15.999, 3.00, 0.00428),
+        Element("Na", 11, 22.990, 2.35, 0.000641),
+        Element("Cl", 17, 35.453, 4.40, 0.00434),
+        Element("Al", 13, 26.982, 2.62, 0.3922),
+        Element("Au", 79, 196.967, 2.637, 0.4415),
+        # MW's generic teaching elements (adjustable blobs)
+        Element("X1", 119, 10.0, 2.80, 0.005),
+        Element("X2", 120, 20.0, 3.20, 0.010),
+        Element("X3", 121, 30.0, 3.60, 0.015),
+        Element("X4", 122, 40.0, 4.00, 0.020),
+    ]
+}
+
+#: stable symbol -> small-integer id mapping used by AtomSystem
+ELEMENT_IDS: Dict[str, int] = {
+    sym: i for i, sym in enumerate(sorted(ELEMENTS))
+}
+ID_TO_SYMBOL: Dict[int, str] = {i: s for s, i in ELEMENT_IDS.items()}
+
+
+def mix_lorentz_berthelot(
+    a: Element, b: Element
+) -> Tuple[float, float]:
+    """Lorentz-Berthelot combination: arithmetic sigma, geometric epsilon."""
+    return (a.sigma + b.sigma) / 2.0, math.sqrt(a.epsilon * b.epsilon)

@@ -1,0 +1,218 @@
+"""Serial MD engine: the six-phase timestep of §II-A.
+
+    1. run the predictor for each atom
+    2. check whether the neighbor list is still valid
+    3. if invalid, repopulate the linked cells and build the
+       neighbor lists
+    4. calculate the forces on each atom from each relevant type of
+       interaction
+    5. perform a reduction across all copies of the privatized force
+       array (trivial in the serial engine)
+    6. run the corrector for each atom
+
+Each :meth:`MDEngine.step` also fills a :class:`StepReport` with the
+phase-by-phase *work counts* the parallel layer's cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.md.boundary import Boundary, ReflectiveBox
+from repro.md.forces.base import Force, ForceResult
+from repro.md.integrator import TaylorPredictorCorrector
+from repro.md.neighbors import NeighborList
+from repro.md.system import AtomSystem
+from repro.md.thermostat import BerendsenThermostat
+
+
+@dataclass
+class PhaseWork:
+    """Work performed by one phase of one timestep."""
+
+    per_atom: np.ndarray
+    flops: float = 0.0
+    bytes_irregular: float = 0.0
+    bytes_regular: float = 0.0
+    terms: int = 0
+
+
+@dataclass
+class StepReport:
+    """Everything one timestep did."""
+
+    step: int
+    rebuilt: bool
+    potential_energy: float
+    kinetic_energy: float
+    force_results: Dict[str, ForceResult] = field(default_factory=dict)
+    phase_work: Dict[str, PhaseWork] = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        return self.potential_energy + self.kinetic_energy
+
+
+#: cost constants for the rebuild phase (per candidate pair examined)
+REBUILD_FLOPS_PER_CANDIDATE = 10.0
+REBUILD_BYTES_PER_CANDIDATE = 32.0
+
+
+class MDEngine:
+    """Serial reference engine.
+
+    Parameters
+    ----------
+    system:
+        The :class:`AtomSystem` to integrate (mutated in place).
+    forces:
+        Force objects; evaluation order is preserved.
+    boundary:
+        Defaults to reflective walls over ``system.box`` (MW behaviour).
+    dt_fs:
+        Timestep; MW runs 1-2 fs.
+    neighbor_cutoff:
+        Verlet-list cutoff.  Defaults to 2.5 x the largest sigma in the
+        system (so every LJ pair the force would keep is in the list).
+    skin:
+        Verlet skin (Å); rebuild triggers at skin/2 displacement.
+    thermostat:
+        Optional heat bath applied after the corrector.
+    """
+
+    def __init__(
+        self,
+        system: AtomSystem,
+        forces: Sequence[Force],
+        boundary: Optional[Boundary] = None,
+        dt_fs: float = 2.0,
+        neighbor_cutoff: Optional[float] = None,
+        skin: float = 0.8,
+        thermostat: Optional[BerendsenThermostat] = None,
+    ):
+        self.system = system
+        self.forces = list(forces)
+        self.boundary = boundary or ReflectiveBox(system.box)
+        self.integrator = TaylorPredictorCorrector(dt_fs)
+        self.thermostat = thermostat
+        self._needs_nlist = any(f.uses_neighbor_list() for f in self.forces)
+        if neighbor_cutoff is None:
+            sig_max = float(system.sigma.max()) if system.n_atoms else 3.0
+            neighbor_cutoff = 2.5 * sig_max
+        self.neighbors = NeighborList(neighbor_cutoff, skin=skin)
+        self.step_count = 0
+        self._primed = False
+
+    # -- phases ---------------------------------------------------------------
+
+    def _phase_predict(self) -> PhaseWork:
+        self.integrator.predict(self.system)
+        self.boundary.apply(self.system.positions, self.system.velocities)
+        n = self.system.n_atoms
+        integ = self.integrator
+        return PhaseWork(
+            per_atom=np.ones(n),
+            flops=integ.PREDICT_FLOPS * n,
+            bytes_regular=integ.BYTES_PER_ATOM * n,
+        )
+
+    def _phase_check_and_rebuild(self) -> tuple:
+        """Phases 2+3 (the rebuild half of the fused 3+4 loop)."""
+        n = self.system.n_atoms
+        if not self._needs_nlist:
+            return False, PhaseWork(per_atom=np.zeros(n))
+        rebuilt = self.neighbors.ensure(self.system.positions, self.boundary)
+        if not rebuilt:
+            return False, PhaseWork(per_atom=np.zeros(n))
+        cand = self.neighbors.last_candidates
+        # candidate examination distributes like list ownership
+        per_atom = self.neighbors.per_atom_counts(n).astype(np.float64)
+        scale = cand / max(per_atom.sum(), 1.0)
+        return True, PhaseWork(
+            per_atom=per_atom * scale,
+            flops=REBUILD_FLOPS_PER_CANDIDATE * cand,
+            bytes_irregular=REBUILD_BYTES_PER_CANDIDATE * cand,
+            terms=cand,
+        )
+
+    def _phase_forces(self) -> tuple:
+        n = self.system.n_atoms
+        self.system.forces[:] = 0.0
+        results: Dict[str, ForceResult] = {}
+        work = PhaseWork(per_atom=np.zeros(n))
+        potential = 0.0
+        for force in self.forces:
+            res = force.compute(
+                self.system,
+                self.boundary,
+                self.neighbors if self._needs_nlist else None,
+                self.system.forces,
+            )
+            results[force.name] = res
+            potential += res.energy
+            work.per_atom = work.per_atom + res.per_atom_work
+            work.flops += res.flops
+            work.bytes_irregular += res.bytes_irregular
+            work.bytes_regular += res.bytes_regular
+            work.terms += res.terms
+        return potential, results, work
+
+    def _phase_correct(self) -> PhaseWork:
+        self.integrator.correct(self.system)
+        if self.thermostat is not None:
+            self.thermostat.apply(self.system, self.integrator.dt)
+        n = self.system.n_atoms
+        integ = self.integrator
+        return PhaseWork(
+            per_atom=np.ones(n),
+            flops=integ.CORRECT_FLOPS * n,
+            bytes_regular=integ.BYTES_PER_ATOM * n,
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    def prime(self) -> None:
+        """Evaluate initial forces and accelerations (idempotent)."""
+        if self._primed:
+            return
+        if self._needs_nlist:
+            self.neighbors.ensure(self.system.positions, self.boundary)
+        self._phase_forces()
+        self.integrator.prime(self.system)
+        self._primed = True
+
+    def step(self) -> StepReport:
+        """Advance one timestep; returns the full work report."""
+        self.prime()
+        predict_work = self._phase_predict()
+        rebuilt, rebuild_work = self._phase_check_and_rebuild()
+        potential, results, force_work = self._phase_forces()
+        correct_work = self._phase_correct()
+        self.step_count += 1
+        return StepReport(
+            step=self.step_count,
+            rebuilt=rebuilt,
+            potential_energy=potential,
+            kinetic_energy=self.system.kinetic_energy(),
+            force_results=results,
+            phase_work={
+                "predict": predict_work,
+                "rebuild": rebuild_work,
+                "forces": force_work,
+                "correct": correct_work,
+            },
+        )
+
+    def run(self, n_steps: int) -> List[StepReport]:
+        """Run ``n_steps`` timesteps; returns their reports."""
+        return [self.step() for _ in range(n_steps)]
+
+    def potential_energy(self) -> float:
+        """Potential energy at the current positions (no state change
+        other than refreshed forces)."""
+        self.prime()
+        potential, _, _ = self._phase_forces()
+        return potential

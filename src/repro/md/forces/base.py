@@ -1,0 +1,78 @@
+"""Force interface and work accounting.
+
+Every force computes real physics *and* reports what the computation
+cost in machine terms: how many pair/bond terms were evaluated, an
+estimate of floating-point operations, how many bytes were gathered
+irregularly (through an index indirection, the cache-hostile pattern)
+versus streamed linearly, and how the work distributes over atoms.
+The per-atom distribution follows the ownership convention that causes
+the paper's load imbalance: the lower-indexed atom of a pair owns it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.md.boundary import Boundary
+from repro.md.neighbors import NeighborList
+from repro.md.system import AtomSystem
+
+
+@dataclass
+class ForceResult:
+    """Physics + work counts from one force evaluation."""
+
+    energy: float
+    terms: int
+    per_atom_work: np.ndarray
+    flops: float
+    bytes_irregular: float
+    bytes_regular: float
+
+    @staticmethod
+    def empty(n_atoms: int) -> "ForceResult":
+        """A zero result (no terms evaluated)."""
+        return ForceResult(0.0, 0, np.zeros(n_atoms), 0.0, 0.0, 0.0)
+
+
+class Force(abc.ABC):
+    """One interatomic interaction family."""
+
+    #: short identifier used in phase reports ("lj", "coulomb", "bond"...)
+    name: str = "force"
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        neighbors: Optional[NeighborList],
+        forces_out: np.ndarray,
+    ) -> ForceResult:
+        """Accumulate forces (eV/Å) into ``forces_out`` and return the
+        result record.  Must be additive: callers zero the buffer."""
+
+    def uses_neighbor_list(self) -> bool:
+        """Whether this force consumes the Verlet list (phase-fusion
+        candidates)."""
+        return False
+
+    def restrict(self, lo: int, hi: int) -> "Force":
+        """A copy that evaluates only the terms *owned* by atoms in
+        [lo, hi) — the parallel decomposition hook.  Restricted copies
+        of one force over a partition of [0, n_atoms) must together
+        produce exactly the full force and energy."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support owner restriction"
+        )
+
+    def remap(self, mapping: np.ndarray) -> "Force":
+        """A copy with every stored atom index ``i`` replaced by
+        ``mapping[i]`` — the companion of :meth:`AtomSystem.permute`
+        for inspector/executor data reordering.  Forces that store no
+        atom indices return themselves."""
+        return self

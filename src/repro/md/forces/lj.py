@@ -1,0 +1,157 @@
+"""Lennard-Jones interactions over the Verlet neighbor list.
+
+"The first is the force between non-bonded atoms, found using the
+Lennard-Jones (LJ) approximation.  To improve performance, these forces
+are only computed between atoms that are within a cutoff distance, or
+neighborhood, of each other." (§II-B)
+
+Memory character: for each owned pair the neighbor atom's position is
+*gathered* through the pair index — atoms "physically adjacent in
+simulation space, though not necessarily near one another in memory"
+(§V-A).  The work accounting marks those bytes irregular.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.md.boundary import Boundary
+from repro.md.forces.base import Force, ForceResult
+from repro.md.neighbors import NeighborList
+from repro.md.system import AtomSystem
+
+#: flops per evaluated LJ pair (distance, mixing, r^-6/r^-12, force vec)
+FLOPS_PER_PAIR = 70.0
+#: bytes gathered per pair through the neighbor indirection: the
+#: neighbor's position + parameters land on uncorrelated cache lines
+IRREGULAR_BYTES_PER_PAIR = 2 * 64.0
+#: bytes streamed per owned atom (own position/params, force row)
+REGULAR_BYTES_PER_ATOM = 96.0
+
+
+class LennardJonesForce(Force):
+    """Pairwise 12-6 LJ with Lorentz-Berthelot mixing.
+
+    Parameters
+    ----------
+    cutoff_factor:
+        Per-pair interaction cutoff as a multiple of the mixed sigma
+        (2.5 is the conventional choice); pairs beyond it contribute
+        zero ("the Lennard-Jones force is considered to be zero").
+    exclusions:
+        Optional (M, 2) int array of atom pairs to skip — bonded pairs,
+        whose interaction the bonded terms own.
+    skip_fixed_pairs:
+        Skip pairs where both atoms are immovable: "fixed-location atoms
+        making up the platform do not interact with one another".
+    """
+
+    name = "lj"
+
+    def __init__(
+        self,
+        cutoff_factor: float = 2.5,
+        exclusions: Optional[np.ndarray] = None,
+        skip_fixed_pairs: bool = True,
+        owner_range: Optional[tuple] = None,
+    ):
+        if cutoff_factor <= 0:
+            raise ValueError(f"cutoff_factor must be positive: {cutoff_factor}")
+        self.cutoff_factor = cutoff_factor
+        self.skip_fixed_pairs = skip_fixed_pairs
+        self.owner_range = owner_range
+        self.exclusions: Optional[np.ndarray] = None
+        self._exclusion_keys: Optional[np.ndarray] = None
+        if exclusions is not None and len(exclusions):
+            self.exclusions = np.asarray(exclusions, dtype=np.int64)
+            lo = np.minimum(self.exclusions[:, 0], self.exclusions[:, 1])
+            hi = np.maximum(self.exclusions[:, 0], self.exclusions[:, 1])
+            self._exclusion_keys = np.unique(lo << 32 | hi)
+
+    def restrict(self, lo: int, hi: int) -> "LennardJonesForce":
+        """A copy computing only pairs owned (lower index) in [lo, hi)."""
+        other = LennardJonesForce(
+            self.cutoff_factor,
+            exclusions=self.exclusions,
+            skip_fixed_pairs=self.skip_fixed_pairs,
+            owner_range=(lo, hi),
+        )
+        return other
+
+    def remap(self, mapping: np.ndarray) -> "LennardJonesForce":
+        """Copy with exclusion pairs renumbered through ``mapping``."""
+        ex = None
+        if self.exclusions is not None:
+            ex = np.asarray(mapping)[self.exclusions]
+        return LennardJonesForce(
+            self.cutoff_factor,
+            exclusions=ex,
+            skip_fixed_pairs=self.skip_fixed_pairs,
+            owner_range=self.owner_range,
+        )
+
+    def uses_neighbor_list(self) -> bool:
+        return True
+
+    def compute(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        neighbors: Optional[NeighborList],
+        forces_out: np.ndarray,
+    ) -> ForceResult:
+        n = system.n_atoms
+        if neighbors is None or not neighbors.built:
+            raise RuntimeError("LJ force requires a built neighbor list")
+        i, j, dr = neighbors.pairs_within(system.positions, boundary)
+        if self.owner_range is not None and len(i):
+            lo, hi = self.owner_range
+            keep = (i >= lo) & (i < hi)
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if self.skip_fixed_pairs and len(i):
+            keep = system.movable[i] | system.movable[j]
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if self._exclusion_keys is not None and len(i):
+            keys = i << 32 | j
+            keep = ~np.isin(keys, self._exclusion_keys, assume_unique=False)
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if len(i) == 0:
+            return ForceResult.empty(n)
+
+        sig = 0.5 * (system.sigma[i] + system.sigma[j])
+        eps = np.sqrt(system.epsilon[i] * system.epsilon[j])
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        rc2 = (self.cutoff_factor * sig) ** 2
+        inside = r2 <= rc2
+        i, j, dr = i[inside], j[inside], dr[inside]
+        sig, eps, r2 = sig[inside], eps[inside], r2[inside]
+        n_terms = len(i)
+        if n_terms == 0:
+            return ForceResult.empty(n)
+
+        inv2 = (sig * sig) / r2
+        inv6 = inv2 * inv2 * inv2
+        inv12 = inv6 * inv6
+        # F(r)/r = 24 eps (2 (sig/r)^12 - (sig/r)^6) / r^2
+        coef = 24.0 * eps * (2.0 * inv12 - inv6) / r2
+        fvec = coef[:, None] * dr
+        np.add.at(forces_out, i, fvec)
+        np.subtract.at(forces_out, j, fvec)
+        # energy, shifted so U(rc)=0 (avoids cutoff discontinuity)
+        inv2c = 1.0 / (self.cutoff_factor * self.cutoff_factor)
+        inv6c = inv2c**3
+        e_shift = 4.0 * eps * (inv6c * inv6c - inv6c)
+        energy = float(np.sum(4.0 * eps * (inv12 - inv6) - e_shift))
+
+        per_atom = np.bincount(i, minlength=n).astype(np.float64)
+        owners = int((per_atom > 0).sum())
+        return ForceResult(
+            energy=energy,
+            terms=n_terms,
+            per_atom_work=per_atom,
+            flops=FLOPS_PER_PAIR * n_terms,
+            bytes_irregular=IRREGULAR_BYTES_PER_PAIR * n_terms,
+            bytes_regular=REGULAR_BYTES_PER_ATOM * owners,
+        )

@@ -1,0 +1,185 @@
+"""Declarative model building — the MW model-file analog.
+
+Molecular Workbench models are declarative documents (atoms, bonds,
+fields) loaded by the engine.  :func:`build_model` provides the same
+workflow here: a plain dict (JSON-compatible) describing atom groups,
+bond terms and runtime options becomes a ready
+:class:`~repro.workloads.base.Workload`.
+
+Example
+-------
+>>> spec = {
+...     "name": "dimer",
+...     "box": [20, 20, 20],
+...     "dt_fs": 1.0,
+...     "groups": [
+...         {"element": "C", "positions": [[8, 10, 10], [11.8, 10, 10]]}
+...     ],
+...     "bonds": {"radial": [{"atoms": [0, 1], "k": 5.0, "r0": 3.8}]},
+...     "forces": {"lj": True},
+... }
+>>> workload = build_model(spec)
+>>> workload.system.n_atoms
+2
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.md.elements import ELEMENTS
+from repro.md.forces import (
+    AngularBondForce,
+    CoulombForce,
+    LennardJonesForce,
+    RadialBondForce,
+    TorsionalBondForce,
+)
+from repro.md.system import AtomSystem
+from repro.workloads.base import Workload
+
+
+class ModelError(ValueError):
+    """Raised for malformed model specifications."""
+
+
+def _require(spec: Dict[str, Any], key: str, context: str):
+    if key not in spec:
+        raise ModelError(f"{context}: missing required key {key!r}")
+    return spec[key]
+
+
+def _build_groups(system: AtomSystem, groups: List[Dict[str, Any]]) -> None:
+    if not groups:
+        raise ModelError("model has no atom groups")
+    for i, group in enumerate(groups):
+        ctx = f"groups[{i}]"
+        element = _require(group, "element", ctx)
+        if element not in ELEMENTS:
+            raise ModelError(f"{ctx}: unknown element {element!r}")
+        positions = np.asarray(_require(group, "positions", ctx), dtype=float)
+        system.add_atoms(
+            element,
+            positions,
+            velocities=group.get("velocities"),
+            charges=group.get("charge"),
+            movable=bool(group.get("movable", True)),
+        )
+
+
+def _term_array(terms: List[Dict[str, Any]], key: str, width: int, ctx: str):
+    atoms = np.array([_require(t, "atoms", ctx) for t in terms], dtype=np.int64)
+    if atoms.ndim != 2 or atoms.shape[1] != width:
+        raise ModelError(f"{ctx}: each term needs {width} atom indices")
+    return atoms
+
+
+def _build_bond_forces(spec: Dict[str, Any], n_atoms: int) -> tuple:
+    forces = []
+    n_terms = 0
+    radial_pairs = None
+    bonds = spec.get("bonds", {})
+    if radial := bonds.get("radial"):
+        atoms = _term_array(radial, "radial", 2, "bonds.radial")
+        forces.append(
+            RadialBondForce(
+                atoms,
+                k=[t.get("k", 10.0) for t in radial],
+                r0=[_require(t, "r0", "bonds.radial") for t in radial],
+            )
+        )
+        n_terms += len(radial)
+        radial_pairs = atoms
+    if angular := bonds.get("angular"):
+        atoms = _term_array(angular, "angular", 3, "bonds.angular")
+        forces.append(
+            AngularBondForce(
+                atoms,
+                k=[t.get("k", 3.0) for t in angular],
+                theta0=[_require(t, "theta0", "bonds.angular") for t in angular],
+            )
+        )
+        n_terms += len(angular)
+    if torsional := bonds.get("torsional"):
+        atoms = _term_array(torsional, "torsional", 4, "bonds.torsional")
+        forces.append(
+            TorsionalBondForce(
+                atoms,
+                v=[t.get("v", 0.1) for t in torsional],
+                periodicity=[t.get("periodicity", 1) for t in torsional],
+                phi0=[t.get("phi0", 0.0) for t in torsional],
+            )
+        )
+        n_terms += len(torsional)
+    for f in forces:
+        bad = [
+            int(x)
+            for arr in (getattr(f, "bonds", None), getattr(f, "triples", None),
+                        getattr(f, "quads", None))
+            if arr is not None
+            for x in arr.ravel()
+            if x < 0 or x >= n_atoms
+        ]
+        if bad:
+            raise ModelError(f"bond term references unknown atoms: {bad[:5]}")
+    return forces, n_terms, radial_pairs
+
+
+def build_model(spec: Dict[str, Any]) -> Workload:
+    """Build a :class:`Workload` from a declarative model dict.
+
+    Recognized keys: ``name``, ``box`` (3 lengths), ``dt_fs``, ``skin``,
+    ``groups`` (element/positions/velocities/charge/movable),
+    ``bonds`` (radial/angular/torsional term lists), ``forces``
+    (``lj``: bool or options dict, ``coulomb``: bool).
+    """
+    if not isinstance(spec, dict):
+        raise ModelError(f"model spec must be a dict, got {type(spec).__name__}")
+    name = spec.get("name", "model")
+    system = AtomSystem(_require(spec, "box", "model"))
+    _build_groups(system, _require(spec, "groups", "model"))
+
+    bond_forces, n_terms, radial_pairs = _build_bond_forces(
+        spec, system.n_atoms
+    )
+    forces = []
+    options = spec.get("forces", {"lj": True})
+    lj = options.get("lj", True)
+    if lj:
+        lj_opts = lj if isinstance(lj, dict) else {}
+        forces.append(
+            LennardJonesForce(
+                cutoff_factor=lj_opts.get("cutoff_factor", 2.5),
+                exclusions=radial_pairs,
+                skip_fixed_pairs=lj_opts.get("skip_fixed_pairs", True),
+            )
+        )
+    if options.get("coulomb"):
+        forces.append(CoulombForce())
+    forces.extend(bond_forces)
+    if not forces:
+        raise ModelError("model defines no forces")
+
+    return Workload(
+        name=name,
+        system=system,
+        forces=forces,
+        dt_fs=float(spec.get("dt_fs", 1.0)),
+        skin=float(spec.get("skin", 0.8)),
+        description=spec.get("description", ""),
+        n_bonds=n_terms,
+    )
+
+
+def load_model(path: Union[str, Path]) -> Workload:
+    """Build a workload from a JSON model file."""
+    with open(path) as fh:
+        try:
+            spec = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"{path}: invalid JSON: {exc}") from exc
+    return build_model(spec)

@@ -1,0 +1,55 @@
+"""Unit system and physical constants.
+
+The engine works in MD-natural units:
+
+========  ==========  =======================================
+quantity  unit        notes
+========  ==========  =======================================
+length    Å           angstrom
+time      fs          femtosecond (MW timesteps are 1-2 fs)
+mass      amu         atomic mass unit (g/mol)
+energy    eV          electron-volt
+charge    e           elementary charge
+========  ==========  =======================================
+
+Derived: force is eV/Å, velocity Å/fs, temperature K via ``KB``.
+Because eV/Å/amu is not Å/fs², accelerations require the conversion
+factor :data:`ACCEL_UNIT` (≈ 9.6485e-3 Å/fs² per eV/Å/amu).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant, eV/K
+KB = 8.617333262e-5
+
+#: Coulomb constant k_e, eV·Å/e²
+COULOMB_K = 14.399645478
+
+#: acceleration produced by 1 eV/Å acting on 1 amu, in Å/fs²
+ACCEL_UNIT = 9.648533212e-3
+
+#: femtoseconds per picosecond
+FS_PER_PS = 1000.0
+
+
+def kinetic_to_kelvin(kinetic_ev: float, n_dof: int) -> float:
+    """Temperature of ``n_dof`` degrees of freedom holding the given
+    kinetic energy: T = 2 KE / (n_dof · kB)."""
+    if n_dof <= 0:
+        return 0.0
+    return 2.0 * kinetic_ev / (n_dof * KB)
+
+
+def thermal_velocity(temperature_k: float, mass_amu: float) -> float:
+    """RMS speed per Cartesian component (Å/fs) at a temperature.
+
+    v_rms(1D) = sqrt(kB·T / m), converted through :data:`ACCEL_UNIT`
+    (since kB·T/m has units eV/amu = ACCEL_UNIT · Å²/fs²).
+    """
+    if temperature_k < 0:
+        raise ValueError(f"negative temperature: {temperature_k}")
+    if mass_amu <= 0:
+        raise ValueError(f"mass must be positive: {mass_amu}")
+    return math.sqrt(KB * temperature_k / mass_amu * ACCEL_UNIT)

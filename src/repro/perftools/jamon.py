@@ -1,0 +1,109 @@
+"""JaMON-style monitors: synchronized counters that serialize the app.
+
+§IV-A: "in order to allow multiple threads to update the performance
+counter variables safely, JaMon uses synchronized sections.  We
+discovered that these synchronized updates to the performance monitors
+were serializing the overall performance of MW and drastically
+impacting the very behavior they were intended to measure."
+
+:class:`JaMonInstrumentation` plugs into the simulated executor: every
+task start and stop acquires one global lock and spends
+``update_cycles`` inside it.  On short tasks the lock becomes the
+bottleneck; the monitor data itself (per-label hit counts, total/avg/
+max durations — real JaMON's fields) is still collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.concurrent.simexec import Instrumentation, SimTask
+from repro.des import Lock
+from repro.machine.cost import WorkCost
+
+
+@dataclass
+class MonitorStats:
+    """One monitor's counters (JaMON's hits/total/avg/max/active)."""
+
+    label: str
+    hits: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    active: int = 0
+    max_active: int = 0
+
+    @property
+    def avg_seconds(self) -> float:
+        return self.total_seconds / self.hits if self.hits else 0.0
+
+
+class JaMonInstrumentation(Instrumentation):
+    """Monitor every task with lock-guarded counter updates.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine (supplies the clock and the lock).
+    update_cycles:
+        Work inside each synchronized update.  Real JaMON does a map
+        lookup plus several field updates under the monitor lock.
+    """
+
+    def __init__(self, machine, update_cycles: float = 2500.0):
+        self.machine = machine
+        self.update_cycles = update_cycles
+        self.lock = Lock(machine.sim, name="jamon")
+        self.monitors: Dict[str, MonitorStats] = {}
+        self._start_times: Dict[int, float] = {}
+
+    def _monitor(self, label: str) -> MonitorStats:
+        if label not in self.monitors:
+            self.monitors[label] = MonitorStats(label)
+        return self.monitors[label]
+
+    def on_task_start(self, worker_index: int, task: SimTask):
+        """Synchronized monitor update before the task runs."""
+        yield self.lock.acquire()
+        yield WorkCost(cycles=self.update_cycles, label="jamon-start")
+        mon = self._monitor(task.cost.label or "task")
+        mon.active += 1
+        mon.max_active = max(mon.max_active, mon.active)
+        self._start_times[id(task)] = self.machine.now
+        self.lock.release()
+
+    def on_task_end(self, worker_index: int, task: SimTask):
+        """Synchronized monitor update after the task runs."""
+        yield self.lock.acquire()
+        yield WorkCost(cycles=self.update_cycles, label="jamon-stop")
+        mon = self._monitor(task.cost.label or "task")
+        started = self._start_times.pop(id(task), self.machine.now)
+        elapsed = self.machine.now - started
+        mon.hits += 1
+        mon.active -= 1
+        mon.total_seconds += elapsed
+        mon.max_seconds = max(mon.max_seconds, elapsed)
+        self.lock.release()
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of monitor acquisitions that had to queue — how
+        hard the monitors serialized the program."""
+        if self.lock.acquire_count == 0:
+            return 0.0
+        return self.lock.wait_count / self.lock.acquire_count
+
+    def report(self) -> str:
+        """JaMON-style hits/avg/max/active table."""
+        lines = [
+            f"{'Label':<12} {'Hits':>6} {'Avg(us)':>9} {'Max(us)':>9} "
+            f"{'MaxActive':>9}"
+        ]
+        for label in sorted(self.monitors):
+            m = self.monitors[label]
+            lines.append(
+                f"{label:<12} {m.hits:>6} {m.avg_seconds * 1e6:>9.1f} "
+                f"{m.max_seconds * 1e6:>9.1f} {m.max_active:>9}"
+            )
+        return "\n".join(lines)

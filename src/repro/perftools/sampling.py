@@ -1,0 +1,183 @@
+"""Thread-state timelines and the samplers that coarsen them.
+
+§IV-B: "VirtualVM has a graphical thread view displaying the state
+(running, sleeping, waiting, or blocked by a monitor) of all threads.
+However, it was sampling at a rate of one sample per second.  VTune was
+able to sample on the order of 5 to 10 milliseconds apart.  However,
+the typical work load in MW takes between 80 and 5000 microseconds ...
+At the thread state sampling granularity of these tools, we were able
+to observe only the most severe imbalance.  This sampling period also
+generated 'false positives' ... The tool sampled the thread state
+immediately before it changed, but continued to display the sampled
+state until the next sample."
+
+:class:`GroundTruthTimeline` reconstructs exact per-thread state
+intervals from the scheduler trace; :class:`ThreadStateSampler` then
+shows what a tool sampling every ``period`` seconds would display
+(sample-and-hold), so the information loss and display artifacts are
+directly measurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ThreadState(enum.Enum):
+    RUNNING = "running"
+    READY = "ready"  # runnable, waiting for a core
+    WAITING = "waiting"  # parked at a latch/barrier/queue
+
+
+@dataclass
+class StateInterval:
+    start: float
+    end: float
+    state: ThreadState
+
+
+class GroundTruthTimeline:
+    """Exact per-thread state history from a SchedulerTrace."""
+
+    def __init__(self, events: Sequence[Tuple[float, str, int, str]]):
+        raw: Dict[str, List[Tuple[float, ThreadState]]] = {}
+        for time, thread, _pu, what in events:
+            if what.startswith("run"):
+                state = ThreadState.RUNNING
+            elif what == "ready":
+                state = ThreadState.READY
+            elif what in ("done", "preempt"):
+                # preempt is immediately followed by a 'ready' from the
+                # re-submit; 'done' means the thread parks
+                state = (
+                    ThreadState.WAITING
+                    if what == "done"
+                    else ThreadState.READY
+                )
+            else:  # migrate and other markers carry no state change
+                continue
+            raw.setdefault(thread, []).append((time, state))
+        self.intervals: Dict[str, List[StateInterval]] = {}
+        self.end_time = max((t for t, *_ in events), default=0.0)
+        for thread, points in raw.items():
+            iv: List[StateInterval] = []
+            for (t0, s0), (t1, _s1) in zip(points, points[1:]):
+                if t1 > t0:
+                    iv.append(StateInterval(t0, t1, s0))
+            if points:
+                last_t, last_s = points[-1]
+                if self.end_time > last_t:
+                    iv.append(StateInterval(last_t, self.end_time, last_s))
+            self.intervals[thread] = iv
+
+    def threads(self) -> List[str]:
+        """All thread names seen in the trace."""
+        return sorted(self.intervals)
+
+    def state_at(self, thread: str, time: float) -> Optional[ThreadState]:
+        """Exact state of a thread at an instant (None = not started)."""
+        iv = self.intervals.get(thread, [])
+        starts = [i.start for i in iv]
+        k = bisect_right(starts, time) - 1
+        if k < 0 or k >= len(iv):
+            return None
+        if iv[k].start <= time < iv[k].end:
+            return iv[k].state
+        return iv[k].state if time >= iv[k].end and k == len(iv) - 1 else None
+
+    def time_in_state(self, thread: str, state: ThreadState) -> float:
+        """Total seconds the thread truly spent in one state."""
+        return sum(
+            i.end - i.start
+            for i in self.intervals.get(thread, [])
+            if i.state == state
+        )
+
+    def state_changes(self, thread: str) -> int:
+        """Number of true state transitions (interval count)."""
+        return len(self.intervals.get(thread, []))
+
+
+@dataclass
+class SampledTimeline:
+    """What the tool displays: one held state per sample tick."""
+
+    period: float
+    sample_times: np.ndarray
+    #: thread -> list of sampled states (None = thread not yet seen)
+    samples: Dict[str, List[Optional[ThreadState]]]
+
+    def displayed_time_in_state(self, thread: str, state: ThreadState) -> float:
+        """Display semantics: each sampled state is shown for the whole
+        following period (sample-and-hold)."""
+        return self.period * sum(
+            1 for s in self.samples.get(thread, []) if s == state
+        )
+
+    def displayed_changes(self, thread: str) -> int:
+        """State transitions visible in the sampled display."""
+        seq = [s for s in self.samples.get(thread, []) if s is not None]
+        return sum(1 for a, b in zip(seq, seq[1:]) if a != b)
+
+
+class ThreadStateSampler:
+    """Sample a ground-truth timeline the way VisualVM/VTune did.
+
+    ``period`` = 1.0 reproduces VisualVM's thread view; 0.005-0.010
+    reproduces VTune's.
+    """
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        self.period = period
+
+    def sample(self, truth: GroundTruthTimeline) -> SampledTimeline:
+        """Take periodic samples of every thread's state."""
+        end = truth.end_time
+        ticks = np.arange(0.0, end, self.period)
+        samples: Dict[str, List[Optional[ThreadState]]] = {}
+        for thread in truth.threads():
+            samples[thread] = [
+                truth.state_at(thread, float(t)) for t in ticks
+            ]
+        return SampledTimeline(
+            period=self.period, sample_times=ticks, samples=samples
+        )
+
+    def imbalance_visibility(
+        self,
+        truth: GroundTruthTimeline,
+        threads: Sequence[str],
+    ) -> Dict[str, float]:
+        """Compare true vs displayed running-time spread across threads.
+
+        Returns ``true_spread``, ``displayed_spread`` (max-min running
+        seconds), and ``missed_changes`` — the fraction of real state
+        transitions invisible at this sampling period.
+        """
+        sampled = self.sample(truth)
+        true_run = [
+            truth.time_in_state(t, ThreadState.RUNNING) for t in threads
+        ]
+        disp_run = [
+            sampled.displayed_time_in_state(t, ThreadState.RUNNING)
+            for t in threads
+        ]
+        true_changes = sum(truth.state_changes(t) for t in threads)
+        disp_changes = sum(sampled.displayed_changes(t) for t in threads)
+        missed = (
+            1.0 - disp_changes / true_changes if true_changes else 0.0
+        )
+        return {
+            "true_spread": max(true_run) - min(true_run) if true_run else 0.0,
+            "displayed_spread": (
+                max(disp_run) - min(disp_run) if disp_run else 0.0
+            ),
+            "missed_changes": missed,
+        }

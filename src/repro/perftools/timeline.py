@@ -1,0 +1,105 @@
+"""ASCII execution timeline — the unified view §VII calls for.
+
+"Information about all cores in a system, the code executing on them,
+and their impact on the memory subsystem, needs to be delivered to the
+programmer in a unified and comprehensible manner."
+
+:class:`TimelineRenderer` draws a Gantt-style chart from the scheduler
+trace: one row per thread, time flowing right, each cell showing the
+phase label executing in that slot (or '.' idle).  Unlike the 2010
+tools it has microsecond resolution and every thread on one canvas.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.machine import SimMachine
+
+#: phase label -> single display character
+_DEFAULT_GLYPHS = {
+    "predict": "p",
+    "rebuild": "n",
+    "forces": "F",
+    "reduce": "r",
+    "correct": "c",
+    "queue-pop": "q",
+    "dispatch": "d",
+    "display": "g",
+    "background": "b",
+    "jamon-start": "j",
+    "jamon-stop": "j",
+    "tcp-agent": "t",
+}
+
+
+class TimelineRenderer:
+    """Execution Gantt chart over a time window."""
+
+    def __init__(
+        self,
+        machine: SimMachine,
+        glyphs: Optional[Dict[str, str]] = None,
+    ):
+        self.machine = machine
+        self.glyphs = dict(_DEFAULT_GLYPHS)
+        if glyphs:
+            self.glyphs.update(glyphs)
+        # per-thread sorted (time, kind, label) where kind is run/stop
+        self._events: Dict[str, List[Tuple[float, str, str]]] = {}
+        for time, thread, _pu, what in machine.scheduler.trace.events:
+            if what.startswith("run"):
+                label = what.partition(":")[2]
+                self._events.setdefault(thread, []).append(
+                    (time, "run", label)
+                )
+            elif what in ("done", "preempt"):
+                self._events.setdefault(thread, []).append(
+                    (time, "stop", "")
+                )
+
+    def _label_at(self, thread: str, time: float) -> Optional[str]:
+        events = self._events.get(thread, [])
+        times = [t for t, *_ in events]
+        k = bisect_right(times, time) - 1
+        if k < 0:
+            return None
+        t, kind, label = events[k]
+        return label if kind == "run" else None
+
+    def render(
+        self,
+        threads: Sequence[str],
+        t0: float,
+        t1: float,
+        width: int = 100,
+    ) -> str:
+        """Render the [t0, t1) window at ``width`` columns."""
+        if t1 <= t0 or width < 1:
+            raise ValueError("need t1 > t0 and width >= 1")
+        dt = (t1 - t0) / width
+        lines = [
+            f"timeline {t0 * 1e3:.3f} .. {t1 * 1e3:.3f} ms  "
+            f"({dt * 1e6:.1f} us/column)"
+        ]
+        for thread in threads:
+            cells = []
+            for col in range(width):
+                label = self._label_at(thread, t0 + (col + 0.5) * dt)
+                if label is None:
+                    cells.append(".")
+                else:
+                    cells.append(self.glyphs.get(label, "?"))
+            lines.append(f"{thread[-14:]:>14} |{''.join(cells)}|")
+        legend = "  ".join(
+            f"{g}={l}" for l, g in sorted(self.glyphs.items(), key=lambda kv: kv[1])
+            if any(
+                lab == l
+                for evs in self._events.values()
+                for _, k, lab in evs
+                if k == "run"
+            )
+        )
+        lines.append("legend: " + (legend or "(no activity)") + "  .=idle")
+        return "\n".join(lines)

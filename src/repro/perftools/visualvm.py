@@ -1,0 +1,98 @@
+"""VisualVM models: per-method CPU instrumentation and its cost.
+
+§IV-A: "using VisualVM and enabling the per-method cpu utilization
+instrumentation causes the Molecular Workbench simulation to run at
+roughly one quarter its normal speed.  Much of the system's processing
+resources are devoted to TCP traffic between the application and the
+measurement tool."
+
+:class:`VisualVmCpuInstrumentation` inflates every task by the
+instrumentation factor *and* runs a tool-agent thread that burns CPU
+shipping samples over TCP — on a fully loaded machine the agent
+competes with worker threads, and "the entire system waits at a
+barrier" for whichever worker lost its core, masking true imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.concurrent.simexec import Instrumentation, SimTask
+from repro.des import Timeout
+from repro.machine.cost import WorkCost
+
+
+class VisualVmCpuInstrumentation(Instrumentation):
+    """Per-method instrumentation: ~4x per-task inflation + agent thread.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine; the TCP agent thread is spawned on it.
+    inflation:
+        Multiplier applied to every task's cost (method-entry/exit
+        bytecode hooks); the paper observed ~4x.
+    agent_utilization:
+        Fraction of one core the measurement agent consumes streaming
+        data to the tool.
+    agent_duration:
+        How long (simulated seconds) the agent keeps running.
+    """
+
+    def __init__(
+        self,
+        machine,
+        inflation: float = 4.0,
+        agent_utilization: float = 0.6,
+        agent_period: float = 0.002,
+        agent_duration: Optional[float] = None,
+    ):
+        if inflation < 1.0:
+            raise ValueError(f"inflation must be >= 1: {inflation}")
+        if not 0.0 <= agent_utilization < 1.0:
+            raise ValueError(
+                f"agent_utilization must be in [0,1): {agent_utilization}"
+            )
+        self.machine = machine
+        self.inflation = inflation
+        #: per-method (task label) sampled CPU totals, what the tool shows
+        self.method_cpu: Dict[str, float] = {}
+        self._starts: Dict[int, float] = {}
+        if agent_utilization > 0.0:
+            busy = agent_period * agent_utilization
+            idle = agent_period - busy
+            machine.thread(
+                self._agent_body(busy, idle, agent_duration),
+                "visualvm-agent",
+            )
+
+    def _agent_body(self, busy: float, idle: float, duration):
+        cycles = busy * self.machine.spec.freq_hz
+        while True:
+            if duration is not None and self.machine.now >= duration:
+                return
+            yield WorkCost(cycles=cycles, label="tcp-agent")
+            yield Timeout(idle)
+
+    def transform_cost(self, worker_index: int, cost: WorkCost) -> WorkCost:
+        return cost.scaled(self.inflation)
+
+    def on_task_start(self, worker_index: int, task: SimTask):
+        """Record the instrumented task start (no extra sim cost)."""
+        self._starts[id(task)] = self.machine.now
+        yield from ()
+
+    def on_task_end(self, worker_index: int, task: SimTask):
+        """Attribute the elapsed time to the method's CPU total."""
+        started = self._starts.pop(id(task), self.machine.now)
+        label = task.cost.label or "method"
+        self.method_cpu[label] = self.method_cpu.get(label, 0.0) + (
+            self.machine.now - started
+        )
+        yield from ()
+
+    def hot_methods(self):
+        """The call-stack hot list the tool displays (label, seconds)."""
+        return sorted(
+            self.method_cpu.items(), key=lambda kv: kv[1], reverse=True
+        )

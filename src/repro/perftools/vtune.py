@@ -1,0 +1,86 @@
+"""VTune models: the thread→core plot (Fig. 2) and HW cache counters.
+
+§V-B used VTune "to plot the thread to core affinity of a workload";
+Fig. 2 shows a single worker visiting every core of the quad-core
+within a second.  §V-A used VTune's access to the hardware performance
+monitoring unit to read mid-level and last-level cache miss rates.
+
+:class:`VTune` renders the residency heat map from the scheduler trace
+and reads the cache counters — from the warmth model during timing
+simulation, or from a trace-driven :class:`SetAssocCache` for the
+data-packing study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.machine.machine import SimMachine
+
+
+class VTune:
+    """Hardware-assisted sampler attached to a finished simulation."""
+
+    def __init__(self, machine: SimMachine):
+        self.machine = machine
+
+    # -- thread-to-core plot (Fig. 2) ------------------------------------
+
+    def residency_matrix(self, threads: Sequence[str]) -> np.ndarray:
+        """Seconds each thread executed on each PU (rows x PUs)."""
+        trace = self.machine.scheduler.trace
+        return trace.residency_matrix(
+            list(threads), self.machine.spec.n_pus
+        )
+
+    def migrations(self, thread: str) -> int:
+        """How many times the thread changed PU."""
+        return self.machine.scheduler.trace.migrations.get(thread, 0)
+
+    def cores_visited(self, thread: str) -> int:
+        """Distinct physical cores the thread has executed on."""
+        trace = self.machine.scheduler.trace
+        cores = {
+            self.machine.topology.core_of(pu)
+            for pu, sec in trace.residency[thread].items()
+            if sec > 0
+        }
+        return len(cores)
+
+    def thread_to_core_plot(self, threads: Sequence[str]) -> str:
+        """ASCII version of Fig. 2: one row per thread, one column per
+        PU; '#' heavy load, '+' moderate, '.' light, ' ' none."""
+        mat = self.residency_matrix(threads)
+        total = mat.sum(axis=1, keepdims=True)
+        total[total == 0] = 1.0
+        frac = mat / total
+        out = ["thread/PU " + "".join(f"{p % 10}" for p in range(mat.shape[1]))]
+        for name, row in zip(threads, frac):
+            cells = []
+            for f in row:
+                if f >= 0.5:
+                    cells.append("#")
+                elif f >= 0.15:
+                    cells.append("+")
+                elif f > 0.0:
+                    cells.append(".")
+                else:
+                    cells.append(" ")
+            out.append(f"{name[-9:]:>9} " + "".join(cells))
+        return "\n".join(out)
+
+    # -- hardware cache counters (§V-A) -----------------------------------
+
+    def llc_miss_rates(self) -> Dict[int, float]:
+        """Byte-level miss fraction per LLC from the warmth model."""
+        out = {}
+        for llc in self.machine.llc_states:
+            total = llc.bytes_hit + llc.bytes_missed
+            out[llc.llc_id] = llc.bytes_missed / total if total else 0.0
+        return out
+
+    def memory_bandwidth_report(self) -> Dict[int, Dict[str, float]]:
+        """Per-socket DRAM traffic (the bandwidth-saturation evidence)."""
+        return self.machine.memory.stats()

@@ -1,0 +1,38 @@
+"""The paper's three benchmarks (Table I) and structure generators.
+
+==========  ========  ================  =========  =====================
+Benchmark   # Atoms   # Charged Atoms   # Bonds    Dominant Computation
+==========  ========  ================  =========  =====================
+nanocar     989       0                 2277       Bonds
+salt        800       800               0          Ionic
+Al-1000     1000      0                 0          Lennard-Jones
+==========  ========  ================  =========  =====================
+
+Each builder returns a :class:`~repro.workloads.base.Workload` bundling
+the atom system, force objects, timestep, and the Table I
+characteristics (the dominant type is *measured* from the actual flop
+distribution, not hard-coded).
+"""
+
+from repro.workloads.al1000 import build_al1000
+from repro.workloads.base import Workload, table1_rows
+from repro.workloads.nanocar import build_nanocar
+from repro.workloads.salt import build_salt
+from repro.workloads.scaling import build_ionic_gas, build_lj_block
+
+BUILDERS = {
+    "nanocar": build_nanocar,
+    "salt": build_salt,
+    "Al-1000": build_al1000,
+}
+
+__all__ = [
+    "BUILDERS",
+    "Workload",
+    "build_al1000",
+    "build_ionic_gas",
+    "build_lj_block",
+    "build_nanocar",
+    "build_salt",
+    "table1_rows",
+]

@@ -1,0 +1,59 @@
+"""The ``Al-1000`` benchmark.
+
+"The last test case, Al-1000, is a densely packed stationary block of
+999 aluminum atoms hit by a single, fast-moving gold atom.  This case
+has a large number of collisions and requires frequent neighbor list
+updates." (§III)
+
+Lennard-Jones only — the irregular, memory-bound profile whose poor
+scaling (1.42x on four cores) triggered the paper's investigation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.elements import ELEMENTS
+from repro.md.forces import LennardJonesForce
+from repro.md.system import AtomSystem
+from repro.workloads.base import Workload
+from repro.workloads.generators import cubic_lattice
+
+
+def build_al1000(
+    seed: int = 0, impact_speed: float = 0.08
+) -> Workload:
+    """999 Al atoms in a block + 1 fast Au projectile."""
+    rng = np.random.default_rng(seed)
+    # near-equilibrium LJ spacing for Al: 2^(1/6) * sigma
+    spacing = 2.0 ** (1.0 / 6.0) * ELEMENTS["Al"].sigma
+    margin = 14.0
+    block = cubic_lattice((10, 10, 10), spacing, origin=(margin,) * 3)
+    block = block[:-1]  # drop one corner atom: 999
+    block += rng.normal(0.0, 0.01, block.shape)
+    center = block.mean(axis=0)
+    box = block.max(axis=0) + margin
+
+    system = AtomSystem(box)
+    system.add_atoms("Al", block)
+    # the projectile approaches along +x toward the block's center
+    start = np.array([2.0, center[1], center[2]])
+    system.add_atoms(
+        "Au", [start], velocities=[[impact_speed, 0.0, 0.0]]
+    )
+
+    assert system.n_atoms == 1000
+    return Workload(
+        name="Al-1000",
+        system=system,
+        forces=[LennardJonesForce()],
+        dt_fs=1.0,
+        # tight skin: collisions force frequent rebuilds, as in the paper
+        skin=0.6,
+        description=(
+            "densely packed stationary block of 999 aluminum atoms hit "
+            "by a single fast-moving gold atom; many collisions, "
+            "frequent neighbor list updates"
+        ),
+        n_bonds=0,
+    )

@@ -1,0 +1,59 @@
+"""Tests for roofline classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline import (
+    machine_ridge_point,
+    phase_roofline,
+    render_roofline,
+)
+from repro.core import capture_trace
+from repro.machine import CORE_I7_920
+from repro.workloads import build_al1000, build_salt
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "salt": capture_trace(build_salt(seed=1), 5),
+        "Al-1000": capture_trace(build_al1000(seed=1), 5),
+    }
+
+
+def test_ridge_point_positive():
+    ridge = machine_ridge_point(CORE_I7_920)
+    assert ridge > 0
+    # i7: ~1.9 Gflop/s-per-GB/s scale
+    assert 0.01 < ridge < 10
+
+
+def test_al1000_forces_memory_bound(traces):
+    points = phase_roofline(traces["Al-1000"], CORE_I7_920, n_cores=4)
+    forces = points["forces"]
+    assert forces.memory_bound_parallel
+    # sharing the socket caps per-core efficiency well below 1
+    assert forces.parallel_efficiency_cap < 0.75
+
+
+def test_salt_forces_compute_bound(traces):
+    points = phase_roofline(traces["salt"], CORE_I7_920, n_cores=4)
+    forces = points["forces"]
+    assert not forces.memory_bound_single
+    assert forces.parallel_efficiency_cap == pytest.approx(1.0)
+    # salt's intensity is far above Al-1000's — the Fig. 1 story
+    al = phase_roofline(traces["Al-1000"], CORE_I7_920)["forces"]
+    assert forces.intensity > al.intensity * 5
+
+
+def test_render_roofline(traces):
+    points = phase_roofline(traces["Al-1000"], CORE_I7_920)
+    text = render_roofline(points, CORE_I7_920)
+    assert "ridge" in text
+    assert "forces" in text
+    assert "memory-bound" in text
+
+
+def test_roofline_validation(traces):
+    with pytest.raises(ValueError):
+        phase_roofline(traces["salt"], CORE_I7_920, n_cores=0)

@@ -1,0 +1,116 @@
+"""Tests for structural observables (RDF, MSD, VACF)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structure import (
+    TrajectoryObserver,
+    first_peak,
+    radial_distribution,
+)
+from repro.md import AtomSystem, LennardJonesForce, MDEngine
+from repro.md.boundary import PeriodicBox
+from repro.workloads import build_salt
+from repro.workloads.generators import rocksalt_lattice
+
+
+def test_rdf_of_ideal_gas_is_flat():
+    rng = np.random.default_rng(0)
+    box = np.array([30.0, 30.0, 30.0])
+    pos = rng.uniform(0, 30, (3000, 3))
+    centers, g = radial_distribution(
+        pos, box, r_max=10.0, n_bins=40, boundary=PeriodicBox(box)
+    )
+    # away from r=0 the gas is structureless
+    tail = g[centers > 3.0]
+    assert np.abs(tail.mean() - 1.0) < 0.1
+
+
+def test_rdf_crystal_peak_at_lattice_spacing():
+    spacing = 2.82
+    pos, charges = rocksalt_lattice(3, spacing)
+    box = pos.max(axis=0) + spacing
+    na = np.nonzero(charges > 0)[0]
+    cl = np.nonzero(charges < 0)[0]
+    centers, g = radial_distribution(
+        pos, box, r_max=8.0, n_bins=160, subset_a=na, subset_b=cl
+    )
+    peak_r, peak_h = first_peak(centers, g, r_min=1.0)
+    # nearest Na-Cl neighbors sit exactly one lattice spacing apart
+    assert peak_r == pytest.approx(spacing, abs=0.1)
+    assert peak_h > 3.0
+
+
+def test_rdf_like_pairs_second_shell():
+    spacing = 2.82
+    pos, charges = rocksalt_lattice(3, spacing)
+    box = pos.max(axis=0) + spacing
+    na = np.nonzero(charges > 0)[0]
+    centers, g = radial_distribution(
+        pos, box, r_max=8.0, n_bins=160, subset_a=na, subset_b=na
+    )
+    peak_r, _ = first_peak(centers, g, r_min=1.0)
+    # like ions first meet at sqrt(2) x spacing
+    assert peak_r == pytest.approx(spacing * np.sqrt(2), abs=0.15)
+
+
+def test_rdf_validation():
+    with pytest.raises(ValueError):
+        radial_distribution(np.zeros((4, 3)), [1, 1, 1], r_max=0.0)
+
+
+def test_msd_zero_for_frozen_system():
+    s = AtomSystem([20.0, 20.0, 20.0])
+    s.add_atoms("Al", np.random.default_rng(0).uniform(2, 18, (20, 3)))
+    obs = TrajectoryObserver(s)
+    for _ in range(5):
+        obs.record()
+    msd = obs.mean_squared_displacement()
+    assert np.allclose(msd, 0.0)
+    assert obs.n_frames == 5
+
+
+def test_msd_grows_for_moving_atoms():
+    wl = build_salt(seed=0, temperature_k=600.0)
+    engine = wl.make_engine()
+    engine.prime()
+    obs = TrajectoryObserver(engine.system)
+    obs.record()
+    for _ in range(4):
+        engine.run(10)
+        obs.record()
+    msd = obs.mean_squared_displacement()
+    assert msd[0] == 0.0
+    assert msd[-1] > msd[1] > 0.0
+
+
+def test_vacf_starts_at_one_and_decays():
+    wl = build_salt(seed=0, temperature_k=600.0)
+    engine = wl.make_engine()
+    engine.prime()
+    obs = TrajectoryObserver(engine.system)
+    obs.record()
+    for _ in range(6):
+        engine.run(25)
+        obs.record()
+    vacf = obs.velocity_autocorrelation()
+    assert vacf[0] == pytest.approx(1.0)
+    # collisions decorrelate velocities
+    assert abs(vacf[-1]) < 0.9
+
+
+def test_observer_subset():
+    s = AtomSystem([10.0, 10.0, 10.0])
+    s.add_atoms("Al", [[1, 1, 1], [5, 5, 5]])
+    obs = TrajectoryObserver(s, subset=np.array([1]))
+    obs.record()
+    s.positions[0] += 1.0  # atom outside the subset moves
+    obs.record()
+    assert np.allclose(obs.mean_squared_displacement(), 0.0)
+
+
+def test_empty_observer():
+    s = AtomSystem([10.0, 10.0, 10.0])
+    obs = TrajectoryObserver(s)
+    assert obs.mean_squared_displacement().shape == (0,)
+    assert obs.velocity_autocorrelation().shape == (0,)

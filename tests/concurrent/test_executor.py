@@ -1,0 +1,111 @@
+"""Tests for the real-thread ExecutorService."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrent import ExecutorService, QueueMode, new_fixed_thread_pool
+
+
+def test_submit_and_result():
+    with new_fixed_thread_pool(2) as pool:
+        fut = pool.submit(lambda a, b: a + b, 2, 3)
+        assert fut.result(timeout=2.0) == 5
+        assert fut.done()
+
+
+def test_submit_kwargs():
+    with new_fixed_thread_pool(1) as pool:
+        fut = pool.submit(lambda *, x: x * 2, x=21)
+        assert fut.result(timeout=2.0) == 42
+
+
+def test_exception_delivered_via_future():
+    with new_fixed_thread_pool(1) as pool:
+        def boom():
+            raise ValueError("kaput")
+
+        fut = pool.submit(boom)
+        with pytest.raises(ValueError, match="kaput"):
+            fut.result(timeout=2.0)
+
+
+def test_invoke_all_order_preserved():
+    with new_fixed_thread_pool(4) as pool:
+        tasks = [lambda i=i: i * i for i in range(20)]
+        assert pool.invoke_all(tasks) == [i * i for i in range(20)]
+
+
+def test_all_workers_participate_single_queue():
+    with new_fixed_thread_pool(4, QueueMode.SINGLE) as pool:
+        barrier_like = threading.Semaphore(0)
+
+        def task():
+            time.sleep(0.01)
+            return threading.current_thread().name
+
+        futs = [pool.submit(task) for _ in range(40)]
+        names = {f.result(timeout=5.0) for f in futs}
+        assert len(names) >= 2  # several workers drained the shared queue
+
+
+def test_per_thread_queue_routing():
+    with new_fixed_thread_pool(3, QueueMode.PER_THREAD) as pool:
+        def whoami():
+            return threading.current_thread().name
+
+        futs = [pool.submit(whoami, worker=1) for _ in range(10)]
+        names = {f.result(timeout=5.0) for f in futs}
+        assert names == {"pool-worker-1"}
+
+
+def test_per_thread_round_robin_distribution():
+    with new_fixed_thread_pool(2, QueueMode.PER_THREAD) as pool:
+        def whoami():
+            time.sleep(0.005)
+            return threading.current_thread().name
+
+        futs = [pool.submit(whoami) for _ in range(8)]
+        names = [f.result(timeout=5.0) for f in futs]
+        assert set(names) == {"pool-worker-0", "pool-worker-1"}
+
+
+def test_tasks_executed_accounting():
+    with new_fixed_thread_pool(2, QueueMode.PER_THREAD) as pool:
+        futs = [pool.submit(lambda: None, worker=i % 2) for i in range(10)]
+        for f in futs:
+            f.result(timeout=5.0)
+        # give workers a moment to bump counters after setting results
+        time.sleep(0.05)
+        assert sum(pool.tasks_executed) == 10
+        assert pool.tasks_executed[0] == 5
+
+
+def test_submit_after_shutdown_raises():
+    pool = new_fixed_thread_pool(1)
+    pool.shutdown()
+    with pytest.raises(RuntimeError):
+        pool.submit(lambda: None)
+
+
+def test_shutdown_drains_pending_work():
+    pool = new_fixed_thread_pool(1)
+    results = []
+    for i in range(5):
+        pool.submit(lambda i=i: results.append(i))
+    pool.shutdown(wait=True)
+    assert sorted(results) == [0, 1, 2, 3, 4]
+
+
+def test_future_timeout():
+    with new_fixed_thread_pool(1) as pool:
+        fut = pool.submit(time.sleep, 0.5)
+        with pytest.raises(TimeoutError):
+            fut.result(timeout=0.01)
+        assert fut.result(timeout=5.0) is None
+
+
+def test_invalid_thread_count():
+    with pytest.raises(ValueError):
+        ExecutorService(0)

@@ -1,0 +1,230 @@
+"""Tests for the simulated ExecutorService."""
+
+import pytest
+
+from repro.concurrent import (
+    Instrumentation,
+    QueueMode,
+    SimExecutorService,
+)
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+
+
+def make_machine(**kw):
+    kw.setdefault("seed", 1)
+    kw.setdefault("migrate_prob", 0.0)
+    return SimMachine(CORE_I7_920, **kw)
+
+
+def cpu(machine, seconds, label=""):
+    return WorkCost(cycles=seconds * machine.spec.freq_hz, label=label)
+
+
+def pinned_affinities(machine, n):
+    topo = machine.topology
+    return [[topo.pus_of_core(i % 4)[0]] for i in range(n)]
+
+
+def test_single_task_completes():
+    m = make_machine()
+    pool = SimExecutorService(m, 1, name="p")
+    task = pool.submit(cpu(m, 0.5))
+    pool.shutdown()
+    m.run()
+    assert task.future.done
+    assert task.future.completion_time == pytest.approx(0.5, rel=0.01)
+
+
+def test_phase_latch_waits_for_all():
+    m = make_machine()
+    pool = SimExecutorService(
+        m, 4, affinities=pinned_affinities(m, 4), name="p"
+    )
+    done = {}
+
+    def master():
+        latch = pool.submit_phase([cpu(m, 0.2) for _ in range(4)])
+        yield latch
+        done["t"] = m.now
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    # 4 equal tasks on 4 cores: phase takes ~one task time
+    assert done["t"] == pytest.approx(0.2, rel=0.1)
+
+
+def test_parallel_speedup_on_sim_machine():
+    """Compute-bound phases scale with simulated cores — the thing the
+    real GIL host cannot do."""
+
+    def run(n_threads):
+        m = make_machine()
+        pool = SimExecutorService(
+            m, n_threads, affinities=pinned_affinities(m, n_threads)
+        )
+        end = {}
+
+        def master():
+            for _ in range(5):
+                latch = pool.submit_phase(
+                    [cpu(m, 0.1) for _ in range(8)]
+                )
+                yield latch
+            end["t"] = m.now
+            pool.shutdown()
+
+        m.thread(master(), "master")
+        m.run()
+        return end["t"]
+
+    t1 = run(1)
+    t4 = run(4)
+    assert t1 / t4 > 3.0
+
+
+def test_single_queue_all_workers_share():
+    m = make_machine()
+    pool = SimExecutorService(
+        m, 4, QueueMode.SINGLE, affinities=pinned_affinities(m, 4)
+    )
+
+    def master():
+        latch = pool.submit_phase([cpu(m, 0.05) for _ in range(16)])
+        yield latch
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    assert sum(pool.tasks_executed) == 16
+    # a shared queue keeps everyone busy: no worker idles
+    assert min(pool.tasks_executed) >= 1
+
+
+def test_per_thread_queue_can_idle_workers():
+    """Per-thread queues with a skewed distribution leave workers idle
+    while one queue has considerable work (§II-B)."""
+    m = make_machine()
+    pool = SimExecutorService(
+        m, 4, QueueMode.PER_THREAD, affinities=pinned_affinities(m, 4)
+    )
+
+    def master():
+        # all work lands on worker 0's queue
+        for _ in range(8):
+            pool.submit(cpu(m, 0.05), worker=0)
+        yield cpu(m, 0.0)
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    assert pool.tasks_executed[0] == 8
+    assert pool.tasks_executed[1] == 0
+    # everything serialized on worker 0: ~8 * 0.05s
+    assert m.now == pytest.approx(0.4, rel=0.1)
+
+
+def test_queue_contention_slower_than_per_thread():
+    """Dequeue critical sections make the single queue marginally
+    slower on many tiny tasks."""
+
+    def run(mode, pop_cycles):
+        m = make_machine()
+        pool = SimExecutorService(
+            m,
+            4,
+            mode,
+            affinities=pinned_affinities(m, 4),
+            pop_overhead_cycles=pop_cycles,
+        )
+
+        def master():
+            for _ in range(10):
+                latch = pool.submit_phase(
+                    [cpu(m, 0.0002) for _ in range(16)]
+                )
+                yield latch
+            pool.shutdown()
+
+        m.thread(master(), "master")
+        m.run()
+        return m.now
+
+    contended = run(QueueMode.SINGLE, pop_cycles=30000.0)
+    uncontended = run(QueueMode.PER_THREAD, pop_cycles=30000.0)
+    assert contended > uncontended
+
+
+def test_instrumentation_hooks_run_in_worker():
+    m = make_machine()
+    events = []
+
+    class Probe(Instrumentation):
+        def on_task_start(self, worker_index, task):
+            events.append(("start", worker_index, m.now))
+            yield from ()
+
+        def on_task_end(self, worker_index, task):
+            events.append(("end", worker_index, m.now))
+            yield from ()
+
+    pool = SimExecutorService(m, 1, instrumentation=Probe())
+    pool.submit(cpu(m, 0.1))
+    pool.shutdown()
+    m.run()
+    assert [e[0] for e in events] == ["start", "end"]
+    assert events[1][2] > events[0][2]
+
+
+def test_instrumentation_cost_inflation():
+    class Inflate4x(Instrumentation):
+        def transform_cost(self, worker_index, cost):
+            return cost.scaled(4.0)
+
+    def run(instr):
+        m = make_machine()
+        pool = SimExecutorService(m, 1, instrumentation=instr)
+        pool.submit(cpu(m, 0.1))
+        pool.shutdown()
+        m.run()
+        return m.now
+
+    assert run(Inflate4x()) == pytest.approx(4 * run(None), rel=0.05)
+
+
+def test_busy_time_accounting():
+    m = make_machine()
+    pool = SimExecutorService(m, 2, affinities=pinned_affinities(m, 2))
+    latch = pool.submit_phase([cpu(m, 0.1), cpu(m, 0.3)])
+
+    def master():
+        yield latch
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    assert sum(pool.busy_time) == pytest.approx(0.4, rel=0.05)
+
+
+def test_submit_after_shutdown_raises():
+    m = make_machine()
+    pool = SimExecutorService(m, 1)
+    pool.shutdown()
+    with pytest.raises(RuntimeError):
+        pool.submit(cpu(m, 0.1))
+    m.run()
+
+
+def test_affinities_length_validated():
+    m = make_machine()
+    with pytest.raises(ValueError):
+        SimExecutorService(m, 4, affinities=[[0]])
+
+
+def test_task_meta_carried():
+    m = make_machine()
+    pool = SimExecutorService(m, 1)
+    task = pool.submit(cpu(m, 0.01), meta={"phase": "forces", "chunk": 3})
+    pool.shutdown()
+    m.run()
+    assert task.meta == {"phase": "forces", "chunk": 3}

@@ -1,0 +1,123 @@
+"""Unit tests for the machine cost model (phase pricing)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostParams, MachineCostModel, block_partition, capture_trace
+from repro.md.engine import PhaseWork, StepReport
+from repro.workloads import build_al1000
+
+
+def synthetic_report(n_atoms=100, rebuilt=False):
+    ones = np.ones(n_atoms)
+    pw = {
+        "predict": PhaseWork(per_atom=ones, flops=1200.0, bytes_regular=7200.0),
+        "rebuild": PhaseWork(
+            per_atom=ones * (2.0 if rebuilt else 0.0),
+            flops=5e4 if rebuilt else 0.0,
+            bytes_irregular=3.2e4 if rebuilt else 0.0,
+            terms=1000 if rebuilt else 0,
+        ),
+        "forces": PhaseWork(
+            per_atom=ones * 3.0,
+            flops=4.5e5,
+            bytes_irregular=1.28e6,
+            bytes_regular=9.6e3,
+            terms=10_000,
+        ),
+        "correct": PhaseWork(per_atom=ones, flops=900.0, bytes_regular=7200.0),
+    }
+    return StepReport(
+        step=1,
+        rebuilt=rebuilt,
+        potential_energy=0.0,
+        kinetic_energy=0.0,
+        phase_work=pw,
+    )
+
+
+def model(n_atoms=100, n_threads=4, **kw):
+    return MachineCostModel(
+        n_atoms, block_partition(n_atoms, n_threads), name="t", **kw
+    )
+
+
+def test_phase_order_without_rebuild():
+    cm = model()
+    names = [n for n, _ in cm.step_phases(synthetic_report())]
+    assert names == ["predict", "forces", "reduce", "correct"]
+
+
+def test_rebuild_fused_into_forces():
+    cm = model(fuse_rebuild=True)
+    report = synthetic_report(rebuilt=True)
+    phases = dict(cm.step_phases(report))
+    assert "rebuild" not in phases
+    fused_cycles = sum(c.cycles for c in phases["forces"])
+    cm2 = model(fuse_rebuild=False)
+    split = dict(cm2.step_phases(report))
+    unfused = sum(c.cycles for c in split["forces"]) + sum(
+        c.cycles for c in split["rebuild"]
+    )
+    assert fused_cycles == pytest.approx(unfused, rel=1e-9)
+
+
+def test_reduce_costs_read_every_buffer():
+    cm = model(n_threads=3)
+    phases = dict(cm.step_phases(synthetic_report()))
+    for cost in phases["reduce"]:
+        read_names = {t.region.name for t in cost.reads}
+        assert read_names == {"t.forces0", "t.forces1", "t.forces2"}
+        assert len(cost.writes) == 1
+
+
+def test_force_costs_include_ghost_reads_and_churn():
+    cm = model(n_threads=4)
+    phases = dict(cm.step_phases(synthetic_report()))
+    cost0 = phases["forces"][0]
+    names = [t.region.name for t in cost0.reads]
+    assert "t.part0" in names
+    # ghost reads hit the other three partitions
+    assert {"t.part1", "t.part2", "t.part3"} <= set(names)
+    assert "t.tmp0" in names  # temp churn
+    assert cost0.writes  # privatized force buffer
+
+
+def test_churn_disabled_removes_tmp_traffic():
+    cm = model(params=CostParams(include_temp_churn=False))
+    phases = dict(cm.step_phases(synthetic_report()))
+    for cost in phases["forces"]:
+        assert not any("tmp" in t.region.name for t in cost.reads)
+
+
+def test_single_thread_has_no_ghost_reads():
+    cm = model(n_threads=1)
+    phases = dict(cm.step_phases(synthetic_report()))
+    cost = phases["forces"][0]
+    part_reads = [t for t in cost.reads if "part" in t.region.name]
+    assert all(t.region.name == "t.part0" for t in part_reads)
+
+
+def test_dispatch_and_display_costs():
+    cm = model()
+    d = cm.dispatch_cost(4)
+    assert d.cycles == 4 * cm.params.submit_cycles_per_task
+    m = cm.master_step_overhead()
+    assert m.cycles == 100 * cm.params.display_cycles_per_atom
+
+
+def test_hot_bytes_sizing():
+    cm = MachineCostModel(
+        100,
+        block_partition(100, 4),
+        name="t",
+        hot_bytes_per_step=8 * 2**20,
+    )
+    total_part = sum(r.size_bytes for r in cm.part_regions)
+    expect = 8 * 2**20 * cm.params.hot_set_factor
+    assert total_part == pytest.approx(expect, rel=0.01)
+
+
+def test_invalid_atoms():
+    with pytest.raises(ValueError):
+        MachineCostModel(0, [(0, 0)])

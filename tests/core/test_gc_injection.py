@@ -1,0 +1,71 @@
+"""Tests for stop-the-world GC injection in simulated runs."""
+
+import pytest
+
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.jvm import AllocationRecorder, GcModel
+from repro.machine import CORE_I7_920, SimMachine
+from repro.workloads import build_al1000
+
+
+@pytest.fixture(scope="module")
+def al_trace():
+    wl = build_al1000(seed=1)
+    return wl, capture_trace(wl, 10)
+
+
+def run(wl, trace, gc_model):
+    machine = SimMachine(CORE_I7_920, seed=2)
+    return SimulatedParallelRun(
+        trace,
+        wl.system.n_atoms,
+        machine,
+        4,
+        name="al",
+        gc_model=gc_model,
+    ).run()
+
+
+def test_gc_pauses_inflate_runtime(al_trace):
+    wl, trace = al_trace
+    base = run(wl, trace, None)
+    assert base.gc_pauses == 0
+    assert base.gc_pause_seconds == 0.0
+
+    gc = GcModel(
+        AllocationRecorder(),
+        young_gen_bytes=1 * 2**20,
+        min_pause=2e-3,
+    )
+    with_gc = run(wl, trace, gc)
+    assert with_gc.gc_pauses >= 1
+    assert with_gc.gc_pause_seconds > 0
+    # pauses account for (roughly) the whole runtime difference
+    delta = with_gc.sim_seconds - base.sim_seconds
+    assert delta == pytest.approx(with_gc.gc_pause_seconds, rel=0.3)
+
+
+def test_gc_events_match_run_result(al_trace):
+    wl, trace = al_trace
+    gc = GcModel(
+        AllocationRecorder(), young_gen_bytes=1 * 2**20, min_pause=1e-3
+    )
+    result = run(wl, trace, gc)
+    assert result.gc_pauses == len(gc.events)
+    assert result.gc_pause_seconds == pytest.approx(gc.total_pause)
+    # the recorder saw the per-step Vector3 churn
+    assert gc.recorder.total_allocated_count > 0
+
+
+def test_larger_young_gen_fewer_pauses(al_trace):
+    wl, trace = al_trace
+
+    def pauses(young_mb):
+        gc = GcModel(
+            AllocationRecorder(),
+            young_gen_bytes=young_mb * 2**20,
+            min_pause=1e-3,
+        )
+        return run(wl, trace, gc).gc_pauses
+
+    assert pauses(0.5) > pauses(4)

@@ -1,0 +1,77 @@
+"""Tests for the multiprocessing force backend."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.multiproc import ProcessParallelMDEngine
+from repro.workloads import BUILDERS
+
+fork_only = pytest.mark.skipif(
+    not sys.platform.startswith("linux") and sys.platform != "darwin",
+    reason="requires a fork-capable platform",
+)
+
+
+@fork_only
+@pytest.mark.parametrize("n_workers", [1, 2, 3])
+def test_process_parallel_matches_serial(n_workers):
+    wl = BUILDERS["Al-1000"](seed=5)
+    serial = wl.make_engine()
+    with ProcessParallelMDEngine(
+        wl.system.copy(),
+        wl.forces,
+        n_workers=n_workers,
+        dt_fs=wl.dt_fs,
+        skin=wl.skin,
+    ) as par:
+        r_serial = serial.run(4)
+        r_par = par.run(4)
+        assert np.allclose(
+            serial.system.positions, par.system.positions, atol=1e-10
+        )
+        assert np.allclose(
+            serial.system.velocities, par.system.velocities, atol=1e-10
+        )
+        for rs, rp in zip(r_serial, r_par):
+            assert rs.potential_energy == pytest.approx(
+                rp.potential_energy, rel=1e-9
+            )
+            assert rs.rebuilt == rp.rebuilt
+
+
+@fork_only
+def test_process_parallel_bonded_workload():
+    """All four force families survive pickling and decomposition."""
+    wl = BUILDERS["nanocar"](seed=5)
+    serial = wl.make_engine()
+    with ProcessParallelMDEngine(
+        wl.system.copy(),
+        wl.forces,
+        n_workers=2,
+        dt_fs=wl.dt_fs,
+        skin=wl.skin,
+    ) as par:
+        serial.run(3)
+        par.run(3)
+        assert np.allclose(
+            serial.system.positions, par.system.positions, atol=1e-10
+        )
+
+
+def test_invalid_workers():
+    wl = BUILDERS["salt"]()
+    with pytest.raises(ValueError):
+        ProcessParallelMDEngine(wl.system.copy(), wl.forces, n_workers=0)
+
+
+@fork_only
+def test_shutdown_idempotent():
+    wl = BUILDERS["Al-1000"](seed=5)
+    engine = ProcessParallelMDEngine(
+        wl.system.copy(), wl.forces, n_workers=2, dt_fs=1.0
+    )
+    engine.step()
+    engine.shutdown()
+    engine.shutdown()  # no error

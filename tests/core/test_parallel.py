@@ -1,0 +1,137 @@
+"""Correctness of the real-thread parallel engine: trajectories must
+match the serial engine bit-for-bit up to float reassociation."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import QueueMode
+from repro.core import ParallelMDEngine
+from repro.md import (
+    AtomSystem,
+    CoulombForce,
+    LennardJonesForce,
+    MDEngine,
+    RadialBondForce,
+)
+from repro.workloads import BUILDERS
+
+
+def assert_trajectories_match(workload, n_threads, steps=4, **kw):
+    serial = workload.make_engine()
+    par_system = workload.system.copy()
+    par = ParallelMDEngine(
+        par_system,
+        workload.forces,
+        n_threads=n_threads,
+        dt_fs=workload.dt_fs,
+        skin=workload.skin,
+        **kw,
+    )
+    try:
+        r_serial = serial.run(steps)
+        r_par = par.run(steps)
+    finally:
+        par.shutdown()
+    assert np.allclose(
+        serial.system.positions, par.system.positions, atol=1e-10
+    )
+    assert np.allclose(
+        serial.system.velocities, par.system.velocities, atol=1e-10
+    )
+    for rs, rp in zip(r_serial, r_par):
+        assert rs.potential_energy == pytest.approx(
+            rp.potential_energy, rel=1e-9
+        )
+        assert rs.rebuilt == rp.rebuilt
+    return r_serial, r_par
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 3, 4])
+def test_salt_parallel_matches_serial(n_threads):
+    assert_trajectories_match(BUILDERS["salt"](seed=5), n_threads)
+
+
+@pytest.mark.parametrize("n_threads", [2, 4])
+def test_al1000_parallel_matches_serial(n_threads):
+    assert_trajectories_match(BUILDERS["Al-1000"](seed=5), n_threads)
+
+
+def test_nanocar_parallel_matches_serial():
+    """All four force families decompose correctly (bonds included)."""
+    assert_trajectories_match(BUILDERS["nanocar"](seed=5), 3)
+
+
+def test_per_thread_queue_mode_matches():
+    assert_trajectories_match(
+        BUILDERS["salt"](seed=6), 3, queue_mode=QueueMode.PER_THREAD
+    )
+
+
+def test_force_terms_partition_exactly():
+    """Restricted force copies over a partition must cover each term
+    exactly once: summed per-atom work equals the serial engine's."""
+    wl = BUILDERS["nanocar"](seed=5)
+    serial = wl.make_engine()
+    par = ParallelMDEngine(
+        wl.system.copy(), wl.forces, n_threads=4, dt_fs=wl.dt_fs, skin=wl.skin
+    )
+    try:
+        rs = serial.step()
+        rp = par.step()
+    finally:
+        par.shutdown()
+    for name, res in rs.force_results.items():
+        assert rp.force_results[name].terms == res.terms, name
+        assert np.allclose(
+            rp.force_results[name].per_atom_work, res.per_atom_work
+        ), name
+
+
+def test_private_force_buffers_reduce_to_serial_forces():
+    wl = BUILDERS["salt"](seed=7)
+    serial = wl.make_engine()
+    par = ParallelMDEngine(
+        wl.system.copy(), wl.forces, n_threads=3, dt_fs=wl.dt_fs, skin=wl.skin
+    )
+    try:
+        serial.prime()
+        par.prime()
+        assert np.allclose(
+            serial.system.forces, par.system.forces, atol=1e-10
+        )
+    finally:
+        par.shutdown()
+
+
+def test_invalid_thread_count():
+    wl = BUILDERS["salt"]()
+    with pytest.raises(ValueError):
+        ParallelMDEngine(wl.system.copy(), wl.forces, n_threads=0)
+
+
+def test_task_exception_propagates():
+    s = AtomSystem([10.0, 10.0, 10.0])
+    s.add_atoms("Al", [[1, 1, 1], [3, 1, 1]])
+
+    class Broken(LennardJonesForce):
+        def compute(self, *a, **k):
+            raise RuntimeError("injected failure")
+
+        def restrict(self, lo, hi):
+            return self
+
+    par = ParallelMDEngine(s, [Broken()], n_threads=2, dt_fs=1.0)
+    try:
+        with pytest.raises(RuntimeError, match="injected failure"):
+            par.step()
+    finally:
+        par.shutdown()
+
+
+def test_context_manager_shuts_down():
+    wl = BUILDERS["salt"](seed=8)
+    with ParallelMDEngine(
+        wl.system.copy(), wl.forces, n_threads=2, dt_fs=wl.dt_fs
+    ) as par:
+        par.step()
+    assert par.pool._shutdown

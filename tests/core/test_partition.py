@@ -1,0 +1,95 @@
+"""Tests for partitioning strategies (block, balanced)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    balanced_partition,
+    block_partition,
+    imbalance,
+    range_weights,
+)
+
+
+def ranges_cover(ranges, n):
+    flat = []
+    for lo, hi in ranges:
+        flat.extend(range(lo, hi))
+    return flat == list(range(n))
+
+
+def test_block_partition_even():
+    assert block_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_block_partition_remainder_goes_first():
+    assert block_partition(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+
+def test_block_partition_more_parts_than_items():
+    ranges = block_partition(2, 4)
+    assert ranges_cover(ranges, 2)
+    assert len(ranges) == 4
+    assert ranges[2] == ranges[3] == (2, 2)
+
+
+def test_block_partition_validation():
+    with pytest.raises(ValueError):
+        block_partition(10, 0)
+    with pytest.raises(ValueError):
+        block_partition(-1, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=500),
+    parts=st.integers(min_value=1, max_value=16),
+)
+def test_property_block_partition_covers(n, parts):
+    assert ranges_cover(block_partition(n, parts), n)
+
+
+def test_balanced_partition_equalizes_skewed_weights():
+    # all-pairs ownership profile: atom k owns (n-1-k) pairs
+    n = 400
+    weights = np.arange(n)[::-1].astype(float)
+    block = block_partition(n, 4)
+    balanced = balanced_partition(weights, 4)
+    imb_block = imbalance(range_weights(block, weights))
+    imb_bal = imbalance(range_weights(balanced, weights))
+    assert imb_block > 0.5  # the naive 1/N split is badly skewed
+    assert imb_bal < 0.1
+
+
+def test_balanced_partition_uniform_matches_block():
+    weights = np.ones(100)
+    balanced = balanced_partition(weights, 4)
+    per = range_weights(balanced, weights)
+    assert imbalance(per) < 0.05
+
+
+def test_balanced_partition_zero_weights_falls_back():
+    assert ranges_cover(balanced_partition(np.zeros(10), 3), 10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    parts=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_balanced_partition_covers(n, parts, seed):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0, 10, n)
+    ranges = balanced_partition(weights, parts)
+    assert len(ranges) == parts
+    assert ranges_cover(ranges, n)
+
+
+def test_imbalance_metric():
+    assert imbalance(np.array([1.0, 1.0, 1.0])) == 0.0
+    assert imbalance(np.array([2.0, 1.0, 1.0])) == pytest.approx(0.5)
+    assert imbalance(np.array([])) == 0.0
+    assert imbalance(np.array([0.0, 0.0])) == 0.0

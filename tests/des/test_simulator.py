@@ -1,0 +1,382 @@
+"""Unit tests for the DES kernel event loop and processes."""
+
+import pytest
+
+from repro.des import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupted,
+    SimulationDeadlock,
+    Simulator,
+    Timeout,
+)
+
+
+def test_timeout_ordering():
+    sim = Simulator()
+    log = []
+
+    def worker(name, delay):
+        yield Timeout(delay)
+        log.append((sim.now, name))
+
+    sim.spawn(worker("late", 5.0))
+    sim.spawn(worker("early", 1.0))
+    sim.spawn(worker("mid", 3.0))
+    sim.run()
+    assert log == [(1.0, "early"), (3.0, "mid"), (5.0, "late")]
+
+
+def test_simultaneous_events_fifo():
+    """Events at the same time run in scheduling order (determinism)."""
+    sim = Simulator()
+    log = []
+
+    def worker(i):
+        yield Timeout(1.0)
+        log.append(i)
+
+    for i in range(10):
+        sim.spawn(worker(i))
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        got = yield Timeout(1.0, value="payload")
+        seen.append(got)
+
+    sim.spawn(worker())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        for _ in range(10):
+            yield Timeout(1.0)
+            log.append(sim.now)
+
+    sim.spawn(worker())
+    end = sim.run(until=3.5)
+    assert end == 3.5
+    assert log == [1.0, 2.0, 3.0]
+    # Continue to completion afterwards.
+    sim.run(until=100.0)
+    assert len(log) == 10
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(2.0)
+        return 42
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        value = yield proc
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(2.0, 42)]
+
+
+def test_join_already_terminated_process():
+    sim = Simulator()
+    results = []
+
+    def child():
+        return "done"
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Timeout(5.0)
+        value = yield proc  # joined long after termination
+        results.append(value)
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == ["done"]
+
+
+def test_event_fire_wakes_all_waiters():
+    sim = Simulator()
+    evt = Event("go")
+    woke = []
+
+    def waiter(i):
+        value = yield evt
+        woke.append((sim.now, i, value))
+
+    def firer():
+        yield Timeout(3.0)
+        evt.fire("green", sim=sim)
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.spawn(firer())
+    sim.run()
+    assert woke == [(3.0, 0, "green"), (3.0, 1, "green"), (3.0, 2, "green")]
+
+
+def test_event_wait_after_fire_resolves_immediately():
+    sim = Simulator()
+    evt = Event()
+    seen = []
+
+    def firer():
+        yield Timeout(1.0)
+        evt.fire(7, sim=sim)
+
+    def late_waiter():
+        yield Timeout(2.0)
+        value = yield evt
+        seen.append((sim.now, value))
+
+    sim.spawn(firer())
+    sim.spawn(late_waiter())
+    sim.run()
+    assert seen == [(2.0, 7)]
+
+
+def test_event_double_fire_raises():
+    sim = Simulator()
+    evt = Event("once")
+    evt.fire(sim=sim)
+    with pytest.raises(Exception):
+        evt.fire(sim=sim)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    evt = Event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield Timeout(1.0)
+        evt.fail(RuntimeError("boom"), sim=sim)
+
+    sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_allof_waits_for_every_event():
+    sim = Simulator()
+    evts = [Event(f"e{i}") for i in range(3)]
+    done = []
+
+    def waiter():
+        values = yield AllOf(evts)
+        done.append((sim.now, values))
+
+    def firer(i, delay):
+        yield Timeout(delay)
+        evts[i].fire(i * 10, sim=sim)
+
+    sim.spawn(waiter())
+    for i, delay in enumerate([3.0, 1.0, 2.0]):
+        sim.spawn(firer(i, delay))
+    sim.run()
+    assert done == [(3.0, [0, 10, 20])]
+
+
+def test_anyof_returns_first():
+    sim = Simulator()
+    evts = [Event(f"e{i}") for i in range(3)]
+    done = []
+
+    def waiter():
+        idx, value = yield AnyOf(evts)
+        done.append((sim.now, idx, value))
+
+    def firer(i, delay):
+        yield Timeout(delay)
+        evts[i].fire(f"v{i}", sim=sim)
+
+    sim.spawn(waiter())
+    for i, delay in enumerate([3.0, 1.0, 2.0]):
+        sim.spawn(firer(i, delay))
+    sim.run()
+    assert done == [(1.0, 1, "v1")]
+
+
+def test_interrupt_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(100.0)
+            log.append("woke")
+        except Interrupted as exc:
+            log.append(("interrupted", exc.cause, sim.now))
+
+    def killer(target):
+        yield Timeout(2.0)
+        target.interrupt("deadline")
+
+    target = sim.spawn(sleeper())
+    sim.spawn(killer(target))
+    sim.run(until=200.0)
+    assert log == [("interrupted", "deadline", 2.0)]
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+    evt = Event("never")
+
+    def stuck():
+        yield evt
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(SimulationDeadlock) as exc_info:
+        sim.run()
+    assert "stuck-proc" in str(exc_info.value)
+
+
+def test_yield_garbage_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 12345
+
+    sim.spawn(bad())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.call_at(5.0, hits.append)
+    sim.run()
+    assert hits == [None]
+    with pytest.raises(ValueError):
+        sim.call_at(1.0, hits.append)  # in the past now
+
+
+def test_peek_and_step():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(2.0)
+
+    sim.spawn(worker())
+    assert sim.peek() == 0.0  # initial resume event
+    assert sim.step() is True  # runs the resume, schedules the timeout
+    assert sim.peek() == 2.0
+    while sim.step():
+        pass
+    assert sim.peek() is None
+
+
+def test_spawn_inside_process():
+    sim = Simulator()
+    log = []
+
+    def child(i):
+        yield Timeout(1.0)
+        log.append(i)
+
+    def parent():
+        for i in range(3):
+            sim.spawn(child(i))
+            yield Timeout(0.5)
+
+    sim.spawn(parent())
+    sim.run()
+    assert sorted(log) == [0, 1, 2]
+
+
+def test_event_count_increments():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    sim.spawn(worker())
+    sim.run()
+    assert sim.event_count >= 3
+
+
+def test_daemon_processes_exempt_from_deadlock():
+    sim = Simulator()
+    evt = Event("never")
+
+    def daemon_loop():
+        yield evt  # waits forever
+
+    def worker():
+        yield Timeout(1.0)
+
+    sim.spawn(daemon_loop(), name="daemon", daemon=True)
+    sim.spawn(worker(), name="worker")
+    # no SimulationDeadlock: the daemon is expected to wait forever
+    assert sim.run() == 1.0
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+    evts = [Event("a"), Event("b")]
+    caught = []
+
+    def waiter():
+        try:
+            yield AnyOf(evts)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield Timeout(1.0)
+        evts[0].fail(RuntimeError("bad"), sim=sim)
+
+    sim.spawn(waiter())
+    sim.spawn(failer())
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        return 1
+        yield  # pragma: no cover
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("too late")  # no error
+    sim.run()
+    assert not proc.alive

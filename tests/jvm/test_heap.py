@@ -1,0 +1,168 @@
+"""Tests for the JVM heap placement model and object layouts."""
+
+import numpy as np
+import pytest
+
+from repro.jvm import (
+    ATOM_LAYOUT,
+    Heap,
+    ObjectLayout,
+    PlacementPolicy,
+    VECTOR3_LAYOUT,
+    array_header_bytes,
+    atom_object_graph,
+)
+
+
+def test_vector3_layout_is_40_bytes():
+    # 16B header + 3 doubles = 40, already aligned
+    assert VECTOR3_LAYOUT.instance_bytes == 40
+
+
+def test_atom_layout_size_and_offsets():
+    assert ATOM_LAYOUT.instance_bytes % 8 == 0
+    assert ATOM_LAYOUT.field_offset("mass") == 16
+    assert ATOM_LAYOUT.field_offset("charge") == 24
+    with pytest.raises(KeyError):
+        ATOM_LAYOUT.field_offset("nonexistent")
+
+
+def test_atom_object_graph_shape():
+    seq = atom_object_graph(10)
+    # 1 array + 10 * (1 atom + 4 vector3)
+    assert len(seq) == 1 + 10 * 5
+    assert seq[0][0] == "org.mw.md.Atom[]"
+    assert seq[0][1] == array_header_bytes() + 8 * 10
+    assert seq[1][0] == ATOM_LAYOUT.class_name
+    assert seq[2][0] == VECTOR3_LAYOUT.class_name
+    with pytest.raises(ValueError):
+        atom_object_graph(-1)
+
+
+def test_bump_policy_is_contiguous():
+    heap = Heap(policy=PlacementPolicy.BUMP)
+    objs = [heap.allocate("X", 40) for _ in range(100)]
+    addrs = heap.addresses(objs)
+    assert np.all(np.diff(addrs) == 40)
+    assert heap.adjacency_score(objs) == 1.0
+
+
+def test_fragmented_policy_scatters():
+    heap = Heap(policy=PlacementPolicy.FRAGMENTED, seed=3)
+    objs = [heap.allocate("X", 40) for _ in range(500)]
+    score = heap.adjacency_score(objs)
+    # objects inside one fragment are adjacent, but fragments are
+    # scattered: overall packing must be visibly imperfect
+    assert score < 1.0
+    addrs = heap.addresses(objs)
+    assert len(np.unique(addrs)) == 500  # no overlap
+
+
+def test_fragmented_deterministic_by_seed():
+    a = Heap(policy=PlacementPolicy.FRAGMENTED, seed=7)
+    b = Heap(policy=PlacementPolicy.FRAGMENTED, seed=7)
+    addrs_a = [a.allocate("X", 64).address for _ in range(50)]
+    addrs_b = [b.allocate("X", 64).address for _ in range(50)]
+    assert addrs_a == addrs_b
+    c = Heap(policy=PlacementPolicy.FRAGMENTED, seed=8)
+    addrs_c = [c.allocate("X", 64).address for _ in range(50)]
+    assert addrs_a != addrs_c
+
+
+def test_allocation_alignment():
+    heap = Heap(policy=PlacementPolicy.BUMP)
+    o = heap.allocate("X", 33)  # aligns to 40
+    assert o.size == 40
+    o2 = heap.allocate("X", 1)
+    assert o2.address % 8 == 0
+
+
+def test_allocation_validation():
+    heap = Heap()
+    with pytest.raises(ValueError):
+        heap.allocate("X", 0)
+    with pytest.raises(ValueError):
+        Heap(size_bytes=0)
+
+
+def test_heap_exhaustion_bump():
+    heap = Heap(size_bytes=1024, policy=PlacementPolicy.BUMP)
+    with pytest.raises(MemoryError):
+        for _ in range(100):
+            heap.allocate("X", 64)
+
+
+def test_heap_exhaustion_fragmented():
+    heap = Heap(
+        size_bytes=4096, policy=PlacementPolicy.FRAGMENTED, fragment_bytes=1024
+    )
+    with pytest.raises(MemoryError):
+        for _ in range(100):
+            heap.allocate("X", 512)
+
+
+def test_free_and_live_objects():
+    heap = Heap(policy=PlacementPolicy.BUMP)
+    a = heap.allocate("A", 64)
+    b = heap.allocate("B", 64)
+    assert len(heap) == 2
+    heap.free(a)
+    assert len(heap) == 1
+    assert heap.live_objects()[0] is b
+
+
+def test_compact_preserves_allocation_order_not_user_order():
+    """The GC slides objects in its own (allocation) order — an
+    application cannot impose a spatial order by hoping the collector
+    honors it."""
+    heap = Heap(policy=PlacementPolicy.FRAGMENTED, seed=1)
+    objs = [heap.allocate("X", 40) for _ in range(50)]
+    heap.compact()
+    addrs = heap.addresses(objs)
+    assert np.all(np.diff(addrs) == 40)  # packed...
+    # ...in allocation order: obj 0 first regardless of prior address
+    assert addrs[0] == Heap.BASE_ADDRESS
+
+
+def test_compact_then_bump_allocations_continue():
+    heap = Heap(policy=PlacementPolicy.FRAGMENTED, seed=1)
+    objs = [heap.allocate("X", 40) for _ in range(10)]
+    heap.compact()
+    nxt = heap.allocate("Y", 40)
+    assert nxt.address == Heap.BASE_ADDRESS + 10 * 40
+
+
+def test_allocate_all_sequence():
+    heap = Heap(policy=PlacementPolicy.BUMP)
+    objs = heap.allocate_all(atom_object_graph(5))
+    assert len(objs) == 26
+    assert heap.alloc_count == 26
+    by_class = {}
+    for o in objs:
+        by_class[o.class_name] = by_class.get(o.class_name, 0) + 1
+    assert by_class["org.mw.math.Vector3"] == 20
+
+
+def test_adjacency_score_edges():
+    heap = Heap(policy=PlacementPolicy.BUMP)
+    assert heap.adjacency_score([]) == 1.0
+    one = [heap.allocate("X", 40)]
+    assert heap.adjacency_score(one) == 1.0
+
+
+def test_large_objects_go_to_humongous_space():
+    """Objects bigger than any fragment land in the large-object space
+    above the regular heap (like JVM humongous allocation)."""
+    heap = Heap(
+        size_bytes=1 * 2**20,
+        policy=PlacementPolicy.FRAGMENTED,
+        fragment_bytes=512,
+        seed=0,
+    )
+    big = heap.allocate("long[]", 8 * 1024)
+    assert big.address >= Heap.BASE_ADDRESS + heap.size_bytes
+    small = heap.allocate("X", 64)
+    assert small.address < Heap.BASE_ADDRESS + heap.size_bytes
+    # consecutive large objects are bump-packed
+    big2 = heap.allocate("long[]", 8 * 1024)
+    assert big2.address == big.address + big.size

@@ -1,0 +1,115 @@
+"""Tests for the analytic LLC warmth model."""
+
+import pytest
+
+from repro.machine.cachestate import LlcState, Region
+
+
+MB = 2**20
+
+
+def test_cold_touch_misses_everything():
+    llc = LlcState(0, 8 * MB)
+    r = Region("atoms", 2 * MB)
+    miss = llc.touch(r, 2 * MB)
+    assert miss == 2 * MB
+    assert llc.resident_fraction(r) == 1.0
+
+
+def test_warm_touch_hits():
+    llc = LlcState(0, 8 * MB)
+    r = Region("atoms", 2 * MB)
+    llc.touch(r, 2 * MB)
+    miss = llc.touch(r, 2 * MB)
+    assert miss == 0.0
+    assert llc.bytes_hit == 2 * MB
+
+
+def test_partial_residency_partial_hits():
+    llc = LlcState(0, 8 * MB)
+    r = Region("atoms", 4 * MB)
+    llc.touch(r, 2 * MB)  # half the region resident
+    miss = llc.touch(r, 4 * MB)  # read it all: half hits
+    assert miss == pytest.approx(2 * MB)
+
+
+def test_lru_eviction_of_regions():
+    llc = LlcState(0, 4 * MB)
+    a = Region("a", 3 * MB)
+    b = Region("b", 3 * MB)
+    llc.touch(a, 3 * MB)
+    llc.touch(b, 3 * MB)  # evicts a (capacity 4MB)
+    assert llc.resident_bytes(a) == 0.0
+    assert llc.resident_bytes(b) == 3 * MB
+    # a comes back cold
+    assert llc.touch(a, 3 * MB) == 3 * MB
+
+
+def test_touch_promotes_recency():
+    llc = LlcState(0, 4 * MB)
+    a = Region("a", 1.5 * MB)
+    b = Region("b", 1.5 * MB)
+    c = Region("c", 1.5 * MB)
+    llc.touch(a, 1.5 * MB)
+    llc.touch(b, 1.5 * MB)
+    llc.touch(a, 0.1 * MB)  # promote a over b
+    llc.touch(c, 1.5 * MB)  # must evict b, not a
+    assert llc.resident_bytes(b) == 0.0
+    assert llc.resident_bytes(a) > 0.0
+
+
+def test_region_larger_than_cache_clamped():
+    llc = LlcState(0, 2 * MB)
+    big = Region("big", 25 * MB)  # the paper's working-set size
+    miss = llc.touch(big, 25 * MB)
+    assert miss == 25 * MB
+    assert llc.used_bytes == 2 * MB
+    # second pass: only the resident 2MB fraction hits
+    miss2 = llc.touch(big, 25 * MB)
+    assert miss2 == pytest.approx(25 * MB * (1 - 2 / 25))
+
+
+def test_install_counts_no_traffic():
+    llc = LlcState(0, 8 * MB)
+    r = Region("forces", 1 * MB)
+    llc.install(r, 1 * MB)
+    assert llc.bytes_missed == 0.0
+    assert llc.touch(r, 1 * MB) == 0.0  # installed data is warm
+
+
+def test_pollution_evicts_useful_data():
+    """Temp-object churn (the paper's Vector3 problem) pushes the
+    working set out of the cache."""
+    llc = LlcState(0, 8 * MB)
+    atoms = Region("atoms", 6 * MB)
+    llc.touch(atoms, 6 * MB)
+    assert llc.touch(atoms, 6 * MB) == 0.0  # warm
+    garbage = Region("tmp", 7 * MB)
+    llc.touch(garbage, 7 * MB)  # pollution
+    miss = llc.touch(atoms, 6 * MB)
+    assert miss > 0.0  # atoms partially evicted
+
+
+def test_zero_and_negative_bytes():
+    llc = LlcState(0, MB)
+    r = Region("r", MB)
+    assert llc.touch(r, 0) == 0.0
+    assert llc.touch(r, -5) == 0.0
+    with pytest.raises(ValueError):
+        Region("bad", -1)
+
+
+def test_touch_capped_at_region_size():
+    llc = LlcState(0, 8 * MB)
+    r = Region("small", 1 * MB)
+    miss = llc.touch(r, 10 * MB)  # can't read more than the region holds
+    assert miss == 1 * MB
+
+
+def test_flush():
+    llc = LlcState(0, 8 * MB)
+    r = Region("r", MB)
+    llc.touch(r, MB)
+    llc.flush()
+    assert llc.used_bytes == 0.0
+    assert llc.resident_bytes(r) == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the memory controllers and work costs."""
+
+import pytest
+
+from repro.machine import (
+    CORE_I7_920,
+    MemoryController,
+    MemorySystem,
+    Region,
+    Traffic,
+    WorkCost,
+    XEON_E5450_2S,
+    compute_only,
+    streaming,
+)
+from repro.machine.topology import Topology
+
+
+def test_controller_rates_divide_among_streams():
+    c = MemoryController(0, socket_bw=16e9, core_bw=8e9)
+    assert c.effective_rate() == 8e9  # core-limited alone
+    c.begin_stream()
+    c.begin_stream()
+    assert c.active_streams == 2
+    assert c.effective_rate() == 8e9  # 16/2
+    c.begin_stream()
+    c.begin_stream()
+    assert c.effective_rate() == 4e9  # 16/4
+    assert c.peak_active == 4
+    for _ in range(4):
+        c.end_stream()
+    assert c.active_streams == 0
+
+
+def test_controller_transfer_time_and_remote_penalty():
+    c = MemoryController(0, socket_bw=16e9, core_bw=8e9, remote_penalty=2.0)
+    local = c.transfer_time(8e9)  # one second at core rate
+    assert local == pytest.approx(1.0)
+    remote = c.transfer_time(8e9, remote=True)
+    assert remote == pytest.approx(2.0)
+    assert c.bytes_served == pytest.approx(16e9)
+    assert c.bytes_remote == pytest.approx(8e9)
+    assert c.transfer_time(0.0) == 0.0
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        MemoryController(0, socket_bw=0.0, core_bw=1.0)
+    c = MemoryController(0, socket_bw=1.0, core_bw=1.0)
+    with pytest.raises(RuntimeError):
+        c.end_stream()
+
+
+def test_extra_streams_preview():
+    c = MemoryController(0, socket_bw=16e9, core_bw=8e9)
+    # previewing our own stream before registering
+    assert c.effective_rate(extra_streams=2) == 8e9
+    assert c.effective_rate(extra_streams=4) == 4e9
+
+
+def test_memory_system_routes_by_socket():
+    topo = Topology(XEON_E5450_2S)
+    system = MemorySystem(XEON_E5450_2S, topo)
+    assert len(system.controllers) == 2
+    assert system.controller_for_pu(0).socket_id == 0
+    assert system.controller_for_pu(4).socket_id == 1
+    stats = system.stats()
+    assert set(stats) == {0, 1}
+
+
+def test_workcost_helpers_and_validation():
+    region = Region("r", 1024)
+    c = compute_only(1e6, label="x")
+    assert c.total_bytes == 0
+    assert c.arithmetic_intensity() == float("inf")
+    s = streaming(1e6, region, 2048.0)
+    assert s.read_bytes == 2048.0
+    assert s.arithmetic_intensity() == pytest.approx(1e6 / 2048.0)
+    with pytest.raises(ValueError):
+        WorkCost(cycles=-1.0)
+    with pytest.raises(ValueError):
+        Traffic(region, -5.0)
+    with pytest.raises(ValueError):
+        c.scaled(-1.0)

@@ -1,0 +1,116 @@
+"""Edge cases for SimThread lifecycle and machine integration."""
+
+import pytest
+
+from repro.des import Timeout
+from repro.des.errors import Interrupted
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+
+
+def make():
+    return SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+
+
+def test_thread_return_value_via_terminated():
+    m = make()
+    results = {}
+
+    def body():
+        yield WorkCost(cycles=1e6)
+        return "payload"
+
+    def watcher(t):
+        value = yield t.terminated
+        results["v"] = value
+
+    t = m.thread(body(), "w")
+    m.thread(watcher(t), "watcher")
+    m.run()
+    assert results["v"] == "payload"
+
+
+def test_interrupt_thread_waiting_on_timeout():
+    m = make()
+    log = []
+
+    def body():
+        try:
+            yield Timeout(100.0)
+        except Interrupted as exc:
+            log.append(exc.cause)
+            yield WorkCost(cycles=1e6)  # can keep working after
+
+    def killer(t):
+        yield Timeout(1.0)
+        t.proc.interrupt("cancel")
+
+    t = m.thread(body(), "w")
+    m.thread(killer(t), "k")
+    m.run()
+    assert log == ["cancel"]
+    assert t.burst_count == 1
+
+
+def test_set_affinity_mid_run_moves_thread():
+    m = make()
+
+    def body():
+        for _ in range(3):
+            yield WorkCost(cycles=2.66e6)
+            yield Timeout(1e-4)
+        t.set_affinity([6])
+        for _ in range(3):
+            yield WorkCost(cycles=2.66e6)
+            yield Timeout(1e-4)
+
+    t = m.thread(body(), "w", affinity=[0])
+    m.run()
+    residency = m.scheduler.trace.residency["w"]
+    assert residency[0] > 0
+    assert residency[6] > 0
+    assert set(residency) <= {0, 6}
+
+
+def test_zero_cost_burst_completes():
+    m = make()
+    done = []
+
+    def body():
+        yield WorkCost(cycles=0.0)
+        done.append(m.now)
+
+    m.thread(body(), "w", affinity=[0])
+    m.run()
+    # only the context-switch cost passes
+    assert done and done[0] < 1e-4
+
+
+def test_run_until_leaves_threads_resumable():
+    m = make()
+    progress = []
+
+    def body():
+        for i in range(10):
+            yield WorkCost(cycles=2.66e8)  # 0.1 s each
+            progress.append(i)
+
+    m.thread(body(), "w", affinity=[0])
+    m.run(until=0.35)
+    mid = len(progress)
+    assert 2 <= mid <= 4
+    m.run()
+    assert len(progress) == 10
+
+
+def test_burst_count_and_cpu_time_consistent():
+    m = make()
+
+    def body():
+        for _ in range(5):
+            yield WorkCost(cycles=2.66e7)  # 10 ms
+            yield Timeout(1e-3)
+
+    t = m.thread(body(), "w", affinity=[0])
+    m.run()
+    assert t.burst_count == 5
+    assert t.cpu_time == pytest.approx(5 * 0.01, rel=0.01)

@@ -1,0 +1,157 @@
+"""Tests for hwloc-like topology descriptions (Table II machines)."""
+
+import pytest
+
+from repro.machine import (
+    CORE_I7_920,
+    MACHINES,
+    Topology,
+    XEON_E5450_2S,
+    XEON_X7560_4S,
+)
+from repro.machine.topology import CacheLevel, MachineSpec
+
+
+def test_i7_dimensions():
+    topo = Topology(CORE_I7_920)
+    assert CORE_I7_920.n_cores == 4
+    assert CORE_I7_920.n_pus == 8  # 4 cores x HT2
+    assert topo.n_llc_groups == 1  # one 8MB LLC shared by all 4 cores
+
+
+def test_e5450_dimensions():
+    topo = Topology(XEON_E5450_2S)
+    assert XEON_E5450_2S.n_cores == 8
+    assert XEON_E5450_2S.n_pus == 8  # no HyperThreading
+    assert topo.n_llc_groups == 4  # 4 x (6MB shared / 2 cores)
+
+
+def test_x7560_dimensions():
+    topo = Topology(XEON_X7560_4S)
+    assert XEON_X7560_4S.n_cores == 32
+    assert XEON_X7560_4S.n_pus == 64  # "a total of 64 virtual processors"
+    assert topo.n_llc_groups == 4  # 4 x (24MB shared / 8 cores)
+
+
+def test_pu_core_socket_maps():
+    topo = Topology(XEON_X7560_4S)
+    # PU 0,1 are siblings on core 0, socket 0
+    assert topo.core_of(0) == 0 and topo.core_of(1) == 0
+    assert topo.smt_siblings(0) == [0, 1]
+    assert topo.socket_of(0) == 0
+    # last PU lives on the last core of the last socket
+    assert topo.core_of(63) == 31
+    assert topo.socket_of(63) == 3
+
+
+def test_llc_grouping_e5450():
+    """E5450: core pairs share an LLC."""
+    topo = Topology(XEON_E5450_2S)
+    assert topo.shares_llc(0, 1)  # cores 0,1 same LLC (smt=1 so pu==core)
+    assert not topo.shares_llc(1, 2)  # cores 1,2 different LLC
+    assert topo.shares_llc(2, 3)
+    assert not topo.shares_llc(3, 4)  # different socket
+
+
+def test_distance_classes():
+    topo = Topology(XEON_X7560_4S)
+    assert topo.distance(0, 1) == 0  # same core (SMT siblings)
+    assert topo.distance(0, 2) == 1  # same socket LLC
+    assert topo.distance(0, 16) == 3  # socket 0 vs socket 1
+
+
+def test_distance_same_socket_different_llc():
+    topo = Topology(XEON_E5450_2S)
+    assert topo.distance(1, 2) == 2  # same socket, different LLC
+
+
+def test_affinity_masks_table3():
+    topo = Topology(XEON_X7560_4S)
+    one_per = topo.mask_one_core_per_socket(4)
+    assert len(one_per) == 4
+    assert {topo.socket_of(p) for p in one_per} == {0, 1, 2, 3}
+
+    same_sock = topo.mask_cores_on_one_socket(8)
+    assert len(same_sock) == 8
+    assert {topo.socket_of(p) for p in same_sock} == {0}
+    # all on distinct physical cores
+    assert len({topo.core_of(p) for p in same_sock}) == 8
+
+    two_per = topo.mask_n_cores_per_socket(2)
+    assert len(two_per) == 8
+    for s in range(4):
+        assert sum(1 for p in two_per if topo.socket_of(p) == s) == 2
+
+
+def test_mask_errors():
+    topo = Topology(CORE_I7_920)
+    with pytest.raises(ValueError):
+        topo.mask_one_core_per_socket(2)  # only 1 socket
+    with pytest.raises(ValueError):
+        topo.mask_cores_on_one_socket(5)  # only 4 cores
+
+
+def test_table2_rows_match_paper():
+    rows = [Topology(m).table2_row() for m in MACHINES.values()]
+    by_name = {r["Processor Type"]: r for r in rows}
+    i7 = by_name["Intel Core i7 920"]
+    assert i7["Procs x Cores"] == "1x4"
+    assert i7["L1 Data Cache"] == "32 kB"
+    assert i7["L2 Cache"] == "256 kB"
+    assert i7["L3 Cache"] == "1 x (8 MB shared/4 cores)"
+    assert i7["Memory"] == "6 GB"
+    e5450 = by_name["Intel Xeon E5450"]
+    assert e5450["Procs x Cores"] == "2x4"
+    assert e5450["L3 Cache"] == "4 x (6 MB shared/2 cores)"
+    assert e5450["Memory"] == "16 GB"
+    x7560 = by_name["Intel Xeon X7560"]
+    assert x7560["Procs x Cores"] == "4x8"
+    assert x7560["L3 Cache"] == "4 x (24 MB shared/8 cores)"
+    assert x7560["Memory"] == "192 GB"
+
+
+def test_render_mentions_all_sockets_and_cores():
+    topo = Topology(XEON_E5450_2S)
+    text = topo.render()
+    assert "Socket P#0" in text and "Socket P#1" in text
+    assert text.count("Core #") == 8
+    assert "6 MB" in text
+
+
+def test_cache_level_validation():
+    with pytest.raises(ValueError):
+        CacheLevel(1, size_bytes=0)
+    with pytest.raises(ValueError):
+        CacheLevel(1, size_bytes=1000, line_bytes=64)  # not a multiple
+    with pytest.raises(ValueError):
+        # 32kB/64B = 512 lines, assoc 7 does not divide
+        CacheLevel(1, size_bytes=32 * 1024, associativity=7)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(
+            name="bad",
+            sockets=1,
+            cores_per_socket=4,
+            smt=1,
+            freq_hz=1e9,
+            caches=(
+                CacheLevel(1, 32 * 1024),
+                CacheLevel(2, 256 * 1024),
+                CacheLevel(3, 8 * 2**20, shared_by=3),  # 3 !| 4
+            ),
+            dram_bytes=2**30,
+            socket_bw=1e9,
+            core_bw=1e9,
+        )
+
+
+def test_pus_of_llc_partition():
+    """Every PU belongs to exactly one LLC group."""
+    for spec in MACHINES.values():
+        topo = Topology(spec)
+        seen = []
+        for g in range(topo.n_llc_groups):
+            seen.extend(topo.pus_of_llc(g))
+        assert sorted(seen) == list(topo.pus())

@@ -1,0 +1,99 @@
+"""Tests for XYZ trajectory I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.md import AtomSystem, LennardJonesForce, MDEngine
+from repro.md.io import (
+    XyzTrajectoryWriter,
+    read_xyz,
+    system_from_xyz_frame,
+    write_xyz_frame,
+)
+
+
+def small_system():
+    s = AtomSystem([20.0, 20.0, 20.0])
+    s.add_atoms("Al", [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+    s.add_atoms("Au", [[7.0, 8.0, 9.0]])
+    return s
+
+
+def test_write_read_roundtrip():
+    s = small_system()
+    buf = io.StringIO()
+    write_xyz_frame(buf, s, comment="frame zero")
+    buf.seek(0)
+    frames = read_xyz(buf)
+    assert len(frames) == 1
+    symbols, pos, comment = frames[0]
+    assert symbols == ["Al", "Al", "Au"]
+    assert np.allclose(pos, s.positions)
+    assert comment == "frame zero"
+
+
+def test_multi_frame_read():
+    s = small_system()
+    buf = io.StringIO()
+    for k in range(3):
+        s.positions += 0.5
+        write_xyz_frame(buf, s, comment=f"k={k}")
+    buf.seek(0)
+    frames = read_xyz(buf)
+    assert len(frames) == 3
+    assert frames[2][2] == "k=2"
+    assert np.allclose(frames[1][1], frames[0][1] + 0.5)
+
+
+def test_read_truncated_raises():
+    buf = io.StringIO("3\ncomment\nAl 0 0 0\n")
+    with pytest.raises(ValueError, match="truncated"):
+        read_xyz(buf)
+
+
+def test_read_bad_header_raises():
+    buf = io.StringIO("nonsense\n")
+    with pytest.raises(ValueError, match="header"):
+        read_xyz(buf)
+
+
+def test_system_from_xyz_frame():
+    s = small_system()
+    buf = io.StringIO()
+    write_xyz_frame(buf, s)
+    buf.seek(0)
+    symbols, pos, _ = read_xyz(buf)[0]
+    rebuilt = system_from_xyz_frame(symbols, pos)
+    assert rebuilt.n_atoms == 3
+    assert np.allclose(rebuilt.positions, s.positions)
+    assert rebuilt.masses[2] == pytest.approx(196.967)  # Au preserved
+
+
+def test_system_from_xyz_unknown_symbol():
+    with pytest.raises(ValueError, match="unknown element"):
+        system_from_xyz_frame(["Zz"], np.zeros((1, 3)))
+
+
+def test_trajectory_writer_every(tmp_path):
+    s = AtomSystem([30.0, 30.0, 30.0])
+    s.add_atoms("Al", [[10, 10, 10], [13, 10, 10]])
+    engine = MDEngine(s, [LennardJonesForce()], dt_fs=1.0)
+    path = tmp_path / "traj.xyz"
+    with XyzTrajectoryWriter(path, every=2) as writer:
+        for _ in range(6):
+            engine.step()
+            writer.frame(engine)
+    assert writer.frames_written == 3
+    frames = read_xyz(path)
+    assert len(frames) == 3
+    assert frames[0][2] == "step=1"
+
+
+def test_trajectory_writer_validation(tmp_path):
+    with pytest.raises(ValueError):
+        XyzTrajectoryWriter(tmp_path / "x.xyz", every=0)
+    writer = XyzTrajectoryWriter(tmp_path / "x.xyz")
+    with pytest.raises(RuntimeError):
+        writer.frame(None)

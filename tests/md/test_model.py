@@ -1,0 +1,141 @@
+"""Tests for the declarative model builder."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.md.model import ModelError, build_model, load_model
+
+
+def dimer_spec(**extra):
+    spec = {
+        "name": "dimer",
+        "box": [20, 20, 20],
+        "dt_fs": 1.0,
+        "groups": [
+            {"element": "C", "positions": [[8, 10, 10], [11.8, 10, 10]]}
+        ],
+        "bonds": {"radial": [{"atoms": [0, 1], "k": 5.0, "r0": 3.8}]},
+        "forces": {"lj": True},
+    }
+    spec.update(extra)
+    return spec
+
+
+def test_build_dimer():
+    wl = build_model(dimer_spec())
+    assert wl.name == "dimer"
+    assert wl.system.n_atoms == 2
+    assert wl.n_bonds == 1
+    engine = wl.make_engine()
+    engine.prime()
+    reports = engine.run(50)
+    drift = abs(reports[-1].total_energy - reports[0].total_energy)
+    assert drift < 0.01
+
+
+def test_bonded_lj_exclusion_applied():
+    wl = build_model(dimer_spec())
+    engine = wl.make_engine()
+    report = engine.step()
+    # the bonded pair is excluded from LJ
+    assert report.force_results["lj"].terms == 0
+    assert report.force_results["bond-radial"].terms == 1
+
+
+def test_charged_group_and_coulomb():
+    spec = {
+        "box": [30, 30, 30],
+        "groups": [
+            {"element": "Na", "positions": [[10, 10, 10]], "charge": 1.0},
+            {"element": "Cl", "positions": [[15, 10, 10]], "charge": -1.0},
+        ],
+        "forces": {"lj": True, "coulomb": True},
+    }
+    wl = build_model(spec)
+    report = wl.make_engine().step()
+    assert report.force_results["coulomb"].terms == 1
+    assert report.force_results["coulomb"].energy < 0
+
+
+def test_fixed_group():
+    spec = dimer_spec()
+    spec["groups"].append(
+        {
+            "element": "Au",
+            "positions": [[5, 5, 5]],
+            "movable": False,
+        }
+    )
+    wl = build_model(spec)
+    assert not wl.system.movable[2]
+
+
+def test_angular_and_torsional_terms():
+    spec = {
+        "box": [30, 30, 30],
+        "groups": [
+            {
+                "element": "C",
+                "positions": [
+                    [10, 10, 10],
+                    [13.8, 10, 10],
+                    [13.8, 13.8, 10],
+                    [13.8, 13.8, 13.8],
+                ],
+            }
+        ],
+        "bonds": {
+            "radial": [
+                {"atoms": [0, 1], "r0": 3.8},
+                {"atoms": [1, 2], "r0": 3.8},
+                {"atoms": [2, 3], "r0": 3.8},
+            ],
+            "angular": [{"atoms": [0, 1, 2], "theta0": 1.57}],
+            "torsional": [{"atoms": [0, 1, 2, 3], "v": 0.2}],
+        },
+    }
+    wl = build_model(spec)
+    assert wl.n_bonds == 5
+    report = wl.make_engine().step()
+    assert report.force_results["bond-angular"].terms == 1
+    assert report.force_results["bond-torsional"].terms == 1
+
+
+def test_errors():
+    with pytest.raises(ModelError, match="missing required key 'box'"):
+        build_model({"groups": []})
+    with pytest.raises(ModelError, match="no atom groups"):
+        build_model({"box": [1, 1, 1], "groups": []})
+    with pytest.raises(ModelError, match="unknown element"):
+        build_model(
+            {"box": [9, 9, 9], "groups": [{"element": "Xx", "positions": [[1, 1, 1]]}]}
+        )
+    with pytest.raises(ModelError, match="unknown atoms"):
+        build_model(
+            dimer_spec(
+                bonds={"radial": [{"atoms": [0, 7], "r0": 1.0}]}
+            )
+        )
+    with pytest.raises(ModelError, match="no forces"):
+        build_model(
+            {
+                "box": [9, 9, 9],
+                "groups": [{"element": "C", "positions": [[1, 1, 1]]}],
+                "forces": {"lj": False},
+            }
+        )
+    with pytest.raises(ModelError, match="must be a dict"):
+        build_model([1, 2, 3])
+
+
+def test_load_model_json_roundtrip(tmp_path):
+    path = tmp_path / "dimer.json"
+    path.write_text(json.dumps(dimer_spec()))
+    wl = load_model(path)
+    assert wl.system.n_atoms == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ModelError, match="invalid JSON"):
+        load_model(bad)

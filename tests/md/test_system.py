@@ -1,0 +1,138 @@
+"""Tests for units, elements, and AtomSystem."""
+
+import numpy as np
+import pytest
+
+from repro.md import ELEMENTS, AtomSystem, mix_lorentz_berthelot
+from repro.md.units import ACCEL_UNIT, KB, kinetic_to_kelvin, thermal_velocity
+
+
+def test_elements_present():
+    for sym in ("Na", "Cl", "Al", "Au", "C", "H"):
+        assert sym in ELEMENTS
+    assert ELEMENTS["Au"].mass == pytest.approx(196.967)
+    assert ELEMENTS["Al"].epsilon == pytest.approx(0.3922)
+
+
+def test_mixing_rules():
+    na, cl = ELEMENTS["Na"], ELEMENTS["Cl"]
+    sigma, eps = mix_lorentz_berthelot(na, cl)
+    assert sigma == pytest.approx((na.sigma + cl.sigma) / 2)
+    assert eps == pytest.approx(np.sqrt(na.epsilon * cl.epsilon))
+
+
+def test_add_atoms_grows_arrays():
+    s = AtomSystem([50, 50, 50])
+    idx = s.add_atoms("Al", [[1, 2, 3], [4, 5, 6]])
+    assert idx.tolist() == [0, 1]
+    assert s.n_atoms == 2
+    idx2 = s.add_atoms("Au", [[7, 8, 9]], movable=False)
+    assert idx2.tolist() == [2]
+    assert s.n_atoms == 3
+    assert s.masses[2] == pytest.approx(196.967)
+    assert not s.movable[2]
+    assert s.movable[0]
+
+
+def test_add_atoms_with_charges_and_velocities():
+    s = AtomSystem([50, 50, 50])
+    s.add_atoms(
+        "Na", [[1, 1, 1], [2, 2, 2]], velocities=[[0.1, 0, 0], [0, 0.1, 0]],
+        charges=1.0,
+    )
+    assert np.all(s.charges == 1.0)
+    assert s.charged.tolist() == [0, 1]
+    assert s.velocities[0, 0] == pytest.approx(0.1)
+
+
+def test_bad_box_rejected():
+    with pytest.raises(ValueError):
+        AtomSystem([0, 10, 10])
+    with pytest.raises(ValueError):
+        AtomSystem([10, 10])
+
+
+def test_bad_positions_rejected():
+    s = AtomSystem([10, 10, 10])
+    with pytest.raises(ValueError):
+        s.add_atoms("Al", np.zeros((3, 2)))
+
+
+def test_kinetic_energy_and_temperature_consistency():
+    s = AtomSystem([50, 50, 50])
+    s.add_atoms("Al", np.random.default_rng(0).uniform(5, 45, (64, 3)))
+    s.set_thermal_velocities(300.0, np.random.default_rng(1))
+    ke = s.kinetic_energy()
+    t = s.temperature()
+    assert t == pytest.approx(kinetic_to_kelvin(ke, 3 * 64))
+    # equipartition holds within sampling noise
+    assert 150 < t < 450
+
+
+def test_thermal_velocities_zero_net_momentum():
+    s = AtomSystem([50, 50, 50])
+    s.add_atoms("Al", np.random.default_rng(0).uniform(5, 45, (100, 3)))
+    s.set_thermal_velocities(500.0, np.random.default_rng(2))
+    assert np.allclose(s.momentum(), 0.0, atol=1e-12)
+
+
+def test_thermal_velocities_skip_fixed_atoms():
+    s = AtomSystem([50, 50, 50])
+    s.add_atoms("Au", [[1, 1, 1]], movable=False)
+    s.add_atoms("Al", [[5, 5, 5]])
+    s.set_thermal_velocities(300.0, np.random.default_rng(0))
+    assert np.all(s.velocities[0] == 0.0)
+
+
+def test_copy_is_deep():
+    s = AtomSystem([10, 10, 10])
+    s.add_atoms("Al", [[1, 1, 1]])
+    c = s.copy()
+    c.positions[0, 0] = 9.0
+    assert s.positions[0, 0] == 1.0
+
+
+def test_working_set_scales_with_atoms():
+    s = AtomSystem([10, 10, 10])
+    s.add_atoms("Al", np.ones((10, 3)))
+    base = s.working_set_bytes()
+    assert base > 0
+    assert s.working_set_bytes(overhead_per_atom=100) == base + 1000
+
+
+def test_units_thermal_velocity():
+    # heavier atoms move slower at the same temperature
+    v_h = thermal_velocity(300.0, 1.008)
+    v_au = thermal_velocity(300.0, 196.967)
+    assert v_h > v_au
+    assert v_h == pytest.approx(
+        np.sqrt(KB * 300.0 / 1.008 * ACCEL_UNIT)
+    )
+    with pytest.raises(ValueError):
+        thermal_velocity(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        thermal_velocity(300.0, 0.0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    s = AtomSystem([30.0, 30.0, 30.0])
+    s.add_atoms("Na", [[1, 2, 3], [4, 5, 6]], charges=1.0)
+    s.add_atoms("Au", [[7, 8, 9]], movable=False)
+    s.velocities[0] = [0.1, -0.2, 0.3]
+    path = tmp_path / "state.npz"
+    s.save(path)
+    restored = AtomSystem.load(path)
+    assert restored.n_atoms == 3
+    assert np.array_equal(restored.positions, s.positions)
+    assert np.array_equal(restored.velocities, s.velocities)
+    assert np.array_equal(restored.charges, s.charges)
+    assert np.array_equal(restored.movable, s.movable)
+    assert np.array_equal(restored.element_ids, s.element_ids)
+    assert np.array_equal(restored.box, s.box)
+
+
+def test_load_rejects_foreign_archive(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, stuff=np.zeros(3))
+    with pytest.raises(ValueError, match="not an AtomSystem archive"):
+        AtomSystem.load(path)

@@ -1,0 +1,134 @@
+"""Observer-effect tests: JaMON monitors and VisualVM instrumentation."""
+
+import pytest
+
+from repro.concurrent import SimExecutorService
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.perftools import JaMonInstrumentation, VisualVmCpuInstrumentation
+
+
+def pinned(machine, n):
+    topo = machine.topology
+    return [[topo.pus_of_core(i % 4)[0]] for i in range(n)]
+
+
+def run_phases(machine, pool, n_phases=20, n_tasks=4, task_seconds=0.0005):
+    cycles = task_seconds * machine.spec.freq_hz
+    done = {}
+
+    def master():
+        for _ in range(n_phases):
+            latch = pool.submit_phase(
+                [WorkCost(cycles=cycles, label="work") for _ in range(n_tasks)]
+            )
+            yield latch
+        done["t"] = machine.now  # tool threads may outlive the workload
+        pool.shutdown()
+
+    machine.thread(master(), "master")
+    machine.run()
+    return done["t"]
+
+
+def test_jamon_monitors_serialize_short_tasks():
+    """§IV-A: monitor updates serialize the program under test."""
+
+    def run(with_monitors, update_cycles=40000.0):
+        m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+        instr = (
+            JaMonInstrumentation(m, update_cycles=update_cycles)
+            if with_monitors
+            else None
+        )
+        pool = SimExecutorService(
+            m, 4, affinities=pinned(m, 4), instrumentation=instr
+        )
+        elapsed = run_phases(m, pool, task_seconds=0.00008)  # 80us quanta
+        return elapsed, instr
+
+    base, _ = run(False)
+    monitored, instr = run(True)
+    assert monitored > base * 1.5  # drastic impact on short tasks
+    assert instr.contention_ratio > 0.3  # the lock is the bottleneck
+    # the monitors did collect data
+    assert instr.monitors["work"].hits == 80
+    assert instr.monitors["work"].avg_seconds > 0
+
+
+def test_jamon_overhead_small_on_long_tasks():
+    """The same monitors are harmless when quanta are long — the
+    observer effect is relative to task size."""
+
+    def run(with_monitors):
+        m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+        instr = JaMonInstrumentation(m) if with_monitors else None
+        pool = SimExecutorService(
+            m, 4, affinities=pinned(m, 4), instrumentation=instr
+        )
+        return run_phases(m, pool, n_phases=10, task_seconds=0.005)
+
+    base = run(False)
+    monitored = run(True)
+    assert monitored < base * 1.10
+
+
+def test_jamon_report_renders():
+    m = SimMachine(CORE_I7_920, seed=1)
+    instr = JaMonInstrumentation(m)
+    pool = SimExecutorService(m, 2, instrumentation=instr)
+    run_phases(m, pool, n_phases=3, n_tasks=2)
+    text = instr.report()
+    assert "work" in text and "Hits" in text
+
+
+def test_visualvm_instrumentation_quarters_speed():
+    """§IV-A: per-method instrumentation -> ~4x slowdown."""
+
+    def run(instrumented):
+        m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+        instr = (
+            VisualVmCpuInstrumentation(m, agent_duration=0.5)
+            if instrumented
+            else None
+        )
+        pool = SimExecutorService(
+            m, 4, affinities=pinned(m, 4), instrumentation=instr
+        )
+        elapsed = run_phases(m, pool, n_phases=10, task_seconds=0.001)
+        return elapsed, instr
+
+    base, _ = run(False)
+    slow, instr = run(True)
+    assert 3.0 < slow / base < 6.5
+    # the tool produced its hot-method list
+    hot = instr.hot_methods()
+    assert hot and hot[0][0] == "work"
+
+
+def test_visualvm_agent_competes_for_cores():
+    """The TCP agent thread occupies a core: on a fully loaded machine
+    the workers slow down even with 1x inflation."""
+
+    def run(agent_util):
+        m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+        instr = VisualVmCpuInstrumentation(
+            m,
+            inflation=1.0,
+            agent_utilization=agent_util,
+            agent_duration=0.5,
+        )
+        # 8 workers saturate all 8 PUs, so the agent must steal time
+        pool = SimExecutorService(m, 8, instrumentation=instr)
+        return run_phases(m, pool, n_phases=10, n_tasks=8, task_seconds=0.001)
+
+    quiet = run(0.0)
+    noisy = run(0.9)
+    assert noisy > quiet * 1.02
+
+
+def test_visualvm_validation():
+    m = SimMachine(CORE_I7_920, seed=1)
+    with pytest.raises(ValueError):
+        VisualVmCpuInstrumentation(m, inflation=0.5)
+    with pytest.raises(ValueError):
+        VisualVmCpuInstrumentation(m, agent_utilization=1.5)

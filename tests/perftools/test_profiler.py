@@ -1,0 +1,82 @@
+"""Tests for the sampling-profiler bias models."""
+
+import pytest
+
+from repro.des import Timeout
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.perftools import (
+    RandomSamplingProfiler,
+    YieldPointProfiler,
+    profiler_disagreement,
+    true_hot_methods,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_machine():
+    """One long method and many short ones: 90% of time in 'hot'."""
+    m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+
+    def body():
+        for _ in range(20):
+            yield WorkCost(cycles=0.009 * m.spec.freq_hz, label="hot")
+            for _ in range(9):
+                yield WorkCost(cycles=0.0001 * m.spec.freq_hz, label="cold")
+            yield Timeout(1e-5)
+
+    m.thread(body(), "w", affinity=[0])
+    m.run()
+    return m
+
+
+def test_true_hot_methods(skewed_machine):
+    truth = true_hot_methods(skewed_machine)
+    total = sum(truth.values())
+    assert truth["hot"] / total > 0.85
+    assert truth["cold"] / total < 0.15
+
+
+def test_random_sampler_tracks_truth(skewed_machine):
+    truth = true_hot_methods(skewed_machine)
+    total = sum(truth.values())
+    truth = {k: v / total for k, v in truth.items()}
+    profile = RandomSamplingProfiler(n_samples=6000, seed=2).profile(
+        skewed_machine
+    )
+    assert profiler_disagreement(truth, profile) < 0.08
+    assert max(profile, key=profile.get) == "hot"
+
+
+def test_yield_point_sampler_inverts_ranking(skewed_machine):
+    """9 short executions per long one: the biased profiler reports
+    'cold' as the hot method."""
+    profile = YieldPointProfiler(n_samples=6000, seed=2).profile(
+        skewed_machine
+    )
+    assert profile["cold"] > profile["hot"]
+
+
+def test_profilers_disagree(skewed_machine):
+    a = RandomSamplingProfiler(n_samples=6000, seed=2).profile(skewed_machine)
+    b = YieldPointProfiler(n_samples=6000, seed=2).profile(skewed_machine)
+    assert profiler_disagreement(a, b) > 0.3
+
+
+def test_profiler_validation():
+    with pytest.raises(ValueError):
+        RandomSamplingProfiler(n_samples=0)
+    with pytest.raises(ValueError):
+        YieldPointProfiler(n_samples=0)
+
+
+def test_empty_machine_profiles_empty():
+    m = SimMachine(CORE_I7_920, seed=1)
+    m.run(until=0.001)
+    assert RandomSamplingProfiler().profile(m) == {}
+    assert YieldPointProfiler().profile(m) == {}
+    assert true_hot_methods(m) == {}
+
+
+def test_disagreement_metric():
+    assert profiler_disagreement({"a": 1.0}, {"a": 1.0}) == 0.0
+    assert profiler_disagreement({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)

@@ -1,0 +1,113 @@
+"""Sampling-granularity tests (§IV-B): coarse samplers hide skew and
+produce sample-and-hold artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.machine import CORE_I7_920, SimMachine
+from repro.perftools import (
+    GroundTruthTimeline,
+    ThreadState,
+    ThreadStateSampler,
+)
+from repro.workloads import build_al1000
+
+
+@pytest.fixture(scope="module")
+def al_run():
+    wl = build_al1000(seed=1)
+    trace = capture_trace(wl, 20)
+    machine = SimMachine(CORE_I7_920, seed=4)
+    run = SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, 4, name="al"
+    )
+    result = run.run()
+    workers = [f"al-pool-worker-{i}" for i in range(4)]
+    truth = GroundTruthTimeline(machine.scheduler.trace.events)
+    return result, truth, workers
+
+
+def test_ground_truth_reconstruction(al_run):
+    result, truth, workers = al_run
+    for w in workers:
+        run_time = truth.time_in_state(w, ThreadState.RUNNING)
+        assert run_time > 0
+        # ground-truth running time tracks the scheduler's busy time
+        assert run_time == pytest.approx(
+            sum(
+                sec
+                for sec in result.machine.scheduler.trace.residency[w].values()
+            ),
+            rel=0.05,
+        )
+        assert truth.state_changes(w) > 50  # many fine-grained transitions
+
+
+def test_state_at_query(al_run):
+    _, truth, workers = al_run
+    w = workers[0]
+    iv = truth.intervals[w][3]
+    mid = (iv.start + iv.end) / 2
+    assert truth.state_at(w, mid) == iv.state
+
+
+def test_visualvm_one_second_sampler_sees_nothing(al_run):
+    """At 1 sample/s a run of tens of milliseconds shows at most one
+    sample per thread — no imbalance, no transitions."""
+    _, truth, workers = al_run
+    sampler = ThreadStateSampler(period=1.0)
+    vis = sampler.imbalance_visibility(truth, workers)
+    assert vis["missed_changes"] > 0.99
+    assert vis["displayed_spread"] <= 1.0  # one-sample resolution
+
+
+def test_vtune_5ms_sampler_misses_fine_imbalance(al_run):
+    """VTune's 5 ms sampling vs 80-5000 us work quanta: the overwhelming
+    majority of state changes are invisible."""
+    _, truth, workers = al_run
+    sampler = ThreadStateSampler(period=0.005)
+    vis = sampler.imbalance_visibility(truth, workers)
+    assert vis["missed_changes"] > 0.8
+    # the displayed spread misrepresents the true one
+    assert vis["displayed_spread"] != pytest.approx(
+        vis["true_spread"], rel=0.25
+    )
+
+
+def test_fine_sampler_recovers_truth(al_run):
+    """A (hypothetical) microsecond sampler converges on the ground
+    truth — the granularity, not the method, is the problem."""
+    _, truth, workers = al_run
+    sampler = ThreadStateSampler(period=5e-6)
+    sampled = sampler.sample(truth)
+    for w in workers:
+        true_run = truth.time_in_state(w, ThreadState.RUNNING)
+        disp_run = sampled.displayed_time_in_state(w, ThreadState.RUNNING)
+        assert disp_run == pytest.approx(true_run, rel=0.05)
+
+
+def test_sample_and_hold_false_positive():
+    """§IV-B: 'The tool sampled the thread state immediately before it
+    changed, but continued to display the sampled state until the next
+    sample' — a held RUNNING sample can exaggerate run time many-fold."""
+    # synthetic: thread runs 1ms, then waits 99ms, sampled every 100ms
+    events = [
+        (0.0000, "t", 0, "ready"),
+        (0.0999, "t", 0, "run:x"),  # starts running just before the tick
+        (0.1009, "t", 0, "done"),  # runs only 1 ms
+        (0.9999, "t", 0, "ready"),
+        (1.0, "t", 0, "done"),
+    ]
+    truth = GroundTruthTimeline(events)
+    sampler = ThreadStateSampler(period=0.1)
+    sampled = sampler.sample(truth)
+    true_run = truth.time_in_state("t", ThreadState.RUNNING)
+    disp_run = sampled.displayed_time_in_state("t", ThreadState.RUNNING)
+    assert true_run < 0.002
+    assert disp_run >= 0.1  # displayed as running for a whole period
+
+
+def test_sampler_validation():
+    with pytest.raises(ValueError):
+        ThreadStateSampler(period=0.0)

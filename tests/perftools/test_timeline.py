@@ -1,0 +1,63 @@
+"""Tests for the ASCII execution timeline."""
+
+import pytest
+
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.machine import CORE_I7_920, SimMachine
+from repro.perftools import TimelineRenderer
+from repro.workloads import build_al1000
+
+
+@pytest.fixture(scope="module")
+def run_machine():
+    wl = build_al1000(seed=1)
+    trace = capture_trace(wl, 8)
+    machine = SimMachine(CORE_I7_920, seed=4)
+    result = SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, 4, name="al"
+    ).run()
+    workers = [f"al-pool-worker-{i}" for i in range(4)]
+    return machine, result, workers
+
+
+def test_timeline_renders_phases(run_machine):
+    machine, result, workers = run_machine
+    tr = TimelineRenderer(machine)
+    text = tr.render(workers + ["master"], 0.0, result.sim_seconds, width=120)
+    assert "F" in text  # forces bursts visible
+    assert "legend:" in text
+    assert "us/column" in text
+    # every worker row present
+    for w in workers:
+        assert w[-14:] in text
+
+
+def test_timeline_idle_outside_run(run_machine):
+    machine, result, workers = run_machine
+    tr = TimelineRenderer(machine)
+    # a window long after the run ended is all idle
+    text = tr.render(
+        workers, result.sim_seconds * 2, result.sim_seconds * 2 + 1e-3,
+        width=20,
+    )
+    row = text.splitlines()[1]
+    assert set(row.split("|")[1]) == {"."}
+
+
+def test_timeline_validation(run_machine):
+    machine, *_ = run_machine
+    tr = TimelineRenderer(machine)
+    with pytest.raises(ValueError):
+        tr.render(["x"], 1.0, 1.0)
+    with pytest.raises(ValueError):
+        tr.render(["x"], 0.0, 1.0, width=0)
+
+
+def test_timeline_forces_dominate_worker_rows(run_machine):
+    """In the force phase window, workers show mostly 'F' cells."""
+    machine, result, workers = run_machine
+    tr = TimelineRenderer(machine)
+    text = tr.render(workers, 0.0, result.sim_seconds, width=200)
+    for line in text.splitlines()[1:5]:
+        cells = line.split("|")[1]
+        assert cells.count("F") > cells.count("p")

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_table1(capsys):
+    out = run_cli(capsys, "table1", "--workloads", "salt")
+    assert "salt" in out and "Ionic" in out
+
+
+def test_table2(capsys):
+    out = run_cli(capsys, "table2")
+    assert "Intel Xeon X7560" in out
+
+
+def test_fig1_small(capsys):
+    out = run_cli(
+        capsys,
+        "fig1",
+        "--workloads", "Al-1000",
+        "--threads", "1,2",
+        "--steps", "4",
+    )
+    assert "Speedup" in out and "Al-1000" in out
+
+
+def test_fig2_pinned(capsys):
+    out = run_cli(
+        capsys, "fig2", "--steps", "4", "--threads", "2", "--pinned"
+    )
+    assert "0 migrations" in out
+
+
+def test_topology(capsys):
+    out = run_cli(capsys, "topology", "--machine", "e5450x2")
+    assert "LLC sharing groups" in out
+
+
+def test_run_with_xyz(capsys, tmp_path):
+    path = tmp_path / "t.xyz"
+    out = run_cli(
+        capsys,
+        "run", "Al-1000",
+        "--steps", "10",
+        "--report-every", "5",
+        "--xyz", str(path),
+        "--xyz-every", "5",
+    )
+    assert "E_pot" in out
+    assert path.exists()
+    assert "wrote 2 frames" in out
+
+
+def test_unknown_machine_errors():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--machine", "pentium-4"])
+
+
+def test_unknown_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["table1", "--workloads", "fusion-reactor"])
+
+
+def test_scorecard_passes(capsys):
+    out = run_cli(capsys, "scorecard", "--steps", "8")
+    assert out.count("[PASS]") == 7
+    assert "[FAIL]" not in out
+    assert "7/7 checks pass" in out

@@ -1,0 +1,61 @@
+"""Tests for the parametric scaling workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scaling import build_ionic_gas, build_lj_block
+
+
+def test_lj_block_sizes():
+    for n in (2, 100, 731):
+        wl = build_lj_block(n, seed=1)
+        assert wl.system.n_atoms == n
+        assert len(wl.system.charged) == 0
+    with pytest.raises(ValueError):
+        build_lj_block(1)
+
+
+def test_lj_block_density_constant():
+    """Nearest-neighbor spacing is independent of N."""
+    def nn(n):
+        s = build_lj_block(n, seed=1).system
+        d = np.linalg.norm(
+            s.positions[:50, None] - s.positions[None, :50], axis=-1
+        )
+        np.fill_diagonal(d, np.inf)
+        return d.min()
+
+    assert nn(200) == pytest.approx(nn(1000), rel=0.05)
+
+
+def test_lj_block_runs_stably():
+    wl = build_lj_block(300, seed=1)
+    engine = wl.make_engine()
+    engine.prime()
+    reports = engine.run(30)
+    drift = abs(reports[-1].total_energy - reports[0].total_energy)
+    assert drift < 0.03 * max(abs(reports[0].total_energy), 1.0)
+
+
+def test_ionic_gas_neutral_any_size():
+    for n in (16, 100, 346):
+        wl = build_ionic_gas(n, seed=1)
+        s = wl.system
+        assert s.n_atoms == n
+        assert len(s.charged) == n
+        assert float(s.charges.sum()) == 0.0
+    with pytest.raises(ValueError):
+        build_ionic_gas(101)  # odd
+    with pytest.raises(ValueError):
+        build_ionic_gas(0)
+
+
+def test_ionic_gas_species_interleaved():
+    wl = build_ionic_gas(256, seed=1)
+    na = np.nonzero(wl.system.charges > 0)[0]
+    assert na.mean() == pytest.approx((256 - 1) / 2, rel=0.15)
+
+
+def test_workload_names_parametric():
+    assert build_lj_block(123).name == "lj-123"
+    assert build_ionic_gas(64).name == "ionic-64"
