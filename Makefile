@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test trace-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test:
+test: trace-smoke
 	$(PYTHON) -m pytest tests/
+
+# end-to-end observability check: produce a ground-truth trace and
+# validate the Chrome trace-event JSON against the minimal schema
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro trace salt --steps 5 \
+		--out benchmarks/out/trace-smoke
+	$(PYTHON) scripts/check_trace.py benchmarks/out/trace-smoke/trace.json \
+		--min-spans 20
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

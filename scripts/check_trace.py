@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file against a minimal schema.
+
+Used by ``make trace-smoke``: asserts the file is loadable JSON with a
+non-empty ``traceEvents`` list, that every event carries the required
+fields for its phase type, and that at least one ``task``-category span
+with a non-negative duration is present (the "≥ 1 span per executed
+task" floor is checked against the span count passed via --min-spans).
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED = {"name", "ph", "pid", "tid"}
+
+
+def check(path: str, min_spans: int) -> int:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot load {path}: {exc}")
+        return 1
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        print("FAIL: top level must be an object with 'traceEvents'")
+        return 1
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print("FAIL: 'traceEvents' must be a non-empty list")
+        return 1
+    task_spans = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            print(f"FAIL: event {i} is not an object")
+            return 1
+        missing = REQUIRED - event.keys()
+        if missing:
+            print(f"FAIL: event {i} missing fields {sorted(missing)}")
+            return 1
+        if event["ph"] == "X":
+            if "ts" not in event or "dur" not in event:
+                print(f"FAIL: complete event {i} lacks ts/dur")
+                return 1
+            if event["dur"] < 0 or event["ts"] < 0:
+                print(f"FAIL: event {i} has negative ts/dur")
+                return 1
+            if event.get("cat") == "task":
+                task_spans += 1
+    if task_spans < min_spans:
+        print(
+            f"FAIL: {task_spans} task spans found, expected >= {min_spans}"
+        )
+        return 1
+    print(
+        f"OK: {path} — {len(events)} trace events, "
+        f"{task_spans} task spans"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to trace.json")
+    parser.add_argument(
+        "--min-spans", type=int, default=1,
+        help="minimum number of cat='task' complete spans",
+    )
+    args = parser.parse_args()
+    return check(args.trace, args.min_spans)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

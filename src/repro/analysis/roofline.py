@@ -16,7 +16,7 @@ phase sits far right of the ridge, Al-1000's LJ phase far left.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -50,9 +50,10 @@ class RooflinePoint:
 
 
 def machine_ridge_point(
-    spec: MachineSpec, params: CostParams = CostParams()
+    spec: MachineSpec, params: Optional[CostParams] = None
 ) -> float:
     """Arithmetic intensity at which one core turns compute-bound."""
+    params = params if params is not None else CostParams()
     peak_flops = spec.freq_hz / params.cycles_per_flop
     return peak_flops / spec.core_bw
 
@@ -61,9 +62,10 @@ def phase_roofline(
     trace: Sequence[StepReport],
     spec: MachineSpec,
     n_cores: int = 4,
-    params: CostParams = CostParams(),
+    params: Optional[CostParams] = None,
 ) -> Dict[str, RooflinePoint]:
     """Classify each phase of a work trace against a machine."""
+    params = params if params is not None else CostParams()
     if n_cores < 1:
         raise ValueError(f"n_cores must be >= 1: {n_cores}")
     totals: Dict[str, List[float]] = {}
@@ -98,7 +100,7 @@ def phase_roofline(
 def render_roofline(
     points: Dict[str, RooflinePoint],
     spec: MachineSpec,
-    params: CostParams = CostParams(),
+    params: Optional[CostParams] = None,
     width: int = 60,
 ) -> str:
     """ASCII roofline: phases plotted on a log-intensity axis."""

@@ -19,9 +19,11 @@ run        plain physics: run a workload, print energies,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis import ascii_bar_chart, table1, table2, table3
 from repro.analysis.speedup import fig1_sweep
 from repro.concurrent import QueueMode
@@ -30,7 +32,17 @@ from repro.machine import MACHINES, SimMachine, inject_background_load
 from repro.machine.background import inject_mobile_load
 from repro.machine.topology import Topology
 from repro.md.io import XyzTrajectoryWriter
-from repro.perftools import VTune, topology_report
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    collect_executor_metrics,
+    collect_machine_metrics,
+    collect_span_metrics,
+    compare_tools,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.perftools import GroundTruthTimeline, VTune, topology_report
 from repro.workloads import BUILDERS
 
 
@@ -242,12 +254,98 @@ def cmd_run(args) -> None:
             print(f"wrote {writer.frames_written} frames to {args.xyz}")
 
 
+def cmd_trace(args) -> None:
+    """Run a workload under ground-truth tracing; write trace + metrics."""
+    spec = _machine_spec(args.machine)
+    wl = BUILDERS[args.workload]()
+    trace = capture_trace(wl, args.steps)
+    machine = SimMachine(spec, seed=args.seed)
+    tracer = Tracer().attach(machine.sim)
+    run = SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, args.threads, name="wl"
+    )
+    result = run.run()
+    tracer.detach()
+    spans = tracer.task_spans()
+    truth = GroundTruthTimeline(machine.scheduler.trace.events)
+
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    n_events = write_chrome_trace(trace_path, spans, timeline=truth)
+    registry = MetricsRegistry()
+    collect_machine_metrics(machine, registry)
+    collect_executor_metrics(run.pool, registry)
+    collect_span_metrics(spans, registry)
+    json_path = os.path.join(args.out, "metrics.json")
+    csv_path = os.path.join(args.out, "metrics.csv")
+    write_metrics(json_path, csv_path, registry)
+
+    complete = [s for s in spans if s.complete]
+    print(
+        f"traced {args.workload}: {result.steps} steps x "
+        f"{args.threads} threads on simulated {spec.name}"
+    )
+    print(
+        f"simulated runtime {result.sim_seconds * 1e3:.3f} ms, "
+        f"{len(tracer.events)} bus events, {len(spans)} task spans "
+        f"({len(complete)} complete)"
+    )
+    by_label = {}
+    for s in complete:
+        label = s.label or "task"
+        agg = by_label.setdefault(label, [0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += s.exec_time
+        agg[2] += s.queue_wait
+    for label in sorted(by_label):
+        n, exec_t, wait_t = by_label[label]
+        print(
+            f"  {label:<12} {n:>4} tasks  exec {exec_t * 1e3:8.3f} ms  "
+            f"mean queue wait {wait_t / n * 1e6:8.1f} us"
+        )
+    for llc in machine.llc_states:
+        total = llc.bytes_hit + llc.bytes_missed
+        ratio = llc.bytes_hit / total if total else 0.0
+        print(
+            f"  LLC {llc.llc_id}: hit ratio {ratio * 100:.1f}% "
+            f"({llc.bytes_hit / 2**20:.1f} MB hit, "
+            f"{llc.bytes_missed / 2**20:.1f} MB missed)"
+        )
+    migrations = sum(result.migrations.values())
+    print(f"  thread migrations: {migrations}")
+    print(
+        f"wrote {trace_path} ({n_events} trace events), "
+        f"{json_path}, {csv_path}"
+    )
+    print(
+        "open the trace in Perfetto (https://ui.perfetto.dev) or "
+        "chrome://tracing"
+    )
+
+
+def cmd_compare(args) -> None:
+    """Quantify each modeled tool's error against the ground truth."""
+    print(
+        compare_tools(
+            workload=args.workload,
+            steps=args.steps,
+            n_threads=args.threads,
+            machine=args.machine,
+            seed=args.seed,
+            include_observer_effects=not args.no_observer,
+        ).render()
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Krieger & Strout (ICPP 2010).",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("table1", help="benchmark characteristics")
     p.add_argument("--workloads", nargs="*", default=None)
@@ -287,6 +385,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="x7560x4")
     p.set_defaults(fn=cmd_topology)
 
+    p = sub.add_parser(
+        "trace",
+        help="run a workload under ground-truth tracing; write a "
+        "Chrome/Perfetto trace and a metrics dump",
+    )
+    p.add_argument("workload", choices=sorted(BUILDERS))
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default="trace_out",
+        help="output directory for trace.json / metrics.{json,csv}",
+    )
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "compare",
+        help="quantify each modeled perf tool's error vs ground truth",
+    )
+    p.add_argument("--workload", default="salt", choices=sorted(BUILDERS))
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-observer", action="store_true",
+        help="skip the intrusive-tool (JaMON/VisualVM) reruns",
+    )
+    p.set_defaults(fn=cmd_compare)
+
     p = sub.add_parser("run", help="run a workload's physics")
     p.add_argument("workload", choices=sorted(BUILDERS))
     p.add_argument("--steps", type=int, default=200)
@@ -299,7 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "fn", None) is None:
+        # no subcommand: print full help (not a traceback), exit code 2
+        parser.print_help()
+        return 2
     try:
         args.fn(args)
     except BrokenPipeError:

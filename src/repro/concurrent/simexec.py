@@ -45,9 +45,20 @@ class SimFuture:
 
 
 class SimTask:
-    """One unit of queued work."""
+    """One unit of queued work.
 
-    __slots__ = ("cost", "meta", "future", "submitted_at", "latch")
+    Besides the cost and completion future, a task carries its span
+    timestamps (enqueue → dequeue → run → complete) and the worker that
+    executed it, so a finished run can be dissected into queue wait and
+    execution time with zero observer effect.  ``uid`` is a
+    deterministic per-executor sequence id (never ``id()``), safe to put
+    in trace streams.
+    """
+
+    __slots__ = (
+        "cost", "meta", "future", "submitted_at", "latch",
+        "uid", "dequeued_at", "started_at", "finished_at", "worker",
+    )
 
     def __init__(
         self,
@@ -55,12 +66,32 @@ class SimTask:
         meta: Any = None,
         latch: Optional[SimCountDownLatch] = None,
         submitted_at: float = 0.0,
+        uid: str = "",
     ):
         self.cost = cost
         self.meta = meta
         self.latch = latch
         self.future = SimFuture()
         self.submitted_at = submitted_at
+        self.uid = uid
+        self.dequeued_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.worker: Optional[int] = None
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued before a worker picked the task up."""
+        if self.dequeued_at is None:
+            return None
+        return self.dequeued_at - self.submitted_at
+
+    @property
+    def exec_time(self) -> Optional[float]:
+        """Seconds between task start and completion on the worker."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
 
 class Instrumentation:
@@ -122,6 +153,15 @@ class SimExecutorService:
             raise ValueError(f"n_threads must be >= 1: {n_threads}")
         if affinities is not None and len(affinities) != n_threads:
             raise ValueError("affinities must have one entry per worker")
+        instr_machine = getattr(instrumentation, "machine", None)
+        if instr_machine is not None and instr_machine is not machine:
+            # an instrumentation's locks/agent threads live in one
+            # machine's simulated time; reusing it on another machine
+            # would schedule wakeups on the wrong simulator
+            raise ValueError(
+                "instrumentation is bound to a different machine; "
+                "create a fresh instance per machine"
+            )
         self.machine = machine
         self.sim = machine.sim
         self.n_threads = n_threads
@@ -140,6 +180,7 @@ class SimExecutorService:
             ]
         self._qlock = Lock(self.sim, name=f"{name}.qlock")
         self._rr = 0
+        self._task_seq = 0
         self._shutdown = False
         self.tasks_executed = [0] * n_threads
         #: wall simulated time each worker spent from task start to end
@@ -173,8 +214,16 @@ class SimExecutorService:
         """Enqueue one task; returns it (``task.future`` is waitable)."""
         if self._shutdown:
             raise RuntimeError(f"executor {self.name!r} is shut down")
-        task = SimTask(cost, meta, latch, submitted_at=self.sim.now)
-        self._queue_for(worker).put(task)
+        uid = f"{self.name}.t{self._task_seq}"
+        self._task_seq += 1
+        task = SimTask(cost, meta, latch, submitted_at=self.sim.now, uid=uid)
+        queue = self._queue_for(worker)
+        if self.sim._subscribers:
+            self.sim.emit(
+                "task.enqueue", uid,
+                ("label", cost.label), ("queue", queue.name),
+            )
+        queue.put(task)
         return task
 
     def submit_phase(
@@ -213,11 +262,20 @@ class SimExecutorService:
             else self.queues[index]
         )
         machine = self.machine
+        sim = self.sim
         instr = self.instrumentation
         while True:
             task = yield q.get()
             if task is None:
                 return
+            task.dequeued_at = machine.now
+            task.worker = index
+            if sim._subscribers:
+                sim.emit(
+                    "task.dequeue", task.uid,
+                    ("worker", index),
+                    ("queue_wait", machine.now - task.submitted_at),
+                )
             if (
                 self.queue_mode is QueueMode.SINGLE
                 and self.pop_overhead_cycles > 0
@@ -235,9 +293,24 @@ class SimExecutorService:
             else:
                 cost = task.cost
             started = machine.now
+            task.started_at = started
+            if sim._subscribers:
+                sim.emit(
+                    "task.start", task.uid,
+                    ("worker", index), ("label", cost.label),
+                )
             yield cost
             self.busy_time[index] += machine.now - started
             self.tasks_executed[index] += 1
+            task.finished_at = machine.now
+            if sim._subscribers:
+                worker_thread = self.workers[index]
+                sim.emit(
+                    "task.end", task.uid,
+                    ("worker", index),
+                    ("pu", worker_thread.last_pu),
+                    ("exec", machine.now - started),
+                )
             if instr is not None:
                 yield from instr.on_task_end(index, task)
             task.future._fire(machine.now, self.sim)

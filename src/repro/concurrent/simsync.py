@@ -43,7 +43,14 @@ class SimCountDownLatch:
         if self._count > 0:
             self._count -= 1
             self.arrival_times.append(self.sim.now)
+            if self.sim._subscribers:
+                self.sim.emit(
+                    "latch.count_down", self.name,
+                    ("remaining", self._count),
+                )
             if self._count == 0:
+                if self.sim._subscribers:
+                    self.sim.emit("latch.trip", self.name, ("skew", self.skew))
                 self._event.fire(self.sim.now, sim=self.sim)
 
     @property
@@ -112,11 +119,22 @@ class SimCyclicBarrier:
             raise DesError(
                 f"barrier {self.name!r}: more arrivals than parties"
             )
+        if sim._subscribers:
+            sim.emit(
+                "barrier.arrive", self.name,
+                ("process", process.name), ("waiting", self._waiting),
+            )
         if self._waiting == self.parties:
             arrivals = self._current_arrivals
             self.trip_arrivals.append(
                 (min(arrivals), max(arrivals), list(arrivals))
             )
+            if sim._subscribers:
+                sim.emit(
+                    "barrier.trip", self.name,
+                    ("trip", len(self.trip_arrivals) - 1),
+                    ("skew", max(arrivals) - min(arrivals)),
+                )
             if self._action is not None:
                 self._action()
             event = self._gen_event

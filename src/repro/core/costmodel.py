@@ -81,7 +81,7 @@ class MachineCostModel:
         self,
         n_atoms: int,
         ranges: Sequence[Range],
-        params: CostParams = CostParams(),
+        params: Optional[CostParams] = None,
         name: str = "wl",
         fuse_rebuild: bool = True,
         hot_bytes_per_step: Optional[float] = None,
@@ -91,6 +91,7 @@ class MachineCostModel:
         self.n_atoms = n_atoms
         self.ranges = list(ranges)
         self.n_threads = len(self.ranges)
+        params = params if params is not None else CostParams()
         self.params = params
         self.name = name
         self.fuse_rebuild = fuse_rebuild

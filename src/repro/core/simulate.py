@@ -104,7 +104,7 @@ class SimulatedParallelRun:
         partition: str = "block",
         queue_mode: QueueMode = QueueMode.SINGLE,
         instrumentation: Optional[Instrumentation] = None,
-        params: CostParams = CostParams(),
+        params: Optional[CostParams] = None,
         fuse_rebuild: bool = True,
         repeat: int = 1,
         name: str = "wl",
@@ -115,6 +115,7 @@ class SimulatedParallelRun:
             raise ValueError("empty trace")
         if repeat < 1:
             raise ValueError(f"repeat must be >= 1: {repeat}")
+        params = params if params is not None else CostParams()
         self.trace = list(trace)
         self.machine = machine
         self.n_threads = n_threads

@@ -30,6 +30,7 @@ from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 from repro.des.resources import FifoStore, Lock, Semaphore
 from repro.des.simulator import Simulator
+from repro.des.trace import TraceEvent, serialize_events
 
 __all__ = [
     "AllOf",
@@ -44,4 +45,6 @@ __all__ = [
     "SimulationDeadlock",
     "Simulator",
     "Timeout",
+    "TraceEvent",
+    "serialize_events",
 ]

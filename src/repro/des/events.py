@@ -38,6 +38,8 @@ class Timeout:
         self.value = value
 
     def _subscribe(self, sim, process) -> None:
+        if sim._subscribers:
+            sim.emit("timeout", process.name, ("delay", self.delay))
         sim._schedule(self.delay, process._resume, self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

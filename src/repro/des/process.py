@@ -58,6 +58,8 @@ class Process:
         if not self._alive:  # e.g. resumed after an interrupt killed us
             return
         self._waiting_on = None
+        if self.sim._subscribers:
+            self.sim.emit("process.resume", self.name)
         try:
             request = self._gen.send(value)
         except StopIteration as stop:
@@ -96,16 +98,27 @@ class Process:
                 f"{type(request).__name__}: {request!r}"
             )
         self.sim._live.add(self)
+        if self.sim._subscribers:
+            self.sim.emit(
+                "process.block", self.name,
+                ("request", type(request).__name__),
+            )
         subscribe(self.sim, self)
 
     def _finish(self, value) -> None:
         self._alive = False
         self.sim._live.discard(self)
+        if self.sim._subscribers:
+            self.sim.emit("process.end", self.name)
         self.terminated.fire(value, sim=self.sim)
 
     def _crash(self, exc: BaseException) -> None:
         self._alive = False
         self.sim._live.discard(self)
+        if self.sim._subscribers:
+            self.sim.emit(
+                "process.end", self.name, ("error", type(exc).__name__)
+            )
         if self.terminated._waiters:
             self.terminated.fail(exc, sim=self.sim)
         else:

@@ -58,6 +58,8 @@ class Semaphore:
         start = self._acquired_at.pop(id(key), None) if key is not None else None
         if start is not None:
             self.hold_time += self.sim.now - start
+        if self.sim._subscribers:
+            self.sim.emit("lock.release", self.name)
         while self._queue:
             proc, enqueued_at = self._queue.popleft()
             if not proc.alive:
@@ -65,6 +67,12 @@ class Semaphore:
             self.wait_time += self.sim.now - enqueued_at
             self.acquire_count += 1
             self._acquired_at[id(proc)] = self.sim.now
+            if self.sim._subscribers:
+                self.sim.emit(
+                    "lock.acquire", self.name,
+                    ("process", proc.name),
+                    ("waited", self.sim.now - enqueued_at),
+                )
             self.sim._schedule(0.0, proc._resume, self)
             return
         self._available += 1
@@ -89,8 +97,17 @@ class _AcquireRequest:
     def _subscribe(self, sim, process) -> None:
         sem = self.sem
         if sem._try_grant(process):
+            if sim._subscribers:
+                sim.emit(
+                    "lock.acquire", sem.name,
+                    ("process", process.name), ("waited", 0.0),
+                )
             sim._schedule(0.0, process._resume, sem)
         else:
+            if sim._subscribers:
+                sim.emit(
+                    "lock.request", sem.name, ("process", process.name)
+                )
             sem.wait_count += 1
             sem._queue.append((process, sim.now))
 

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import heapq
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.des.errors import SimulationDeadlock
 from repro.des.process import Process
+from repro.des.trace import TraceEvent
 
 
 class Simulator:
@@ -16,6 +17,12 @@ class Simulator:
     model uses seconds) and a heap of ``(time, seq, callback, value)``
     entries.  Simultaneous events run in scheduling order (``seq`` is a
     monotone counter), so runs are exactly reproducible.
+
+    The simulator is also the kernel's **event bus**: observers call
+    :meth:`subscribe` and receive every :class:`TraceEvent` emitted by
+    the kernel, the scheduler, and the sim-concurrent runtime.  With no
+    subscriber attached every emission site is one truthiness check of
+    :attr:`_subscribers`, and tracing never costs simulated time.
     """
 
     def __init__(self):
@@ -24,6 +31,39 @@ class Simulator:
         self._seq: int = 0
         self._live: set = set()
         self.event_count: int = 0
+        #: event-bus subscribers; emission sites check truthiness inline,
+        #: so an empty list is the zero-overhead "tracing off" fast path
+        self._subscribers: list = []
+
+    # -- event bus -------------------------------------------------------
+
+    @property
+    def traced(self) -> bool:
+        """True when at least one trace subscriber is attached."""
+        return bool(self._subscribers)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> Callable:
+        """Attach a trace subscriber; returns ``callback`` for symmetry
+        with :meth:`unsubscribe`."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Detach a previously subscribed trace callback."""
+        self._subscribers.remove(callback)
+
+    def emit(self, kind: str, subject: str, *args) -> None:
+        """Deliver one trace event to every subscriber.
+
+        ``args`` are ``(key, value)`` pairs in emitter-fixed order.  Hot
+        paths guard the call with ``if sim._subscribers:`` so the
+        traced-off cost is a single attribute check.
+        """
+        if not self._subscribers:
+            return
+        event = TraceEvent(self.now, kind, subject, args)
+        for fn in self._subscribers:
+            fn(event)
 
     # -- scheduling ------------------------------------------------------
 
@@ -46,6 +86,8 @@ class Simulator:
         deadlock check (they are expected to wait forever)."""
         proc = Process(self, gen, name=name, daemon=daemon)
         self._live.add(proc)
+        if self._subscribers:
+            self.emit("process.spawn", proc.name, ("daemon", daemon))
         self._schedule(0.0, proc._resume, None)
         return proc
 

@@ -1,0 +1,68 @@
+"""Typed trace events for the kernel event bus.
+
+The :class:`~repro.des.simulator.Simulator` carries a subscriber list;
+when at least one subscriber is attached, instrumented points in the
+kernel (process lifecycle, locks, timeouts), the scheduler, and the
+sim-concurrent runtime emit :class:`TraceEvent` records.  With no
+subscriber every emission site reduces to one truthiness check of an
+empty list, and *nothing about simulated time changes either way*:
+observation is purely passive, which is the whole point — the simulated
+machine is the one "tool" with a zero observer effect (§IV).
+
+Event payloads must be deterministic: emitters never include memory
+addresses (``id()``), wall-clock times, or unordered-dict iteration
+products, so two identical runs serialize to byte-identical streams
+(guarded by ``tests/obs/test_bus.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+
+class TraceEvent:
+    """One kernel event: what happened, to whom, at what simulated time.
+
+    ``args`` is a tuple of ``(key, value)`` pairs rather than a dict so
+    the serialization order is fixed by the emitter, keeping streams
+    byte-identical across runs.
+    """
+
+    __slots__ = ("time", "kind", "subject", "args")
+
+    def __init__(
+        self,
+        time: float,
+        kind: str,
+        subject: str,
+        args: Tuple[Tuple[str, object], ...] = (),
+    ):
+        self.time = time
+        self.kind = kind
+        self.subject = subject
+        self.args = args
+
+    def arg(self, key: str, default=None):
+        """Look up one payload field by key."""
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kv = " ".join(f"{k}={v!r}" for k, v in self.args)
+        return f"TraceEvent({self.time!r}, {self.kind}, {self.subject!r}, {kv})"
+
+
+def serialize_events(events: Iterable[TraceEvent]) -> bytes:
+    """Canonical one-line-per-event byte encoding of an event stream.
+
+    Uses ``repr`` for floats (exact round-trip), so two streams are
+    equal iff every event matches bit-for-bit — the determinism tests
+    compare these bytes directly.
+    """
+    lines = []
+    for e in events:
+        kv = " ".join(f"{k}={v!r}" for k, v in e.args)
+        lines.append(f"{e.time!r}\t{e.kind}\t{e.subject}\t{kv}")
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""

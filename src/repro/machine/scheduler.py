@@ -54,11 +54,21 @@ class SchedulerTrace:
         default_factory=lambda: defaultdict(int)
     )
     record_events: bool = True
+    #: owning simulator — when set, every recorded event is mirrored onto
+    #: its trace bus as ``sched.<what>`` (ready/run/preempt/done/migrate)
+    _sim: object = field(default=None, repr=False, compare=False)
 
     def record(self, time: float, thread: str, pu: int, what: str) -> None:
         """Append one raw scheduling event."""
         if self.record_events:
             self.events.append((time, thread, pu, what))
+        sim = self._sim
+        if sim is not None and sim._subscribers:
+            kind, _, label = what.partition(":")
+            if label:
+                sim.emit(f"sched.{kind}", thread, ("pu", pu), ("label", label))
+            else:
+                sim.emit(f"sched.{kind}", thread, ("pu", pu))
 
     def add_residency(self, thread: str, pu: int, dt: float) -> None:
         """Accumulate executed seconds for (thread, pu)."""
@@ -111,7 +121,7 @@ class Scheduler:
         # invisible to len(runqueue); without this counter simultaneous
         # placements pile onto one PU while others idle
         self._pending: List[int] = [0] * n
-        self.trace = SchedulerTrace()
+        self.trace = SchedulerTrace(_sim=self.sim)
         for p in range(n):
             self.sim.spawn(self._dispatch(p), name=f"cpu{p}", daemon=True)
 

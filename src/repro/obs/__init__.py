@@ -1,0 +1,72 @@
+"""Unified ground-truth tracing & metrics for the simulated machine.
+
+Every Java-era tool the paper evaluated either perturbed the program
+(JaMON's serializing monitors, VisualVM's 4x instrumentation) or
+sampled too coarsely (1 s / 5–10 ms vs 80–5000 µs work quanta) to see
+what was really happening.  The DES machine can do what none of them
+could: record a *perfect, zero-observer-effect* trace.  This package is
+that recorder plus its consumers:
+
+* :mod:`~repro.obs.tracer` — :class:`Tracer` subscribes to the kernel
+  event bus (:meth:`repro.des.Simulator.subscribe`) and assembles
+  per-task :class:`TaskSpan` lifecycles (enqueue → dequeue → run →
+  complete with worker/PU attribution);
+* :mod:`~repro.obs.metrics` — a labeled counter/gauge/histogram
+  registry fed by hardware-counter scrapes of the machine (per-LLC
+  cache hits/misses, DRAM traffic, migrations, scheduler decisions);
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (open in Perfetto
+  or ``chrome://tracing``) and flat CSV/JSON metric dumps;
+* :mod:`~repro.obs.compare` — replays the ground truth through the
+  :mod:`repro.perftools` models and quantifies each tool's measurement
+  error, the experiment the original authors could never run.
+
+CLI: ``python -m repro trace <workload>`` produces the artifacts;
+``python -m repro compare`` prints the tool-error report.
+"""
+
+from repro.obs.compare import (
+    ObserverEffectRow,
+    SamplerErrorRow,
+    ToolErrorReport,
+    compare_tools,
+    sampler_error_rows,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    metrics_csv,
+    metrics_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_executor_metrics,
+    collect_machine_metrics,
+    collect_span_metrics,
+)
+from repro.obs.tracer import TaskSpan, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObserverEffectRow",
+    "SamplerErrorRow",
+    "TaskSpan",
+    "ToolErrorReport",
+    "Tracer",
+    "chrome_trace_events",
+    "collect_executor_metrics",
+    "collect_machine_metrics",
+    "collect_span_metrics",
+    "compare_tools",
+    "metrics_csv",
+    "metrics_json",
+    "sampler_error_rows",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,300 @@
+"""Hardware-counter style metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` holds labeled metrics the way a PMU or a
+Prometheus endpoint would: ``registry.counter("llc_bytes_missed",
+llc="0")`` returns the counter for that label set, creating it on first
+use.  The collectors at the bottom scrape a finished (or running)
+:class:`~repro.machine.machine.SimMachine` and
+:class:`~repro.concurrent.simexec.SimExecutorService` into a registry —
+per-LLC cache hits/misses, per-socket DRAM traffic, per-thread
+migrations and scheduler decisions, per-worker task counts, and task
+span histograms.  Scraping reads model state that the simulation
+already maintains, so metrics collection has zero observer effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, decisions)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter decrement: {amount}")
+        # coerce so numpy scalars from model state stay JSON-serializable
+        self.value += float(amount)
+
+
+class Gauge:
+    """A point-in-time value (queue depth, hit ratio, busy seconds)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge's current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count (latency distributions).
+
+    ``buckets`` are upper bounds in ascending order; an implicit +inf
+    bucket catches the tail.  ``observe`` is O(#buckets).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    DEFAULT_BUCKETS = (
+        1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1,
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        bounds = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram buckets must ascend: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.sum += float(value)
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples (0 if none)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Labeled metric store with get-or-create accessors.
+
+    A metric is identified by ``(name, labels)``; asking twice returns
+    the same object.  Registering the same name with two different
+    metric types is an error.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelsKey], object] = {}
+        self._types: Dict[str, type] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        seen = self._types.get(name)
+        if seen is not None and seen is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen.__name__}"
+            )
+        self._types[name] = cls
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, key[1], **kwargs)
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter with this name and label set."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge with this name and label set."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        """Get or create the histogram with this name and label set."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def rows(self) -> List[dict]:
+        """Flat, deterministically ordered dump of every metric.
+
+        Counters/gauges yield one row; histograms yield one row per
+        bucket plus ``_sum`` and ``_count`` rows — the flat form both
+        exporters (CSV and JSON) serialize directly.
+        """
+        out: List[dict] = []
+        for (name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: kv[0]
+        ):
+            label_str = ",".join(f"{k}={v}" for k, v in labels)
+            if isinstance(metric, (Counter, Gauge)):
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+                out.append(
+                    {
+                        "name": name,
+                        "labels": label_str,
+                        "type": kind,
+                        "value": metric.value,
+                    }
+                )
+            else:
+                for bound, count in zip(metric.buckets, metric.counts):
+                    out.append(
+                        {
+                            "name": f"{name}_bucket",
+                            "labels": (
+                                f"{label_str},le={bound:g}"
+                                if label_str else f"le={bound:g}"
+                            ),
+                            "type": "histogram",
+                            "value": count,
+                        }
+                    )
+                inf_labels = (
+                    f"{label_str},le=+inf" if label_str else "le=+inf"
+                )
+                out.append(
+                    {
+                        "name": f"{name}_bucket",
+                        "labels": inf_labels,
+                        "type": "histogram",
+                        "value": metric.counts[-1],
+                    }
+                )
+                out.append(
+                    {
+                        "name": f"{name}_sum",
+                        "labels": label_str,
+                        "type": "histogram",
+                        "value": metric.sum,
+                    }
+                )
+                out.append(
+                    {
+                        "name": f"{name}_count",
+                        "labels": label_str,
+                        "type": "histogram",
+                        "value": metric.count,
+                    }
+                )
+        return out
+
+
+# -- collectors -----------------------------------------------------------
+
+
+def collect_machine_metrics(
+    machine, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Scrape a :class:`SimMachine` into hardware-counter metrics.
+
+    Emits per-LLC ``llc_bytes_hit`` / ``llc_bytes_missed`` counters and
+    ``llc_hit_ratio`` gauges, per-socket DRAM traffic, per-thread
+    migration/dispatch counters and CPU-time gauges, scheduler decision
+    counts by kind, and the simulator's clock/event totals.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for llc in machine.llc_states:
+        labels = {"llc": llc.llc_id}
+        reg.counter("llc_bytes_hit", **labels).inc(llc.bytes_hit)
+        reg.counter("llc_bytes_missed", **labels).inc(llc.bytes_missed)
+        total = llc.bytes_hit + llc.bytes_missed
+        reg.gauge("llc_hit_ratio", **labels).set(
+            llc.bytes_hit / total if total else 0.0
+        )
+    for socket, stats in sorted(machine.memory.stats().items()):
+        labels = {"socket": socket}
+        reg.counter("mem_bytes_served", **labels).inc(stats["bytes_served"])
+        reg.counter("mem_bytes_remote", **labels).inc(stats["bytes_remote"])
+        reg.gauge("mem_peak_streams", **labels).set(stats["peak_active"])
+    trace = machine.scheduler.trace
+    for thread in sorted(trace.migrations):
+        reg.counter("sched_migrations", thread=thread).inc(
+            trace.migrations[thread]
+        )
+    for thread in sorted(trace.dispatches):
+        reg.counter("sched_dispatches", thread=thread).inc(
+            trace.dispatches[thread]
+        )
+    decision_counts: Dict[str, int] = {}
+    for _time, _thread, _pu, what in trace.events:
+        kind = what.partition(":")[0]
+        decision_counts[kind] = decision_counts.get(kind, 0) + 1
+    for kind in sorted(decision_counts):
+        reg.counter("sched_decisions", kind=kind).inc(decision_counts[kind])
+    for thread in machine.threads:
+        reg.gauge("thread_cpu_seconds", thread=thread.name).set(
+            thread.cpu_time
+        )
+        reg.counter("thread_bursts", thread=thread.name).inc(
+            thread.burst_count
+        )
+    reg.gauge("sim_seconds").set(machine.now)
+    reg.counter("sim_events").inc(machine.sim.event_count)
+    return reg
+
+
+def collect_executor_metrics(
+    pool, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Scrape a :class:`SimExecutorService`: per-worker task counts and
+    busy time, plus per-queue put/get/depth statistics."""
+    reg = registry if registry is not None else MetricsRegistry()
+    for i in range(pool.n_threads):
+        labels = {"pool": pool.name, "worker": i}
+        reg.counter("tasks_executed", **labels).inc(pool.tasks_executed[i])
+        reg.gauge("worker_busy_seconds", **labels).set(pool.busy_time[i])
+    for q in pool.queues:
+        labels = {"queue": q.name}
+        reg.counter("queue_puts", **labels).inc(q.put_count)
+        reg.counter("queue_gets", **labels).inc(q.get_count)
+        reg.gauge("queue_max_depth", **labels).set(q.max_depth)
+    return reg
+
+
+def collect_span_metrics(
+    spans: Iterable,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold task spans into per-label execution and queue-wait
+    histograms (``task_exec_seconds`` / ``task_queue_wait_seconds``)."""
+    reg = registry if registry is not None else MetricsRegistry()
+    for span in spans:
+        if not span.complete:
+            continue
+        label = span.label or "task"
+        reg.histogram("task_exec_seconds", label=label).observe(
+            span.exec_time
+        )
+        reg.histogram("task_queue_wait_seconds", label=label).observe(
+            span.queue_wait
+        )
+    return reg

@@ -1,0 +1,163 @@
+"""The Tracer: collect kernel trace events and build task spans.
+
+A :class:`Tracer` subscribes to a simulator's event bus
+(:meth:`~repro.des.simulator.Simulator.subscribe`) and accumulates the
+raw :class:`~repro.des.trace.TraceEvent` stream.  After (or during) a
+run it can assemble per-task :class:`TaskSpan` records — the
+enqueue → dequeue → run → complete lifecycle of every
+:class:`~repro.concurrent.simexec.SimTask`, with worker/PU attribution
+and queue-wait breakdown — which is exactly the ground truth none of
+the paper's tools (JaMON, VisualVM, VTune) could record without
+perturbing the program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.des.trace import TraceEvent, serialize_events
+
+
+class TaskSpan:
+    """The complete lifecycle of one executed task.
+
+    Times are simulated seconds; ``queue_wait`` is dequeue minus
+    enqueue, ``exec_time`` is complete minus start (includes the
+    memory/cache behaviour of the burst, excludes instrumentation
+    prologue cost before the start mark).
+    """
+
+    __slots__ = (
+        "uid", "label", "worker", "pu",
+        "enqueued", "dequeued", "started", "finished", "queue",
+    )
+
+    def __init__(self, uid: str):
+        self.uid = uid
+        self.label: str = ""
+        self.worker: Optional[int] = None
+        self.pu: Optional[int] = None
+        self.enqueued: Optional[float] = None
+        self.dequeued: Optional[float] = None
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.queue: str = ""
+
+    @property
+    def complete(self) -> bool:
+        """True when the whole enqueue→complete lifecycle was observed."""
+        return None not in (
+            self.enqueued, self.dequeued, self.started, self.finished
+        )
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds the task sat in the work queue."""
+        if self.enqueued is None or self.dequeued is None:
+            return 0.0
+        return self.dequeued - self.enqueued
+
+    @property
+    def exec_time(self) -> float:
+        """Seconds from task start to completion on the worker."""
+        if self.started is None or self.finished is None:
+            return 0.0
+        return self.finished - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskSpan({self.uid!r}, label={self.label!r}, "
+            f"worker={self.worker}, exec={self.exec_time:.6g})"
+        )
+
+
+class Tracer:
+    """Passive subscriber that records a simulator's full event stream.
+
+    Usage::
+
+        tracer = Tracer()
+        tracer.attach(machine.sim)
+        ...  # run the simulation
+        tracer.detach()
+        spans = tracer.task_spans()
+
+    Attaching costs the simulation nothing in *simulated* time — the
+    bus is observation-only — so a traced run and an untraced run have
+    identical timestamps (enforced by ``tests/obs/test_bus.py``).
+    """
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._sim = None
+
+    # -- subscription ----------------------------------------------------
+
+    def attach(self, sim) -> "Tracer":
+        """Subscribe to a simulator's bus; returns self for chaining."""
+        if self._sim is not None:
+            raise ValueError("tracer already attached")
+        self._sim = sim
+        sim.subscribe(self._on_event)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the simulator (events are kept)."""
+        if self._sim is not None:
+            self._sim.unsubscribe(self._on_event)
+            self._sim = None
+
+    def _on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- queries ---------------------------------------------------------
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind (e.g. ``"task.end"``)."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of event kinds seen so far."""
+        return dict(Counter(e.kind for e in self.events))
+
+    def serialize(self) -> bytes:
+        """Canonical byte encoding of the stream (determinism checks)."""
+        return serialize_events(self.events)
+
+    def task_spans(self) -> List[TaskSpan]:
+        """Assemble task spans from the ``task.*`` events, in enqueue
+        order.  Incomplete spans (task still queued at the end of the
+        run) are included with their observed fields."""
+        spans: Dict[str, TaskSpan] = {}
+        order: List[str] = []
+        for e in self.events:
+            if not e.kind.startswith("task."):
+                continue
+            span = spans.get(e.subject)
+            if span is None:
+                span = spans[e.subject] = TaskSpan(e.subject)
+                order.append(e.subject)
+            if e.kind == "task.enqueue":
+                span.enqueued = e.time
+                span.label = e.arg("label", "") or ""
+                span.queue = e.arg("queue", "") or ""
+            elif e.kind == "task.dequeue":
+                span.dequeued = e.time
+                span.worker = e.arg("worker")
+            elif e.kind == "task.start":
+                span.started = e.time
+            elif e.kind == "task.end":
+                span.finished = e.time
+                span.pu = e.arg("pu")
+        return [spans[uid] for uid in order]
+
+    def latch_waits(self) -> List[tuple]:
+        """Skew of every latch trip (last minus first arrival), in trip
+        order, as ``(trip_time, latch_name, skew)`` tuples — the
+        latch-wait component of each phase barrier."""
+        return [
+            (e.time, e.subject, e.arg("skew", 0.0))
+            for e in self.events
+            if e.kind == "latch.trip"
+        ]

@@ -1,0 +1,46 @@
+"""Regression: Instrumentation objects are stateful and machine-bound.
+
+An :class:`Instrumentation` instance (e.g. JaMON's monitor lock) holds
+a lock and counters tied to one machine's simulator.  Reusing it across
+two sequential pools on the *same* machine must accumulate cleanly;
+attaching it to a pool on a *different* machine is a bug (the lock
+would block on the wrong simulator) and is rejected at construction.
+"""
+
+import pytest
+
+from repro.concurrent import SimExecutorService
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.perftools.jamon import JaMonInstrumentation
+
+
+def make_machine():
+    return SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+
+
+def run_pool(machine, instr, n_tasks):
+    pool = SimExecutorService(machine, 2, instrumentation=instr, name="p")
+    for _ in range(n_tasks):
+        pool.submit(WorkCost(cycles=1e6, label="t"))
+    pool.shutdown()
+    machine.run()
+
+
+def test_instrumentation_reused_across_two_runs_accumulates():
+    m = make_machine()
+    instr = JaMonInstrumentation(m)
+    run_pool(m, instr, 3)
+    assert instr.monitors["t"].hits == 3
+    # second executor run on the same machine, same instrumentation
+    run_pool(m, instr, 2)
+    assert instr.monitors["t"].hits == 5
+    assert instr.monitors["t"].active == 0
+    # no leaked in-flight state between runs
+    assert instr._start_times == {}
+
+
+def test_instrumentation_bound_to_other_machine_rejected():
+    m1, m2 = make_machine(), make_machine()
+    instr = JaMonInstrumentation(m1)
+    with pytest.raises(ValueError, match="different machine"):
+        SimExecutorService(m2, 2, instrumentation=instr, name="p")

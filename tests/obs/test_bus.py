@@ -1,0 +1,187 @@
+"""Event-bus tests: determinism, zero overhead, span correctness.
+
+The two acceptance properties of the tracing subsystem:
+
+* two identical traced runs produce **byte-identical** event streams
+  (the bus is fully deterministic, no ``id()``/wall-clock leakage);
+* attaching (or not attaching) a subscriber changes **nothing** about
+  simulated time — observation is passive, the simulated machine is the
+  one tool with a zero observer effect.
+"""
+
+import pytest
+
+from repro.core import SimulatedParallelRun, capture_trace
+from repro.des import Lock, Simulator, Timeout, serialize_events
+from repro.machine import MACHINES, SimMachine
+from repro.obs import Tracer
+from repro.workloads import BUILDERS
+
+
+@pytest.fixture(scope="module")
+def salt():
+    """One serial physics capture, shared by every replay test."""
+    wl = BUILDERS["salt"]()
+    return wl, capture_trace(wl, 2)
+
+
+def replay(salt, traced, n_threads=2, seed=0):
+    wl, trace = salt
+    machine = SimMachine(MACHINES["i7-920"], seed=seed)
+    tracer = Tracer()
+    if traced:
+        tracer.attach(machine.sim)
+    run = SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, n_threads, name="wl"
+    )
+    result = run.run()
+    tracer.detach()
+    return machine, run, result, tracer
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def test_traced_runs_byte_identical(salt):
+    """Two identical traced salt runs → byte-identical event streams."""
+    *_, t1 = replay(salt, traced=True)
+    *_, t2 = replay(salt, traced=True)
+    b1, b2 = t1.serialize(), t2.serialize()
+    assert b1 == b2
+    assert len(b1) > 0
+    assert len(t1.events) > 100
+
+
+def test_stream_covers_all_layers(salt):
+    """Kernel, scheduler, executor, and latch events all appear."""
+    *_, tracer = replay(salt, traced=True)
+    kinds = tracer.counts_by_kind()
+    for expected in (
+        "process.spawn", "process.resume", "process.block", "process.end",
+        "sched.ready", "sched.run", "sched.done",
+        "task.enqueue", "task.dequeue", "task.start", "task.end",
+        "lock.acquire", "lock.release", "latch.trip", "timeout",
+    ):
+        assert kinds.get(expected, 0) > 0, expected
+
+
+# -- zero overhead ---------------------------------------------------------
+
+
+def test_tracing_off_equals_untraced_exactly(salt):
+    """No subscriber attached ⇒ bit-identical simulated time/events."""
+    _, _, res_off, _ = replay(salt, traced=False)
+    _, _, res_plain, _ = replay(salt, traced=False)
+    assert res_off.sim_seconds == res_plain.sim_seconds
+
+
+def test_tracing_on_changes_no_timestamps(salt):
+    """Attaching a subscriber must not move a single simulated event."""
+    m_on, _, res_on, _ = replay(salt, traced=True)
+    m_off, _, res_off, _ = replay(salt, traced=False)
+    assert res_on.sim_seconds == res_off.sim_seconds
+    assert m_on.sim.event_count == m_off.sim.event_count
+    assert (
+        m_on.scheduler.trace.events == m_off.scheduler.trace.events
+    )
+
+
+# -- spans -----------------------------------------------------------------
+
+
+def test_one_span_per_executed_task(salt):
+    _, run, _, tracer = replay(salt, traced=True)
+    spans = tracer.task_spans()
+    complete = [s for s in spans if s.complete]
+    assert len(complete) == sum(run.pool.tasks_executed)
+    assert len(complete) > 0
+
+
+def test_span_lifecycle_ordering_and_attribution(salt):
+    _, run, _, tracer = replay(salt, traced=True)
+    for span in tracer.task_spans():
+        assert span.complete
+        assert span.enqueued <= span.dequeued <= span.started
+        assert span.started <= span.finished
+        assert span.worker in range(run.n_threads)
+        assert span.pu is not None
+        assert span.label in {"predict", "forces", "reduce", "correct",
+                              "rebuild", "rebuild+forces"}
+        assert span.queue_wait >= 0.0
+        assert span.exec_time > 0.0
+
+
+def test_latch_waits_recorded(salt):
+    """Every phase latch trips once; skew is the latch-wait breakdown."""
+    _, _, result, tracer = replay(salt, traced=True)
+    waits = tracer.latch_waits()
+    # 2 steps x 4 phases = 8 phase latches
+    assert len(waits) == 8
+    times = [t for t, _, _ in waits]
+    assert times == sorted(times)
+    assert all(skew >= 0.0 for _, _, skew in waits)
+
+
+def test_task_timestamps_on_task_objects():
+    """SimTask carries its own span timestamps even without a tracer."""
+    from repro.concurrent import SimExecutorService
+    from repro.machine import CORE_I7_920, WorkCost
+
+    m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+    pool = SimExecutorService(m, 1, name="p")
+    task = pool.submit(WorkCost(cycles=1e6, label="t"))
+    pool.shutdown()
+    m.run()
+    assert task.worker == 0
+    assert task.queue_wait is not None and task.queue_wait >= 0.0
+    assert task.exec_time is not None and task.exec_time > 0.0
+
+
+# -- kernel-level unit coverage --------------------------------------------
+
+
+def test_bus_subscribe_unsubscribe_and_kernel_events():
+    sim = Simulator()
+    events = []
+    sub = sim.subscribe(events.append)
+    lock = Lock(sim, name="l")
+
+    def body():
+        yield Timeout(1.0)
+        yield lock.acquire()
+        lock.release()
+
+    sim.spawn(body(), name="worker")
+    sim.run()
+    kinds = [e.kind for e in events]
+    assert kinds[0] == "process.spawn"
+    assert "timeout" in kinds and "lock.acquire" in kinds
+    assert kinds[-1] == "process.end"
+    assert all(e.subject in ("worker", "l") for e in events)
+
+    sim.unsubscribe(sub)
+    assert not sim.traced
+    seen_before = len(events)
+
+    def body2():
+        yield Timeout(0.1)
+
+    sim.spawn(body2(), name="after-detach")
+    sim.run()
+    assert len(events) == seen_before  # nothing recorded after detach
+
+
+def test_serialize_events_roundtrip_format():
+    sim = Simulator()
+    tracer = Tracer().attach(sim)
+
+    def body():
+        yield Timeout(0.5)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    tracer.detach()
+    text = serialize_events(tracer.events).decode()
+    lines = text.strip().split("\n")
+    assert len(lines) == len(tracer.events)
+    assert lines[0].split("\t")[1] == "process.spawn"

@@ -1,0 +1,74 @@
+"""Tool-error report: ground truth replayed through the tool models."""
+
+import pytest
+
+from repro.core import capture_trace
+from repro.obs import compare_tools
+from repro.obs.compare import DEFAULT_PERIODS
+from repro.workloads import BUILDERS
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One full report on a tiny salt run (trace pre-captured once)."""
+    trace = capture_trace(BUILDERS["salt"](), 2)
+    return compare_tools(
+        workload="salt", steps=2, n_threads=2, trace=trace,
+    )
+
+
+def test_sampler_rows_cover_both_paper_periods(report):
+    assert DEFAULT_PERIODS == (1.0, 0.005)
+    periods = [r.period for r in report.sampler_rows]
+    assert periods == [1.0, 0.005]
+    tools = [r.tool for r in report.sampler_rows]
+    assert tools == ["visualvm-1s", "vtune-5ms"]
+
+
+def test_sampler_error_bounds(report):
+    for row in report.sampler_rows:
+        assert row.run_abs_error >= 0.0
+        assert 0.0 <= row.missed_changes <= 1.0
+        assert row.true_spread >= 0.0
+    # a sub-second run is invisible to a 1 s sampler: 100% relative error
+    one_s = report.sampler_rows[0]
+    assert one_s.run_rel_error == pytest.approx(1.0)
+    # the 5 ms sampler sees *something* but still misses transitions
+    five_ms = report.sampler_rows[1]
+    assert five_ms.run_rel_error < one_s.run_rel_error
+    assert five_ms.missed_changes > 0.0
+
+
+def test_observer_effect_rows(report):
+    tools = {r.tool: r for r in report.observer_rows}
+    assert set(tools) == {"jamon-monitors", "visualvm-instr"}
+    for row in tools.values():
+        assert row.true_seconds == report.true_seconds
+        assert row.measured_seconds >= row.true_seconds
+        assert row.slowdown >= 1.0
+    # the paper's ~4x VisualVM instrumentation slowdown dwarfs JaMON's
+    assert tools["visualvm-instr"].slowdown > tools["jamon-monitors"].slowdown
+    assert tools["visualvm-instr"].slowdown > 2.0
+
+
+def test_no_observer_effects_flag():
+    trace = capture_trace(BUILDERS["salt"](), 1)
+    report = compare_tools(
+        steps=1, n_threads=2, trace=trace, include_observer_effects=False,
+    )
+    assert report.observer_rows == []
+    assert len(report.sampler_rows) == 2
+
+
+def test_render_mentions_every_tool(report):
+    text = report.render()
+    for needle in (
+        "Tool-error report", "salt", "visualvm-1s", "vtune-5ms",
+        "jamon-monitors", "visualvm-instr", "slowdown",
+    ):
+        assert needle in text
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        compare_tools(workload="nope")

@@ -1,0 +1,137 @@
+"""Metrics registry and machine/executor/span collectors."""
+
+import pytest
+
+from repro.concurrent import SimExecutorService
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    collect_executor_metrics,
+    collect_machine_metrics,
+    collect_span_metrics,
+)
+
+
+def small_run():
+    """A tiny traced pool run: 4 compute tasks on 2 workers."""
+    m = SimMachine(CORE_I7_920, seed=1, migrate_prob=0.0)
+    tracer = Tracer().attach(m.sim)
+    pool = SimExecutorService(m, 2, name="p")
+    for _ in range(4):
+        pool.submit(WorkCost(cycles=2e6, label="t"))
+    pool.shutdown()
+    m.run()
+    tracer.detach()
+    return m, pool, tracer
+
+
+# -- registry semantics ----------------------------------------------------
+
+
+def test_counter_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", core=0)
+    b = reg.counter("hits", core=0)
+    c = reg.counter("hits", core=1)
+    assert a is b and a is not c
+    a.inc(3)
+    assert reg.counter("hits", core=0).value == 3.0
+
+
+def test_counter_rejects_decrement():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_gauge_set_overwrites():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", queue="q0")
+    g.set(5)
+    g.set(2)
+    assert g.value == 2.0
+
+
+def test_histogram_buckets_and_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 5.0):
+        h.observe(v)
+    assert h.counts == [1, 1, 1, 1]  # last = +inf overflow
+    assert h.count == 4
+    assert h.mean == pytest.approx(sum((0.0005, 0.005, 0.05, 5.0)) / 4)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", buckets=(0.1, 0.01))
+
+
+def test_rows_deterministic_and_flat():
+    reg = MetricsRegistry()
+    reg.counter("b", z=1).inc()
+    reg.counter("a").inc(2)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    rows = reg.rows()
+    names = [r["name"] for r in rows]
+    # sorted by metric name regardless of registration order
+    assert names[:2] == ["a", "b"]
+    assert rows == reg.rows()  # stable across calls
+    hist_rows = [r for r in rows if r["name"].startswith("h_")]
+    assert {"h_bucket", "h_sum", "h_count"} <= {r["name"] for r in hist_rows}
+
+
+# -- collectors ------------------------------------------------------------
+
+
+def test_collect_machine_metrics_has_cache_and_sched_counters():
+    m, _pool, _tracer = small_run()
+    reg = collect_machine_metrics(m)
+    rows = {(r["name"], r["labels"]): r["value"] for r in reg.rows()}
+    assert ("llc_bytes_hit", "llc=0") in rows
+    assert ("llc_bytes_missed", "llc=0") in rows
+    assert ("llc_hit_ratio", "llc=0") in rows
+    assert rows[("sim_seconds", "")] == m.now
+    assert any(name == "sched_decisions" for name, _ in rows)
+    assert any(name == "thread_cpu_seconds" for name, _ in rows)
+
+
+def test_collect_executor_metrics_counts_tasks():
+    _m, pool, _tracer = small_run()
+    reg = collect_executor_metrics(pool)
+    rows = {(r["name"], r["labels"]): r["value"] for r in reg.rows()}
+    executed = [
+        v for (name, _), v in rows.items() if name == "tasks_executed"
+    ]
+    assert sum(executed) == 4
+    assert ("queue_puts", "queue=p.q") in rows
+    # 4 tasks + 2 poison pills
+    assert rows[("queue_puts", "queue=p.q")] == 6
+
+
+def test_collect_span_metrics_histograms():
+    _m, _pool, tracer = small_run()
+    spans = tracer.task_spans()
+    reg = collect_span_metrics(spans)
+    h = reg.histogram("task_exec_seconds", label="t")
+    assert h.count == 4
+    assert h.mean > 0.0
+
+
+def test_collectors_share_one_registry():
+    m, pool, tracer = small_run()
+    reg = MetricsRegistry()
+    collect_machine_metrics(m, reg)
+    collect_executor_metrics(pool, reg)
+    collect_span_metrics(tracer.task_spans(), reg)
+    names = {r["name"] for r in reg.rows()}
+    assert "llc_bytes_hit" in names
+    assert "tasks_executed" in names
+    assert "task_exec_seconds_count" in names

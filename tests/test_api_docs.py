@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.perftools",
     "repro.workloads",
     "repro.analysis",
+    "repro.obs",
 ]
 
 

@@ -74,3 +74,45 @@ def test_scorecard_passes(capsys):
     assert out.count("[PASS]") == 7
     assert "[FAIL]" not in out
     assert "7/7 checks pass" in out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_no_subcommand_prints_help_and_exits_2(capsys):
+    code = main([])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "usage:" in out
+    assert "trace" in out and "compare" in out
+
+
+def test_trace_command_writes_artifacts(capsys, tmp_path):
+    out_dir = tmp_path / "tr"
+    out = run_cli(
+        capsys,
+        "trace", "salt",
+        "--steps", "2",
+        "--threads", "2",
+        "--out", str(out_dir),
+    )
+    assert (out_dir / "trace.json").exists()
+    assert (out_dir / "metrics.json").exists()
+    assert (out_dir / "metrics.csv").exists()
+    assert "task spans" in out
+    assert "LLC" in out
+
+
+def test_compare_command_reports_tools(capsys):
+    out = run_cli(
+        capsys,
+        "compare", "--steps", "1", "--threads", "2", "--no-observer",
+    )
+    assert "visualvm-1s" in out and "vtune-5ms" in out
+    assert "ground-truth runtime" in out
