@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke
+test: trace-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -17,6 +17,18 @@ trace-smoke:
 		--out benchmarks/out/trace-smoke
 	$(PYTHON) scripts/check_trace.py benchmarks/out/trace-smoke/trace.json \
 		--min-spans 20
+
+# end-to-end attribution check: regenerate the speedup-loss bench,
+# produce the Al-1000 flamegraph, and validate both (buckets must
+# conserve the gap; LJ work inflation must dominate Al-1000)
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/bench_attribution.py \
+		--out BENCH_attribution.json
+	PYTHONPATH=src $(PYTHON) -m repro attribute --workload al1000 \
+		--threads 4 --steps 4 --out benchmarks/out/attr-smoke
+	$(PYTHON) scripts/check_bench.py BENCH_attribution.json \
+		--expect-lj-dominant \
+		--folded benchmarks/out/attr-smoke/flamegraph.folded
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

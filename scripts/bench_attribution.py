@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Run the speedup-loss attribution bench and write its JSON artifact.
+
+Sweeps salt / nanocar / Al-1000 at 1/2/4/8 threads on the simulated
+i7 920 (one physics capture and one 1-thread baseline per workload) and
+writes ``BENCH_attribution.json`` at the repo root — the repository's
+perf-trajectory record.  Schema is validated by
+``scripts/check_bench.py`` (``make bench-smoke``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+from repro.obs import bench_attribution
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_attribution.json",
+        help="output JSON path (default: repo-root artifact name)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=["salt", "nanocar", "al1000"]
+    )
+    parser.add_argument(
+        "--threads", default="1,2,4,8",
+        help="comma-separated thread counts",
+    )
+    parser.add_argument("--machine", default="i7-920")
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    threads = [int(t) for t in args.threads.split(",")]
+    payload = bench_attribution(
+        workloads=args.workloads,
+        threads=threads,
+        spec=args.machine,
+        steps=args.steps,
+        seed=args.seed,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    for run in payload["runs"]:
+        print(
+            f"{run['workload']:<8} x{run['threads']}: "
+            f"speedup {run['speedup']:.2f}/{run['ideal_speedup']:.0f} "
+            f"gap {run['gap_seconds'] * 1e3:8.3f} ms  "
+            f"dominant {run['dominant_bucket']}@{run['dominant_phase']}  "
+            f"bound {run['speedup_bound']:.2f}x"
+        )
+    print(f"wrote {args.out} ({len(payload['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

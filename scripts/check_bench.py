@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Validate BENCH_attribution.json (and optionally a .folded export).
+
+Used by ``make bench-smoke``:
+
+* the file is loadable JSON with the ``repro.attribution.bench/...``
+  schema tag, a machine name, and a non-empty ``runs`` list;
+* every run carries the required keys, and its buckets sum to the
+  measured speedup-loss gap (``achieved − baseline/threads``) within
+  a relative tolerance — the conservation law of the decomposition;
+* 1-thread runs have a (near-)zero gap;
+* with ``--expect-lj-dominant``, the 4-thread Al-1000 run (one thread
+  per physical core) must blame work inflation in the forces phase,
+  with the LJ kernel owning the largest share — the paper's §V finding;
+* with ``--folded PATH``, the collapsed-stack file must parse in the
+  Brendan-Gregg folded format (``frame[;frame...] <integer>``).
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+REQUIRED_RUN_KEYS = {
+    "workload", "threads", "baseline_seconds", "ideal_seconds",
+    "achieved_seconds", "speedup", "gap_seconds", "buckets",
+    "by_phase", "critical_path_seconds", "speedup_bound",
+    "conservation_error", "dominant_phase", "dominant_bucket",
+}
+
+FOLDED_LINE = re.compile(r"^(?P<stack>\S+(?: \S+)*) (?P<value>\d+)$")
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_bench(path: str, tolerance: float, expect_lj: bool) -> int:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return fail(f"cannot load {path}: {exc}")
+    if not isinstance(payload, dict):
+        return fail("top level must be an object")
+    schema = payload.get("schema", "")
+    if not str(schema).startswith("repro.attribution.bench/"):
+        return fail(f"unexpected schema tag {schema!r}")
+    if not payload.get("machine"):
+        return fail("missing 'machine'")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return fail("'runs' must be a non-empty list")
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            return fail(f"run {i} is not an object")
+        missing = REQUIRED_RUN_KEYS - run.keys()
+        if missing:
+            return fail(f"run {i} missing keys {sorted(missing)}")
+        buckets = run["buckets"]
+        if not isinstance(buckets, dict) or not buckets:
+            return fail(f"run {i} has no buckets")
+        gap = run["achieved_seconds"] - (
+            run["baseline_seconds"] / run["threads"]
+        )
+        total = sum(buckets.values())
+        scale = max(abs(run["achieved_seconds"]), 1e-12)
+        if abs(total - gap) > tolerance * scale:
+            return fail(
+                f"run {i} ({run['workload']} x{run['threads']}): buckets "
+                f"sum {total!r} != gap {gap!r} (tol {tolerance} rel)"
+            )
+        if run["threads"] == 1 and abs(gap) > tolerance * scale:
+            return fail(
+                f"run {i}: 1-thread gap should be ~0, got {gap!r}"
+            )
+        if run["critical_path_seconds"] < 0:
+            return fail(f"run {i}: negative critical path")
+    if expect_lj:
+        al_runs = [
+            r for r in runs
+            if r["workload"].lower().replace("-", "") == "al1000"
+            and r["threads"] > 1
+        ]
+        if not al_runs:
+            return fail("--expect-lj-dominant: no Al-1000 runs present")
+        # the paper's sweet spot is one thread per physical core (4 on
+        # the i7 920); beyond that latch idle from oversubscription
+        # takes over, so judge the 4-thread run when it exists
+        top = next(
+            (r for r in al_runs if r["threads"] == 4),
+            max(al_runs, key=lambda r: r["threads"]),
+        )
+        if top["dominant_bucket"] != "work_inflation":
+            return fail(
+                f"Al-1000 x{top['threads']}: dominant bucket is "
+                f"{top['dominant_bucket']!r}, expected 'work_inflation'"
+            )
+        if top["dominant_phase"] != "forces":
+            return fail(
+                f"Al-1000 x{top['threads']}: dominant phase is "
+                f"{top['dominant_phase']!r}, expected 'forces'"
+            )
+        kernels = top.get("kernel_inflation", {})
+        if not kernels or max(kernels, key=kernels.get) != "lj":
+            return fail(
+                f"Al-1000 x{top['threads']}: LJ is not the top "
+                f"work-inflation kernel ({kernels!r})"
+            )
+    print(
+        f"OK: {path} — {len(runs)} runs on {payload['machine']}, "
+        f"buckets conserve the gap (tol {tolerance} rel)"
+    )
+    return 0
+
+
+def check_folded(path: str, min_lines: int) -> int:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = [ln.rstrip("\n") for ln in fh if ln.strip()]
+    except OSError as exc:
+        return fail(f"cannot load {path}: {exc}")
+    if len(lines) < min_lines:
+        return fail(
+            f"{path}: {len(lines)} folded lines, expected >= {min_lines}"
+        )
+    for i, line in enumerate(lines):
+        m = FOLDED_LINE.match(line)
+        if m is None:
+            return fail(
+                f"{path}:{i + 1}: not 'frames <count>' format: {line!r}"
+            )
+        if ";" not in m.group("stack"):
+            return fail(
+                f"{path}:{i + 1}: stack has no ';'-separated frames"
+            )
+    print(f"OK: {path} — {len(lines)} collapsed-stack lines")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench", help="path to BENCH_attribution.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=1e-6,
+        help="relative tolerance for bucket-sum conservation",
+    )
+    parser.add_argument(
+        "--expect-lj-dominant", action="store_true",
+        help="require the top Al-1000 run to blame LJ work inflation",
+    )
+    parser.add_argument(
+        "--folded", default=None,
+        help="also validate a collapsed-stack .folded file",
+    )
+    parser.add_argument("--min-folded-lines", type=int, default=5)
+    args = parser.parse_args()
+    rc = check_bench(args.bench, args.tolerance, args.expect_lj_dominant)
+    if rc == 0 and args.folded:
+        rc = check_folded(args.folded, args.min_folded_lines)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

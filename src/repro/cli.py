@@ -13,12 +13,17 @@ table3     Table III — pinning topologies on the 4x X7560
 topology   §V-C      — hwloc-style topology report
 run        plain physics: run a workload, print energies,
            optionally write an XYZ trajectory
+trace      ground-truth trace + metrics of one simulated run
+compare    modeled perf-tool error vs the ground truth
+attribute  speedup-loss decomposition (work inflation, idle,
+           overhead, GC) per phase + flamegraph export
 ========== =====================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -35,15 +40,20 @@ from repro.md.io import XyzTrajectoryWriter
 from repro.obs import (
     MetricsRegistry,
     Tracer,
+    attribute,
+    attribution_csv,
     collect_executor_metrics,
     collect_machine_metrics,
     collect_span_metrics,
     compare_tools,
+    render_attribution,
+    result_to_dict,
     write_chrome_trace,
+    write_folded_stacks,
     write_metrics,
 )
 from repro.perftools import GroundTruthTimeline, VTune, topology_report
-from repro.workloads import BUILDERS
+from repro.workloads import BUILDERS, resolve_workload
 
 
 def _machine_spec(name: str):
@@ -54,14 +64,25 @@ def _machine_spec(name: str):
     return MACHINES[name]
 
 
-def _workloads(names: Optional[List[str]]):
-    names = names or list(BUILDERS)
-    bad = [n for n in names if n not in BUILDERS]
-    if bad:
+def _workload_name(name: str) -> str:
+    """Canonical workload key (tolerates 'al1000'-style aliases)."""
+    try:
+        return resolve_workload(name)
+    except KeyError:
         raise SystemExit(
-            f"unknown workload(s) {bad}; choose from {sorted(BUILDERS)}"
+            f"unknown workload {name!r}; choose from {sorted(BUILDERS)}"
         )
+
+
+def _workloads(names: Optional[List[str]]):
+    names = [_workload_name(n) for n in names] if names else list(BUILDERS)
     return [BUILDERS[n]() for n in names]
+
+
+def _ensure_outdir(path: str) -> str:
+    """Create an output directory (and parents) if missing."""
+    os.makedirs(path, exist_ok=True)
+    return path
 
 
 def cmd_table1(args) -> None:
@@ -269,7 +290,7 @@ def cmd_trace(args) -> None:
     spans = tracer.task_spans()
     truth = GroundTruthTimeline(machine.scheduler.trace.events)
 
-    os.makedirs(args.out, exist_ok=True)
+    _ensure_outdir(args.out)
     trace_path = os.path.join(args.out, "trace.json")
     n_events = write_chrome_trace(trace_path, spans, timeline=truth)
     registry = MetricsRegistry()
@@ -325,16 +346,60 @@ def cmd_trace(args) -> None:
 
 def cmd_compare(args) -> None:
     """Quantify each modeled tool's error against the ground truth."""
-    print(
-        compare_tools(
-            workload=args.workload,
-            steps=args.steps,
-            n_threads=args.threads,
-            machine=args.machine,
-            seed=args.seed,
-            include_observer_effects=not args.no_observer,
-        ).render()
+    report = compare_tools(
+        workload=_workload_name(args.workload),
+        steps=args.steps,
+        n_threads=args.threads,
+        machine=args.machine,
+        seed=args.seed,
+        include_observer_effects=not args.no_observer,
+    ).render()
+    print(report)
+    if args.out:
+        _ensure_outdir(args.out)
+        path = os.path.join(args.out, "compare.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {path}")
+
+
+def cmd_attribute(args) -> None:
+    """Decompose the speedup loss of one workload × thread count."""
+    spec = _machine_spec(args.machine)
+    res = attribute(
+        _workload_name(args.workload),
+        args.threads,
+        spec=spec,
+        steps=args.steps,
+        seed=args.seed,
     )
+    print(render_attribution(res))
+    if args.out:
+        _ensure_outdir(args.out)
+        folded = os.path.join(args.out, "flamegraph.folded")
+        shares = None
+        total = sum(res.kernel_inflation.values())
+        if total > 0:
+            shares = {
+                k: v / total for k, v in res.kernel_inflation.items()
+            }
+        n_lines = write_folded_stacks(
+            folded,
+            res.observation.class_phase_seconds,
+            kernel_shares=shares,
+            root=res.workload,
+        )
+        csv_path = os.path.join(args.out, "attribution.csv")
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            fh.write(attribution_csv([res]))
+        json_path = os.path.join(args.out, "attribution.json")
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(result_to_dict(res), fh, indent=1)
+            fh.write("\n")
+        print(
+            f"\nwrote {folded} ({n_lines} stacks; feed to flamegraph.pl "
+            f"or speedscope), {csv_path}, {json_path}"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -414,7 +479,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-observer", action="store_true",
         help="skip the intrusive-tool (JaMON/VisualVM) reruns",
     )
+    p.add_argument(
+        "--out", default=None,
+        help="also write the report into this directory (created if "
+        "missing)",
+    )
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "attribute",
+        help="decompose the gap between ideal and achieved speedup "
+        "into work-inflation / idle / overhead buckets per phase",
+    )
+    p.add_argument(
+        "--workload", default="Al-1000",
+        help="workload name (aliases like 'al1000' accepted)",
+    )
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default=None,
+        help="write flamegraph.folded / attribution.{csv,json} here "
+        "(directory created if missing)",
+    )
+    p.set_defaults(fn=cmd_attribute)
 
     p = sub.add_parser("run", help="run a workload's physics")
     p.add_argument("workload", choices=sorted(BUILDERS))

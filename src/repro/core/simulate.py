@@ -52,6 +52,8 @@ class RunResult:
     #: stop-the-world collections injected during the run
     gc_pauses: int = 0
     gc_pause_seconds: float = 0.0
+    #: (start, end) simulated-time window of every injected GC pause
+    gc_windows: List[tuple] = field(default_factory=list)
     machine: SimMachine = field(repr=False, default=None)
 
     @property
@@ -151,6 +153,7 @@ class SimulatedParallelRun:
         self.gc_model = gc_model
         self._gc_pauses = 0
         self._gc_pause_seconds = 0.0
+        self._gc_windows: List[tuple] = []
         self._temp_bytes = params.temp_bytes_per_term
 
     def _hot_bytes_per_step(self, params: CostParams) -> float:
@@ -172,15 +175,30 @@ class SimulatedParallelRun:
 
     def _master_body(self, phase_seconds, phase_skews):
         machine = self.machine
+        sim = machine.sim
         cm = self.cost_model
+        step_index = 0
         for _ in range(self.repeat):
             for report in self.trace:
                 yield cm.master_step_overhead()
                 for phase_name, costs in cm.step_phases(report):
                     yield cm.dispatch_cost(len(costs))
                     t0 = machine.now
+                    # phase markers cost nothing in simulated time (the
+                    # bus is observation-only); they let the attribution
+                    # layer map every worker instant to an engine phase
+                    if sim._subscribers:
+                        sim.emit(
+                            "phase.begin", phase_name, ("step", step_index)
+                        )
                     latch = self.pool.submit_phase(costs)
                     yield latch
+                    if sim._subscribers:
+                        sim.emit(
+                            "phase.end", phase_name,
+                            ("step", step_index),
+                            ("seconds", machine.now - t0),
+                        )
                     phase_seconds[phase_name] += machine.now - t0
                     phase_skews[phase_name].append(latch.skew)
                 if self.gc_model is not None:
@@ -194,7 +212,16 @@ class SimulatedParallelRun:
                     if event is not None:
                         self._gc_pauses += 1
                         self._gc_pause_seconds += event.pause_seconds
+                        self._gc_windows.append(
+                            (machine.now, machine.now + event.pause_seconds)
+                        )
+                        if sim._subscribers:
+                            sim.emit(
+                                "gc.pause", "young",
+                                ("seconds", event.pause_seconds),
+                            )
                         yield Timeout(event.pause_seconds)
+                step_index += 1
         self._finished_at = machine.now
         self.pool.shutdown()
 
@@ -226,5 +253,6 @@ class SimulatedParallelRun:
             migrations=dict(trace.migrations),
             gc_pauses=self._gc_pauses,
             gc_pause_seconds=self._gc_pause_seconds,
+            gc_windows=list(self._gc_windows),
             machine=self.machine,
         )

@@ -50,6 +50,10 @@ class StepReport:
     kinetic_energy: float
     force_results: Dict[str, ForceResult] = field(default_factory=dict)
     phase_work: Dict[str, PhaseWork] = field(default_factory=dict)
+    #: per-force-kernel slice of the "forces" phase (keyed by force
+    #: name: "lj" / "coulomb" / "bond"...), so speedup-loss attribution
+    #: can blame individual kernels, not just the fused phase
+    kernel_work: Dict[str, PhaseWork] = field(default_factory=dict)
 
     @property
     def total_energy(self) -> float:
@@ -142,6 +146,7 @@ class MDEngine:
         n = self.system.n_atoms
         self.system.forces[:] = 0.0
         results: Dict[str, ForceResult] = {}
+        kernels: Dict[str, PhaseWork] = {}
         work = PhaseWork(per_atom=np.zeros(n))
         potential = 0.0
         for force in self.forces:
@@ -152,13 +157,20 @@ class MDEngine:
                 self.system.forces,
             )
             results[force.name] = res
+            kernels[force.name] = PhaseWork(
+                per_atom=res.per_atom_work,
+                flops=res.flops,
+                bytes_irregular=res.bytes_irregular,
+                bytes_regular=res.bytes_regular,
+                terms=res.terms,
+            )
             potential += res.energy
             work.per_atom = work.per_atom + res.per_atom_work
             work.flops += res.flops
             work.bytes_irregular += res.bytes_irregular
             work.bytes_regular += res.bytes_regular
             work.terms += res.terms
-        return potential, results, work
+        return potential, results, kernels, work
 
     def _phase_correct(self) -> PhaseWork:
         self.integrator.correct(self.system)
@@ -189,7 +201,7 @@ class MDEngine:
         self.prime()
         predict_work = self._phase_predict()
         rebuilt, rebuild_work = self._phase_check_and_rebuild()
-        potential, results, force_work = self._phase_forces()
+        potential, results, kernels, force_work = self._phase_forces()
         correct_work = self._phase_correct()
         self.step_count += 1
         return StepReport(
@@ -198,6 +210,7 @@ class MDEngine:
             potential_energy=potential,
             kinetic_energy=self.system.kinetic_energy(),
             force_results=results,
+            kernel_work=kernels,
             phase_work={
                 "predict": predict_work,
                 "rebuild": rebuild_work,
@@ -214,5 +227,5 @@ class MDEngine:
         """Potential energy at the current positions (no state change
         other than refreshed forces)."""
         self.prime()
-        potential, _, _ = self._phase_forces()
+        potential, _, _, _ = self._phase_forces()
         return potential

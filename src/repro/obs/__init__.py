@@ -18,12 +18,32 @@ that recorder plus its consumers:
   or ``chrome://tracing``) and flat CSV/JSON metric dumps;
 * :mod:`~repro.obs.compare` — replays the ground truth through the
   :mod:`repro.perftools` models and quantifies each tool's measurement
-  error, the experiment the original authors could never run.
+  error, the experiment the original authors could never run;
+* :mod:`~repro.obs.attribution` — decomposes the gap between ideal and
+  achieved speedup into conserved buckets (work inflation, latch idle,
+  queue wait, scheduler/dispatch overhead, GC), per phase and per
+  force kernel — the layer that answers "why doesn't Al-1000 scale?";
+* :mod:`~repro.obs.critical_path` — longest dependent chain over the
+  span graph and the resulting hard speedup upper bound.
 
 CLI: ``python -m repro trace <workload>`` produces the artifacts;
-``python -m repro compare`` prints the tool-error report.
+``python -m repro compare`` prints the tool-error report;
+``python -m repro attribute`` prints the speedup-loss decomposition
+(and writes the flamegraph / CSV with ``--out``).
 """
 
+from repro.obs.attribution import (
+    AttributionResult,
+    RunObservation,
+    attribute,
+    attribute_observations,
+    attribution_csv,
+    bench_attribution,
+    kernel_shares,
+    observe_run,
+    render_attribution,
+    result_to_dict,
+)
 from repro.obs.compare import (
     ObserverEffectRow,
     SamplerErrorRow,
@@ -31,11 +51,14 @@ from repro.obs.compare import (
     compare_tools,
     sampler_error_rows,
 )
+from repro.obs.critical_path import CriticalPath, critical_path, longest_path
 from repro.obs.export import (
     chrome_trace_events,
+    folded_stack_lines,
     metrics_csv,
     metrics_json,
     write_chrome_trace,
+    write_folded_stacks,
     write_metrics,
 )
 from repro.obs.metrics import (
@@ -47,26 +70,42 @@ from repro.obs.metrics import (
     collect_machine_metrics,
     collect_span_metrics,
 )
-from repro.obs.tracer import TaskSpan, Tracer
+from repro.obs.tracer import PhaseWindow, TaskSpan, Tracer
 
 __all__ = [
+    "AttributionResult",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObserverEffectRow",
+    "PhaseWindow",
+    "RunObservation",
     "SamplerErrorRow",
     "TaskSpan",
     "ToolErrorReport",
     "Tracer",
+    "attribute",
+    "attribute_observations",
+    "attribution_csv",
+    "bench_attribution",
     "chrome_trace_events",
     "collect_executor_metrics",
     "collect_machine_metrics",
     "collect_span_metrics",
     "compare_tools",
+    "critical_path",
+    "folded_stack_lines",
+    "kernel_shares",
+    "longest_path",
     "metrics_csv",
     "metrics_json",
+    "observe_run",
+    "render_attribution",
+    "result_to_dict",
     "sampler_error_rows",
     "write_chrome_trace",
+    "write_folded_stacks",
     "write_metrics",
 ]

@@ -1,0 +1,157 @@
+"""Critical-path extraction over the span graph.
+
+The replay's execution is a series-parallel DAG: a serial master
+segment (display refresh, dispatch), then a phase's tasks in parallel,
+then the latch joins them into the next serial segment, and so on.  The
+*critical path* is the longest dependency chain through that graph —
+the fastest the run could possibly finish on this machine with
+unbounded cores — so ``T₁ / T_cp`` is a hard upper bound on speedup,
+and each phase's share of the path says where adding threads stops
+helping (Brent's bound / the span term of work-span analysis).
+
+:func:`longest_path` is the generic DAG routine (usable on any node →
+weight mapping); :func:`critical_path` builds the span graph from one
+:class:`~repro.obs.attribution.RunObservation`'s phase windows and
+serial spine and extracts the chain.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+Interval = Tuple[float, float]
+
+
+def longest_path(
+    weights: Dict[str, float],
+    edges: Sequence[Tuple[str, str]],
+) -> Tuple[float, List[str]]:
+    """Longest (maximum-weight) path through a DAG.
+
+    ``weights`` maps node id → non-negative duration; ``edges`` are
+    (from, to) dependencies.  Returns (total weight, node chain).
+    Raises ``ValueError`` on a cycle or an edge naming an unknown node.
+    """
+    succs: Dict[str, List[str]] = defaultdict(list)
+    indeg: Dict[str, int] = {node: 0 for node in weights}
+    for a, b in edges:
+        if a not in weights or b not in weights:
+            raise ValueError(f"edge ({a!r}, {b!r}) references unknown node")
+        succs[a].append(b)
+        indeg[b] += 1
+    # Kahn topological order; dist[n] = weight of heaviest path ending at n
+    queue = deque(sorted(n for n, d in indeg.items() if d == 0))
+    dist = {n: weights[n] for n in queue}
+    best_pred: Dict[str, str] = {}
+    seen = 0
+    while queue:
+        node = queue.popleft()
+        seen += 1
+        for nxt in succs[node]:
+            cand = dist[node] + weights[nxt]
+            if nxt not in dist or cand > dist[nxt]:
+                dist[nxt] = cand
+                best_pred[nxt] = node
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    if seen != len(weights):
+        raise ValueError("cycle in span graph")
+    if not dist:
+        return 0.0, []
+    end = max(dist, key=lambda n: (dist[n], n))
+    chain = [end]
+    while chain[-1] in best_pred:
+        chain.append(best_pred[chain[-1]])
+    chain.reverse()
+    return dist[end], chain
+
+
+@dataclass
+class CriticalPath:
+    """The longest dependent chain of one run."""
+
+    #: length of the chain in simulated seconds (T_inf)
+    seconds: float
+    #: node ids along the chain, in dependency order
+    chain: List[str]
+    #: node id → (phase, duration) for every node in the graph
+    nodes: Dict[str, Tuple[str, float]]
+    #: Σ of all node durations — the run's total work, serial + tasks
+    total_work_seconds: float
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism (work / span): max useful thread count."""
+        return (
+            self.total_work_seconds / self.seconds if self.seconds else 0.0
+        )
+
+    def phase_share(self) -> Dict[str, float]:
+        """Fraction of the critical path spent in each phase."""
+        if self.seconds <= 0:
+            return {}
+        per_phase: Dict[str, float] = defaultdict(float)
+        for node in self.chain:
+            phase, dur = self.nodes[node]
+            per_phase[phase] += dur
+        return {p: v / self.seconds for p, v in sorted(per_phase.items())}
+
+
+def critical_path(
+    window_exec: Sequence[Tuple[object, Sequence[Tuple[str, float]]]],
+    serial_intervals: Sequence[Interval],
+    sim_seconds: float,
+) -> CriticalPath:
+    """Build the span graph from phase windows and extract the path.
+
+    ``window_exec`` is the per-window task list of a
+    :class:`~repro.obs.attribution.RunObservation` (each window carries
+    its tasks' on-core exec seconds); ``serial_intervals`` is the
+    master-on-core ∪ GC spine.  Serial work between consecutive windows
+    becomes one node; each window's tasks fan out between the
+    surrounding serial nodes.
+    """
+    weights: Dict[str, float] = {}
+    phases: Dict[str, Tuple[str, float]] = {}
+    edges: List[Tuple[str, str]] = []
+
+    def serial_weight(lo: float, hi: float) -> float:
+        return sum(
+            max(0.0, min(e, hi) - max(s, lo)) for s, e in serial_intervals
+        )
+
+    def add(node: str, phase: str, dur: float) -> None:
+        weights[node] = dur
+        phases[node] = (phase, dur)
+
+    prev_serial = "serial/0"
+    cursor = 0.0
+    first_begin = window_exec[0][0].begin if window_exec else sim_seconds
+    add(prev_serial, "serial", serial_weight(cursor, first_begin))
+    for k, (window, tasks) in enumerate(window_exec):
+        nxt_begin = (
+            window_exec[k + 1][0].begin
+            if k + 1 < len(window_exec)
+            else sim_seconds
+        )
+        next_serial = f"serial/{k + 1}"
+        add(next_serial, "serial", serial_weight(window.end, nxt_begin))
+        if tasks:
+            for uid, exec_s in tasks:
+                node = f"{window.name}/{window.step}/{uid}"
+                add(node, window.name, exec_s)
+                edges.append((prev_serial, node))
+                edges.append((node, next_serial))
+        else:
+            edges.append((prev_serial, next_serial))
+        prev_serial = next_serial
+    seconds, chain = longest_path(weights, edges)
+    return CriticalPath(
+        seconds=seconds,
+        chain=chain,
+        nodes=phases,
+        total_work_seconds=sum(weights.values()),
+    )

@@ -1,18 +1,22 @@
-"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+"""Exporters: Chrome trace-event JSON, folded stacks, metrics dumps.
 
 ``write_chrome_trace`` emits the Trace Event Format understood by
 Perfetto / ``chrome://tracing`` — open the file there to see every
 task span on its worker lane and every thread's exact run/ready/wait
 intervals, at full resolution (the view VisualVM's 1 s sampler and
-VTune's 5–10 ms sampler could only approximate).  ``metrics_csv`` /
-``metrics_json`` flatten a :class:`~repro.obs.metrics.MetricsRegistry`
-into files for spreadsheets or dashboards.
+VTune's 5–10 ms sampler could only approximate).
+``folded_stack_lines`` / ``write_folded_stacks`` emit the
+Brendan-Gregg collapsed-stack format (``phase;kernel;state count``)
+that ``flamegraph.pl``, speedscope, and inferno consume directly.
+``metrics_csv`` / ``metrics_json`` flatten a
+:class:`~repro.obs.metrics.MetricsRegistry` into files for
+spreadsheets or dashboards.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -136,6 +140,59 @@ def write_chrome_trace(
         json.dump(payload, fh, indent=1)
         fh.write("\n")
     return len(events)
+
+
+def folded_stack_lines(
+    class_phase_seconds: Dict[str, Dict[str, float]],
+    kernel_shares: Optional[Dict[str, float]] = None,
+    root: Optional[str] = None,
+) -> List[str]:
+    """Collapsed-stack (folded) lines from an attribution classification.
+
+    ``class_phase_seconds`` is the class → phase → worker-seconds map
+    of a :class:`~repro.obs.attribution.RunObservation`.  Each line is
+    ``[root;]phase;kernel;state <integer microseconds>`` — the format
+    ``flamegraph.pl`` and compatible tools consume.  The forces phase's
+    execution time is split per force kernel by ``kernel_shares``
+    (fractions summing to 1); every other frame uses the pseudo-kernel
+    ``all``.  Zero-valued frames are dropped; output order is
+    deterministic (sorted by stack).
+    """
+    totals: Dict[str, float] = {}
+    for cls, by_phase in class_phase_seconds.items():
+        for phase, seconds in by_phase.items():
+            if seconds <= 0:
+                continue
+            if phase == "forces" and cls == "exec" and kernel_shares:
+                for kernel, share in kernel_shares.items():
+                    stack = f"{phase};{kernel};{cls}"
+                    totals[stack] = totals.get(stack, 0.0) + seconds * share
+            else:
+                stack = f"{phase};all;{cls}"
+                totals[stack] = totals.get(stack, 0.0) + seconds
+    prefix = f"{root};" if root else ""
+    lines = []
+    for stack in sorted(totals):
+        usec = int(round(totals[stack] * 1e6))
+        if usec > 0:
+            lines.append(f"{prefix}{stack} {usec}")
+    return lines
+
+
+def write_folded_stacks(
+    path,
+    class_phase_seconds: Dict[str, Dict[str, float]],
+    kernel_shares: Optional[Dict[str, float]] = None,
+    root: Optional[str] = None,
+) -> int:
+    """Write a ``.folded`` collapsed-stack file; returns line count."""
+    lines = folded_stack_lines(
+        class_phase_seconds, kernel_shares=kernel_shares, root=root
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
 
 
 def metrics_json(registry: MetricsRegistry) -> dict:

@@ -14,9 +14,35 @@ perturbing the program.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.des.trace import TraceEvent, serialize_events
+
+
+@dataclass
+class PhaseWindow:
+    """One master-side phase execution: submit → latch trip.
+
+    Emitted by the replay master as ``phase.begin`` / ``phase.end``
+    marker pairs; ``step`` is the global timestep index of the window.
+    An unpaired ``phase.begin`` (run ended mid-phase) yields a window
+    with ``end is None``.
+    """
+
+    name: str
+    step: int
+    begin: float
+    end: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    @property
+    def seconds(self) -> float:
+        """Wall (simulated) duration of the window; 0 if unfinished."""
+        return (self.end - self.begin) if self.end is not None else 0.0
 
 
 class TaskSpan:
@@ -151,6 +177,36 @@ class Tracer:
                 span.finished = e.time
                 span.pu = e.arg("pu")
         return [spans[uid] for uid in order]
+
+    def phase_windows(self) -> List[PhaseWindow]:
+        """The master's phase executions in begin order, assembled from
+        the ``phase.begin`` / ``phase.end`` marker pairs the replay
+        emits around every submit → latch-trip window."""
+        windows: List[PhaseWindow] = []
+        open_by_name: Dict[str, PhaseWindow] = {}
+        for e in self.events:
+            if e.kind == "phase.begin":
+                w = PhaseWindow(
+                    name=e.subject,
+                    step=int(e.arg("step", -1)),
+                    begin=e.time,
+                )
+                windows.append(w)
+                open_by_name[e.subject] = w
+            elif e.kind == "phase.end":
+                w = open_by_name.pop(e.subject, None)
+                if w is not None:
+                    w.end = e.time
+        return windows
+
+    def gc_windows(self) -> List[Tuple[float, float]]:
+        """(start, end) of every stop-the-world GC pause the replay
+        injected (``gc.pause`` events carry the pause duration)."""
+        return [
+            (e.time, e.time + float(e.arg("seconds", 0.0)))
+            for e in self.events
+            if e.kind == "gc.pause"
+        ]
 
     def latch_waits(self) -> List[tuple]:
         """Skew of every latch trip (last minus first arrival), in trip

@@ -26,6 +26,29 @@ BUILDERS = {
     "Al-1000": build_al1000,
 }
 
+
+def _fold(name: str) -> str:
+    return "".join(c for c in name.lower() if c.isalnum())
+
+
+def resolve_workload(name: str) -> str:
+    """Canonical ``BUILDERS`` key for a user-supplied workload name.
+
+    Lookup is case- and punctuation-insensitive, so ``al1000``,
+    ``AL-1000`` and ``al_1000`` all resolve to ``"Al-1000"``.  Raises
+    ``KeyError`` listing the valid names otherwise.
+    """
+    if name in BUILDERS:
+        return name
+    folded = _fold(name)
+    for canonical in BUILDERS:
+        if _fold(canonical) == folded:
+            return canonical
+    raise KeyError(
+        f"unknown workload {name!r}; choose from {sorted(BUILDERS)}"
+    )
+
+
 __all__ = [
     "BUILDERS",
     "Workload",
@@ -34,5 +57,6 @@ __all__ = [
     "build_lj_block",
     "build_nanocar",
     "build_salt",
+    "resolve_workload",
     "table1_rows",
 ]

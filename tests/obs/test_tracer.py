@@ -1,0 +1,179 @@
+"""Direct Tracer/TaskSpan unit tests on synthetic event streams.
+
+The replay-level tests (``test_bus.py``) exercise the tracer against a
+live machine; these pin down the span-assembly edge cases on
+hand-written :class:`TraceEvent` streams where every field is known:
+failed/cancelled tasks that never run, tasks dequeued instantly (zero
+queue wait), interleaved latch waits from overlapping barriers, and the
+new phase/GC window assembly.
+"""
+
+import pytest
+
+from repro.des import Simulator
+from repro.des.trace import TraceEvent
+from repro.obs import PhaseWindow, Tracer
+
+
+def ev(time, kind, subject, **kwargs):
+    return TraceEvent(time, kind, subject, tuple(kwargs.items()))
+
+
+def tracer_with(events):
+    tracer = Tracer()
+    tracer.events.extend(events)
+    return tracer
+
+
+# -- span assembly ---------------------------------------------------------
+
+
+def test_complete_span_lifecycle():
+    tracer = tracer_with([
+        ev(1.0, "task.enqueue", "t1", label="forces", queue="pool"),
+        ev(1.5, "task.dequeue", "t1", worker=2),
+        ev(1.6, "task.start", "t1"),
+        ev(2.6, "task.end", "t1", pu=5),
+    ])
+    (span,) = tracer.task_spans()
+    assert span.complete
+    assert span.uid == "t1"
+    assert span.label == "forces"
+    assert span.queue == "pool"
+    assert span.worker == 2
+    assert span.pu == 5
+    assert span.queue_wait == pytest.approx(0.5)
+    assert span.exec_time == pytest.approx(1.0)
+
+
+def test_cancelled_task_never_dequeued():
+    """A task enqueued but never picked up (pool shut down / cancelled)
+    yields an incomplete span with zero wait and zero exec time."""
+    tracer = tracer_with([
+        ev(1.0, "task.enqueue", "dead", label="orphan", queue="pool"),
+    ])
+    (span,) = tracer.task_spans()
+    assert not span.complete
+    assert span.worker is None
+    assert span.queue_wait == 0.0
+    assert span.exec_time == 0.0
+
+
+def test_failed_task_started_but_never_finished():
+    """A task that starts but never emits ``task.end`` (worker died
+    mid-burst) keeps its observed fields but reports no exec time."""
+    tracer = tracer_with([
+        ev(0.0, "task.enqueue", "t", label="forces", queue="pool"),
+        ev(0.2, "task.dequeue", "t", worker=0),
+        ev(0.3, "task.start", "t"),
+    ])
+    (span,) = tracer.task_spans()
+    assert not span.complete
+    assert span.queue_wait == pytest.approx(0.2)
+    assert span.exec_time == 0.0
+    assert span.finished is None and span.pu is None
+
+
+def test_zero_queue_wait():
+    """Dequeue at the same instant as enqueue → exactly zero wait."""
+    tracer = tracer_with([
+        ev(3.0, "task.enqueue", "t", label="hot", queue="pool"),
+        ev(3.0, "task.dequeue", "t", worker=1),
+        ev(3.0, "task.start", "t"),
+        ev(3.5, "task.end", "t", pu=0),
+    ])
+    (span,) = tracer.task_spans()
+    assert span.complete
+    assert span.queue_wait == 0.0
+    assert span.exec_time == pytest.approx(0.5)
+
+
+def test_spans_returned_in_enqueue_order():
+    tracer = tracer_with([
+        ev(0.0, "task.enqueue", "a", label="first", queue="q"),
+        ev(0.1, "task.enqueue", "b", label="second", queue="q"),
+        # b completes before a even dequeues
+        ev(0.2, "task.dequeue", "b", worker=1),
+        ev(0.2, "task.start", "b"),
+        ev(0.3, "task.end", "b", pu=1),
+        ev(0.4, "task.dequeue", "a", worker=0),
+        ev(0.4, "task.start", "a"),
+        ev(0.9, "task.end", "a", pu=0),
+    ])
+    spans = tracer.task_spans()
+    assert [s.uid for s in spans] == ["a", "b"]
+    assert spans[0].queue_wait == pytest.approx(0.4)
+    assert spans[1].queue_wait == pytest.approx(0.1)
+
+
+# -- latch waits -----------------------------------------------------------
+
+
+def test_interleaved_latch_waits():
+    """Two barriers whose count_down/trip events interleave in time are
+    reported per-latch, in trip order, with their own skew."""
+    tracer = tracer_with([
+        ev(0.0, "latch.count_down", "phase-A", remaining=1),
+        ev(0.1, "latch.count_down", "phase-B", remaining=1),
+        ev(0.4, "latch.count_down", "phase-B", remaining=0),
+        ev(0.4, "latch.trip", "phase-B", skew=0.3),
+        ev(0.9, "latch.count_down", "phase-A", remaining=0),
+        ev(0.9, "latch.trip", "phase-A", skew=0.9),
+    ])
+    waits = tracer.latch_waits()
+    assert waits == [
+        (0.4, "phase-B", 0.3),
+        (0.9, "phase-A", 0.9),
+    ]
+
+
+# -- attach/detach ---------------------------------------------------------
+
+
+def test_attach_twice_raises():
+    sim = Simulator()
+    tracer = Tracer().attach(sim)
+    with pytest.raises(ValueError):
+        tracer.attach(sim)
+    tracer.detach()
+    tracer.attach(sim)  # re-attach after detach is fine
+    tracer.detach()
+
+
+def test_detach_keeps_events():
+    sim = Simulator()
+    tracer = Tracer().attach(sim)
+    sim.emit("custom.kind", "x", ("k", 1))
+    tracer.detach()
+    sim.emit("custom.kind", "y")  # not recorded after detach
+    assert tracer.counts_by_kind() == {"custom.kind": 1}
+    assert tracer.events_of("custom.kind")[0].arg("k") == 1
+
+
+# -- phase & GC windows ----------------------------------------------------
+
+
+def test_phase_windows_pairing_and_unclosed():
+    tracer = tracer_with([
+        ev(0.0, "phase.begin", "predict", step=0),
+        ev(0.5, "phase.end", "predict", step=0, seconds=0.5),
+        ev(0.5, "phase.begin", "forces", step=0),
+        ev(2.0, "phase.end", "forces", step=0, seconds=1.5),
+        ev(2.0, "phase.begin", "predict", step=1),  # run ends mid-phase
+    ])
+    windows = tracer.phase_windows()
+    assert [(w.name, w.step) for w in windows] == [
+        ("predict", 0), ("forces", 0), ("predict", 1),
+    ]
+    assert windows[0].complete and windows[0].seconds == pytest.approx(0.5)
+    assert windows[1].seconds == pytest.approx(1.5)
+    assert not windows[2].complete and windows[2].seconds == 0.0
+    assert isinstance(windows[0], PhaseWindow)
+
+
+def test_gc_windows_from_pause_events():
+    tracer = tracer_with([
+        ev(1.0, "gc.pause", "young", seconds=0.25),
+        ev(5.0, "gc.pause", "young", seconds=0.5),
+    ])
+    assert tracer.gc_windows() == [(1.0, 1.25), (5.0, 5.5)]
