@@ -2,13 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke
-	$(PYTHON) -m pytest tests/
+test: trace-smoke bench-smoke chaos-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
 # validate the Chrome trace-event JSON against the minimal schema
@@ -29,6 +29,15 @@ bench-smoke:
 	$(PYTHON) scripts/check_bench.py BENCH_attribution.json \
 		--expect-lj-dominant \
 		--folded benchmarks/out/attr-smoke/flamegraph.folded
+
+# end-to-end robustness check: sweep the default fault-plan battery
+# (worker crash, straggler, preemption storm, task loss, lock stall,
+# GC amplification) across all three workloads and validate that every
+# run completed deterministically with its MD invariants intact
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --steps 2 \
+		--out benchmarks/out/chaos-smoke
+	$(PYTHON) scripts/check_chaos.py benchmarks/out/chaos-smoke/chaos.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -19,9 +19,10 @@ Stdlib only; exits 0 on success, 1 with a diagnostic on failure.
 """
 
 import argparse
-import json
 import re
 import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
 
 REQUIRED_RUN_KEYS = {
     "workload", "threads", "baseline_seconds", "ideal_seconds",
@@ -33,33 +34,17 @@ REQUIRED_RUN_KEYS = {
 FOLDED_LINE = re.compile(r"^(?P<stack>\S+(?: \S+)*) (?P<value>\d+)$")
 
 
-def fail(msg: str) -> int:
-    print(f"FAIL: {msg}")
-    return 1
-
-
 def check_bench(path: str, tolerance: float, expect_lj: bool) -> int:
-    try:
-        with open(path, encoding="utf-8") as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError) as exc:
-        return fail(f"cannot load {path}: {exc}")
-    if not isinstance(payload, dict):
-        return fail("top level must be an object")
-    schema = payload.get("schema", "")
-    if not str(schema).startswith("repro.attribution.bench/"):
-        return fail(f"unexpected schema tag {schema!r}")
-    if not payload.get("machine"):
-        return fail("missing 'machine'")
-    runs = payload.get("runs")
-    if not isinstance(runs, list) or not runs:
-        return fail("'runs' must be a non-empty list")
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.attribution.bench/")
+    if err is not None:
+        return fail(err)
+    runs = payload["runs"]
     for i, run in enumerate(runs):
-        if not isinstance(run, dict):
-            return fail(f"run {i} is not an object")
-        missing = REQUIRED_RUN_KEYS - run.keys()
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
         if missing:
-            return fail(f"run {i} missing keys {sorted(missing)}")
+            return fail(f"run {i} missing keys {missing}")
         buckets = run["buckets"]
         if not isinstance(buckets, dict) or not buckets:
             return fail(f"run {i} has no buckets")

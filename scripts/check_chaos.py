@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Validate a ``repro.chaos/1`` payload (from ``repro chaos --out``).
+
+Used by ``make chaos-smoke``:
+
+* the file is loadable JSON with the ``repro.chaos/...`` schema tag, a
+  machine name, and a non-empty ``runs`` list (envelope shared with
+  ``check_bench.py`` via :mod:`schema_utils`);
+* every run carries the required keys and passed all of its checks:
+  the MD invariants held (bounded energy drift, constant atom count),
+  every step and phase completed, every submitted task finished, and
+  the two replays produced byte-identical traces;
+* every declared fault plan was exercised on every workload, plus the
+  fault-free control case;
+* any run that crashed a worker or dropped a task shows the healing in
+  its trace (dead worker recorded, lost task re-issued).
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure.
+"""
+
+import argparse
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+REQUIRED_RUN_KEYS = {
+    "workload", "plan", "threads", "steps", "ok", "completed",
+    "physics", "deterministic", "reissued", "dead_workers",
+    "tasks_enqueued", "tasks_completed", "baseline_seconds",
+    "faulted_seconds",
+}
+
+
+def check_chaos(path: str) -> int:
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.chaos/")
+    if err is not None:
+        return fail(err)
+    runs = payload["runs"]
+    for i, run in enumerate(runs):
+        label = f"run {i} ({run.get('workload')}/{run.get('plan')})"
+        if not run.get("ok"):
+            return fail(f"{label}: failed — {run.get('error') or run}")
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
+        if missing:
+            return fail(f"{label}: missing keys {missing}")
+        physics = run["physics"]
+        if not (physics.get("energy_ok") and physics.get("atoms_ok")):
+            return fail(f"{label}: MD invariants violated: {physics}")
+        if not run["deterministic"]:
+            return fail(f"{label}: replays were not byte-identical")
+        if run["tasks_completed"] != run["tasks_enqueued"]:
+            return fail(
+                f"{label}: {run['tasks_completed']}/"
+                f"{run['tasks_enqueued']} tasks completed"
+            )
+        if run["dead_workers"] and not (
+            run["reissued"] or run["tasks_completed"]
+        ):
+            return fail(f"{label}: crash recovery left no evidence")
+    covered = {(r["workload"], r["plan"]) for r in runs}
+    for workload in payload.get("workloads", []):
+        expected = set(payload.get("plans", [])) | {"none"}
+        seen = {p for w, p in covered if w == workload}
+        gaps = expected - seen
+        if gaps:
+            return fail(f"{workload}: plans never exercised: {sorted(gaps)}")
+    if payload.get("failed"):
+        return fail(f"payload reports {payload['failed']} failed runs")
+    if not payload.get("all_ok"):
+        return fail("payload reports all_ok = false")
+    n_faulted = sum(1 for r in runs if r["plan"] != "none")
+    print(
+        f"OK: {path} — {len(runs)} runs on {payload['machine']} "
+        f"({n_faulted} fault-injected), all complete and deterministic"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("chaos", help="path to chaos.json")
+    args = parser.parse_args()
+    return check_chaos(args.chaos)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Shared validation helpers for the ``scripts/check_*.py`` gates.
+
+Every checked artifact uses the same envelope convention: a JSON object
+with a ``schema`` tag (``repro.<kind>/<version>``), a ``machine`` name,
+and a non-empty ``runs`` list whose entries carry a fixed key set.
+``check_bench.py`` and ``check_chaos.py`` both validate that envelope
+through these helpers, so the convention can only drift in one place.
+
+Stdlib only — the gates must run without the package installed.
+"""
+
+import json
+
+
+def fail(msg: str) -> int:
+    """Print a gate failure and return the conventional exit code."""
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def load_json(path: str):
+    """Load a JSON file; returns ``(payload, None)`` or ``(None, error)``."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh), None
+    except (OSError, ValueError) as exc:
+        return None, f"cannot load {path}: {exc}"
+
+
+def check_envelope(payload, schema_prefix: str):
+    """Validate the common artifact envelope.
+
+    Checks the top level is an object whose ``schema`` tag starts with
+    ``schema_prefix``, with a truthy ``machine`` and a non-empty
+    ``runs`` list of objects.  Returns an error string, or None if the
+    envelope is sound.
+    """
+    if not isinstance(payload, dict):
+        return "top level must be an object"
+    schema = payload.get("schema", "")
+    if not str(schema).startswith(schema_prefix):
+        return (
+            f"unexpected schema tag {schema!r} "
+            f"(expected {schema_prefix}...)"
+        )
+    if not payload.get("machine"):
+        return "missing 'machine'"
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return "'runs' must be a non-empty list"
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            return f"run {i} is not an object"
+    return None
+
+
+def missing_keys(run: dict, required) -> list:
+    """Sorted list of required keys absent from one run entry."""
+    return sorted(set(required) - run.keys())

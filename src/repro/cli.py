@@ -16,8 +16,15 @@ run        plain physics: run a workload, print energies,
 trace      ground-truth trace + metrics of one simulated run
 compare    modeled perf-tool error vs the ground truth
 attribute  speedup-loss decomposition (work inflation, idle,
-           overhead, GC) per phase + flamegraph export
+           overhead, GC, injected faults) per phase + flamegraph
+           export
+chaos      fault-injection sweep: arm fault plans, assert the
+           self-healing runtime completes every run
 ========== =====================================================
+
+Usage errors (unknown workload, bad thread count, unreadable fault
+plan) exit with code 2 and a one-line message on stderr — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -56,11 +63,15 @@ from repro.perftools import GroundTruthTimeline, VTune, topology_report
 from repro.workloads import BUILDERS, resolve_workload
 
 
+def _die(message: str):
+    """Usage error: one line on stderr, exit code 2, no traceback."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
 def _machine_spec(name: str):
     if name not in MACHINES:
-        raise SystemExit(
-            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
-        )
+        _die(f"unknown machine {name!r}; choose from {sorted(MACHINES)}")
     return MACHINES[name]
 
 
@@ -69,9 +80,18 @@ def _workload_name(name: str) -> str:
     try:
         return resolve_workload(name)
     except KeyError:
-        raise SystemExit(
-            f"unknown workload {name!r}; choose from {sorted(BUILDERS)}"
-        )
+        _die(f"unknown workload {name!r}; choose from {sorted(BUILDERS)}")
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for --threads and friends (must be >= 1)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _workloads(names: Optional[List[str]]):
@@ -110,7 +130,7 @@ def cmd_fig1(args) -> None:
 
 def cmd_fig2(args) -> None:
     spec = _machine_spec(args.machine)
-    wl = BUILDERS[args.workload]()
+    wl = BUILDERS[_workload_name(args.workload)]()
     trace = capture_trace(wl, args.steps)
     machine = SimMachine(spec, seed=args.seed, migrate_prob=0.3)
     aff = None
@@ -402,6 +422,41 @@ def cmd_attribute(args) -> None:
         )
 
 
+def cmd_chaos(args) -> None:
+    """Fault-injection sweep: arm plans, assert every run survives."""
+    from repro.faults import FaultPlan, chaos_sweep, render_chaos
+
+    spec = _machine_spec(args.machine)
+    workloads = [_workload_name(n) for n in args.workloads] if (
+        args.workloads
+    ) else ["salt", "nanocar", "Al-1000"]
+    plans = None
+    if args.plan:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except ValueError as exc:
+            _die(str(exc))
+        plans = {plan.name or os.path.basename(args.plan): plan}
+    payload = chaos_sweep(
+        workloads,
+        args.threads,
+        plans=plans,
+        spec=spec,
+        steps=args.steps,
+        seed=args.seed,
+    )
+    print(render_chaos(payload))
+    if args.out:
+        _ensure_outdir(args.out)
+        path = os.path.join(args.out, "chaos.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}")
+    if not payload["all_ok"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -429,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig2", help="thread-to-core residency")
     p.add_argument("--machine", default="i7-920")
     p.add_argument("--workload", default="Al-1000")
-    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--threads", type=_positive_int, default=4)
     p.add_argument("--steps", type=int, default=20)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--pinned", action="store_true")
@@ -457,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("workload", choices=sorted(BUILDERS))
     p.add_argument("--machine", default="i7-920")
-    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--threads", type=_positive_int, default=4)
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -472,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workload", default="salt", choices=sorted(BUILDERS))
     p.add_argument("--machine", default="i7-920")
-    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--threads", type=_positive_int, default=4)
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -496,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload name (aliases like 'al1000' accepted)",
     )
     p.add_argument("--machine", default="i7-920")
-    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--threads", type=_positive_int, default=4)
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -505,6 +560,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(directory created if missing)",
     )
     p.set_defaults(fn=cmd_attribute)
+
+    p = sub.add_parser(
+        "chaos",
+        help="sweep fault plans across workloads and assert the "
+        "self-healing runtime completes every run deterministically",
+    )
+    p.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workloads to stress (default: salt nanocar Al-1000)",
+    )
+    p.add_argument("--machine", default="i7-920")
+    p.add_argument("--threads", type=_positive_int, default=4)
+    p.add_argument("--steps", type=_positive_int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--plan", default=None,
+        help="fault-plan JSON file to arm instead of the default "
+        "battery (one plan per fault type)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the repro.chaos/1 payload as chaos.json here "
+        "(directory created if missing)",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("run", help="run a workload's physics")
     p.add_argument("workload", choices=sorted(BUILDERS))

@@ -13,9 +13,9 @@ models in :mod:`repro.perftools`.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.des import Event, FifoStore, Lock
+from repro.des import Event, FifoStore, Interrupted, Lock, Timeout
 from repro.machine.cost import WorkCost
 from repro.concurrent.executor import QueueMode
 from repro.concurrent.simsync import SimCountDownLatch
@@ -58,6 +58,7 @@ class SimTask:
     __slots__ = (
         "cost", "meta", "future", "submitted_at", "latch",
         "uid", "dequeued_at", "started_at", "finished_at", "worker",
+        "epoch", "attempts",
     )
 
     def __init__(
@@ -78,6 +79,12 @@ class SimTask:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.worker: Optional[int] = None
+        #: bumped on every re-issue; a completion whose claimed epoch is
+        #: stale (the task was re-issued under the worker) is dropped,
+        #: making execution at-most-once per epoch
+        self.epoch: int = 0
+        #: dequeue count across all epochs (1 = the normal case)
+        self.attempts: int = 0
 
     @property
     def queue_wait(self) -> Optional[float]:
@@ -137,6 +144,14 @@ class SimExecutorService:
         Optional :class:`Instrumentation` (performance-tool models).
     pop_overhead_cycles:
         Cost of the dequeue critical section in the single-queue mode.
+    watchdog_interval:
+        When set, a daemon watchdog process sweeps the pool every that
+        many simulated seconds: it notices crashed workers, re-issues
+        their in-flight tasks, re-routes their stranded per-thread
+        queues to survivors, and recovers tasks that vanished from the
+        queues (fault injection).  ``None`` (the default) spawns no
+        watchdog, so fault-free simulations are event-for-event
+        identical to the unhardened executor.
     """
 
     def __init__(
@@ -148,6 +163,7 @@ class SimExecutorService:
         instrumentation: Optional[Instrumentation] = None,
         pop_overhead_cycles: float = 150.0,
         name: str = "pool",
+        watchdog_interval: Optional[float] = None,
     ):
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1: {n_threads}")
@@ -185,6 +201,24 @@ class SimExecutorService:
         self.tasks_executed = [0] * n_threads
         #: wall simulated time each worker spent from task start to end
         self.busy_time = [0.0] * n_threads
+        #: uid -> task submitted but not yet completed (watchdog ledger)
+        self._outstanding: Dict[str, SimTask] = {}
+        #: per-worker task currently claimed (dequeued, not yet done)
+        self._inflight: List[Optional[SimTask]] = [None] * n_threads
+        #: indices of workers that died (caught Interrupted)
+        self._dead: Set[int] = set()
+        #: dead workers whose in-flight/queued work was already salvaged
+        self._recovered: Set[int] = set()
+        #: uids seen missing on the previous sweep — a task mid hand-off
+        #: from a queue to a worker is briefly in neither, so a uid must
+        #: be missing on two consecutive sweeps before it is re-issued
+        self._suspect: Set[str] = set()
+        #: uids of tasks re-issued after a fault, in re-issue order
+        self.reissued: List[str] = []
+        #: fault-injection hooks tried on every submit; a hook returning
+        #: True drops that task's hand-off (and is removed, one-shot)
+        self._drop_hooks: List = []
+        self.watchdog_interval = watchdog_interval
         self.workers = [
             machine.thread(
                 self._worker_body(i),
@@ -193,16 +227,33 @@ class SimExecutorService:
             )
             for i in range(n_threads)
         ]
+        self._watchdog = (
+            self.sim.spawn(
+                self._watchdog_body(watchdog_interval),
+                name=f"{name}-watchdog",
+                daemon=True,
+            )
+            if watchdog_interval is not None
+            else None
+        )
 
     # -- submission -----------------------------------------------------------
 
     def _queue_for(self, worker: Optional[int]) -> FifoStore:
         if self.queue_mode is QueueMode.SINGLE:
             return self.queues[0]
-        if worker is None:
-            worker = self._rr
+        if worker is not None and worker % self.n_threads not in self._dead:
+            return self.queues[worker % self.n_threads]
+        # round-robin over surviving workers; an explicitly requested but
+        # dead worker falls through here too (graceful degradation)
+        for _ in range(self.n_threads):
+            w = self._rr
             self._rr = (self._rr + 1) % self.n_threads
-        return self.queues[worker % self.n_threads]
+            if w not in self._dead:
+                return self.queues[w]
+        # the whole pool is dead; park the task where nothing runs it —
+        # the watchdog emits pool.dead and callers see a latch timeout
+        return self.queues[0]
 
     def submit(
         self,
@@ -217,6 +268,14 @@ class SimExecutorService:
         uid = f"{self.name}.t{self._task_seq}"
         self._task_seq += 1
         task = SimTask(cost, meta, latch, submitted_at=self.sim.now, uid=uid)
+        self._outstanding[uid] = task
+        for hook in list(self._drop_hooks):
+            if hook(task):
+                # fault injection: the hand-off is dropped — the task is
+                # outstanding but never reaches a queue, so only the
+                # watchdog's lost-task sweep can recover it
+                self._drop_hooks.remove(hook)
+                return task
         queue = self._queue_for(worker)
         if self.sim._subscribers:
             self.sim.emit(
@@ -264,55 +323,203 @@ class SimExecutorService:
         machine = self.machine
         sim = self.sim
         instr = self.instrumentation
-        while True:
-            task = yield q.get()
-            if task is None:
-                return
-            task.dequeued_at = machine.now
-            task.worker = index
+        try:
+            while True:
+                task = yield q.get()
+                if task is None:
+                    return
+                self._inflight[index] = task
+                # the epoch claimed now guards completion below: if the
+                # watchdog re-issued the task in the meantime, this
+                # execution is stale and must not complete it again
+                claim = task.epoch
+                task.attempts += 1
+                task.dequeued_at = machine.now
+                task.worker = index
+                if sim._subscribers:
+                    sim.emit(
+                        "task.dequeue", task.uid,
+                        ("worker", index),
+                        ("queue_wait", machine.now - task.submitted_at),
+                    )
+                if (
+                    self.queue_mode is QueueMode.SINGLE
+                    and self.pop_overhead_cycles > 0
+                    and self.n_threads > 1
+                ):
+                    # the contended dequeue critical section; released in
+                    # a finally so a worker crashed mid-section cannot
+                    # wedge the survivors behind a dead holder
+                    yield self._qlock.acquire()
+                    try:
+                        yield WorkCost(
+                            cycles=self.pop_overhead_cycles, label="queue-pop"
+                        )
+                    finally:
+                        self._qlock.release()
+                if instr is not None:
+                    yield from instr.on_task_start(index, task)
+                    cost = instr.transform_cost(index, task.cost)
+                else:
+                    cost = task.cost
+                started = machine.now
+                task.started_at = started
+                if sim._subscribers:
+                    sim.emit(
+                        "task.start", task.uid,
+                        ("worker", index), ("label", cost.label),
+                    )
+                yield cost
+                self.busy_time[index] += machine.now - started
+                self.tasks_executed[index] += 1
+                if task.epoch != claim or task.future.done:
+                    # re-issued under us (at-most-once per epoch): the
+                    # re-issued copy owns completion, drop this one
+                    self._inflight[index] = None
+                    if sim._subscribers:
+                        sim.emit(
+                            "task.stale", task.uid,
+                            ("worker", index), ("epoch", claim),
+                        )
+                    if instr is not None:
+                        yield from instr.on_task_end(index, task)
+                    continue
+                task.finished_at = machine.now
+                if sim._subscribers:
+                    worker_thread = self.workers[index]
+                    sim.emit(
+                        "task.end", task.uid,
+                        ("worker", index),
+                        ("pu", worker_thread.last_pu),
+                        ("exec", machine.now - started),
+                    )
+                if instr is not None:
+                    yield from instr.on_task_end(index, task)
+                self._inflight[index] = None
+                self._outstanding.pop(task.uid, None)
+                self._suspect.discard(task.uid)
+                task.future._fire(machine.now, self.sim)
+                if task.latch is not None:
+                    task.latch.count_down()
+        except Interrupted as exc:
+            # worker-crash fault: die cleanly so the simulation survives;
+            # _inflight keeps the claimed task for the watchdog to salvage
+            self._dead.add(index)
+            victim = self._inflight[index]
             if sim._subscribers:
                 sim.emit(
-                    "task.dequeue", task.uid,
-                    ("worker", index),
-                    ("queue_wait", machine.now - task.submitted_at),
+                    "worker.death", f"{self.name}-worker-{index}",
+                    ("cause", repr(exc.cause)),
+                    ("inflight", victim.uid if victim is not None else ""),
                 )
-            if (
-                self.queue_mode is QueueMode.SINGLE
-                and self.pop_overhead_cycles > 0
-                and self.n_threads > 1
-            ):
-                # the contended dequeue critical section
-                yield self._qlock.acquire()
-                yield WorkCost(
-                    cycles=self.pop_overhead_cycles, label="queue-pop"
+            return
+
+    # -- self-healing ---------------------------------------------------------
+
+    @property
+    def alive_workers(self) -> List[int]:
+        """Indices of workers that have not crashed."""
+        return [i for i in range(self.n_threads) if i not in self._dead]
+
+    @property
+    def dead_workers(self) -> List[int]:
+        """Indices of crashed workers, ascending."""
+        return sorted(self._dead)
+
+    def kill_worker(self, index: int, cause="fault") -> None:
+        """Crash worker ``index``: :class:`Interrupted` lands at its next
+        yield point; it marks itself dead and exits.  Recovery (re-issue
+        and queue re-routing) is the watchdog's job."""
+        self.workers[index].proc.interrupt(cause)
+
+    def _reissue(self, task: SimTask, reason: str) -> None:
+        task.epoch += 1
+        task.dequeued_at = None
+        task.started_at = None
+        task.finished_at = None
+        task.worker = None
+        self.reissued.append(task.uid)
+        queue = self._queue_for(None)
+        if self.sim._subscribers:
+            self.sim.emit(
+                "task.reissue", task.uid,
+                ("epoch", task.epoch), ("reason", reason),
+                ("queue", queue.name),
+            )
+        queue.put(task)
+
+    def check_workers(self) -> int:
+        """One watchdog sweep; returns the number of tasks re-issued.
+
+        Newly-discovered dead workers have their in-flight task re-issued
+        and (in per-thread mode) their stranded queue re-routed across
+        the survivors.  Tasks that are outstanding but neither queued nor
+        in flight anywhere (task-loss faults, crash-during-hand-off) are
+        re-issued after being seen missing on two consecutive sweeps.
+        """
+        reissued = 0
+        # a worker interrupted exactly between a qlock grant and its
+        # resume dies holding the permit; reclaim it or the survivors
+        # queue forever behind a dead holder
+        if self._qlock.reap_dead_holders() and self.sim._subscribers:
+            self.sim.emit("lock.reap", self._qlock.name)
+        for index in sorted(self._dead - self._recovered):
+            self._recovered.add(index)
+            if self.sim._subscribers:
+                self.sim.emit(
+                    "worker.dead", f"{self.name}-worker-{index}",
+                    ("survivors", len(self.alive_workers)),
                 )
-                self._qlock.release()
-            if instr is not None:
-                yield from instr.on_task_start(index, task)
-                cost = instr.transform_cost(index, task.cost)
+            victim = self._inflight[index]
+            self._inflight[index] = None
+            if victim is not None and not victim.future.done:
+                self._reissue(victim, reason="worker-crash")
+                reissued += 1
+            if self.queue_mode is QueueMode.PER_THREAD:
+                q = self.queues[index]
+                stranded = [t for t in q._items if t is not None]
+                q._items.clear()
+                for t in stranded:
+                    target = self._queue_for(None)
+                    if self.sim._subscribers:
+                        self.sim.emit(
+                            "task.reroute", t.uid, ("queue", target.name)
+                        )
+                    target.put(t)
+        visible: Set[str] = set()
+        for q in self.queues:
+            for item in q._items:
+                if item is not None:
+                    visible.add(item.uid)
+        for t in self._inflight:
+            if t is not None:
+                visible.add(t.uid)
+        new_suspect: Set[str] = set()
+        for uid, task in list(self._outstanding.items()):
+            if uid in visible or task.future.done:
+                continue
+            if uid in self._suspect:
+                self._reissue(task, reason="task-loss")
+                reissued += 1
             else:
-                cost = task.cost
-            started = machine.now
-            task.started_at = started
-            if sim._subscribers:
-                sim.emit(
-                    "task.start", task.uid,
-                    ("worker", index), ("label", cost.label),
-                )
-            yield cost
-            self.busy_time[index] += machine.now - started
-            self.tasks_executed[index] += 1
-            task.finished_at = machine.now
-            if sim._subscribers:
-                worker_thread = self.workers[index]
-                sim.emit(
-                    "task.end", task.uid,
-                    ("worker", index),
-                    ("pu", worker_thread.last_pu),
-                    ("exec", machine.now - started),
-                )
-            if instr is not None:
-                yield from instr.on_task_end(index, task)
-            task.future._fire(machine.now, self.sim)
-            if task.latch is not None:
-                task.latch.count_down()
+                new_suspect.add(uid)
+        self._suspect = new_suspect
+        return reissued
+
+    def _watchdog_body(self, interval: float):
+        while True:
+            yield Timeout(interval)
+            if self._shutdown and (
+                not self._outstanding
+                # every worker exited (pill or crash): no progress is
+                # possible, so stop ticking and let the heap drain
+                or not any(w.proc.alive for w in self.workers)
+            ):
+                return
+            if not self.alive_workers:
+                # nothing left to heal with; stop ticking so the event
+                # queue can drain (callers see a latch/barrier timeout)
+                if self.sim._subscribers:
+                    self.sim.emit("pool.dead", self.name)
+                return
+            self.check_workers()

@@ -21,7 +21,7 @@ from repro.concurrent import QueueMode, SimExecutorService
 from repro.concurrent.simexec import Instrumentation
 from repro.core.costmodel import CostParams, MachineCostModel
 from repro.core.partition import balanced_partition, block_partition
-from repro.des import Timeout
+from repro.des import SyncTimeout, Timeout
 from repro.jvm.gc import GcModel
 from repro.machine.machine import SimMachine
 from repro.md.engine import StepReport
@@ -54,6 +54,12 @@ class RunResult:
     gc_pause_seconds: float = 0.0
     #: (start, end) simulated-time window of every injected GC pause
     gc_windows: List[tuple] = field(default_factory=list)
+    #: uids of tasks the self-healing executor re-issued (fault runs)
+    reissued: List[str] = field(default_factory=list)
+    #: indices of workers that crashed during the run
+    dead_workers: List[int] = field(default_factory=list)
+    #: realized FaultWindow records when a fault plan was armed
+    fault_windows: List[object] = field(default_factory=list)
     machine: SimMachine = field(repr=False, default=None)
 
     @property
@@ -93,6 +99,19 @@ class SimulatedParallelRun:
         See :class:`SimExecutorService` and :class:`MachineCostModel`.
     repeat:
         Replay the trace this many times (longer simulated runs).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` armed on this
+        run; arming auto-enables the executor watchdog (0.5 ms sweeps)
+        unless ``watchdog_interval`` says otherwise.
+    watchdog_interval:
+        Executor self-healing sweep period in simulated seconds; None
+        (without a fault plan) spawns no watchdog, keeping fault-free
+        traces byte-identical to the unhardened executor's.
+    phase_timeout:
+        Master-side bound on one phase's latch wait.  On expiry the
+        master forces a watchdog sweep and retries; a phase making no
+        progress with nothing re-issued raises
+        :class:`~repro.des.errors.SyncTimeout` instead of hanging.
     """
 
     def __init__(
@@ -112,6 +131,9 @@ class SimulatedParallelRun:
         name: str = "wl",
         master_affinity: Optional[Iterable[int]] = None,
         gc_model: Optional[GcModel] = None,
+        fault_plan=None,
+        watchdog_interval: Optional[float] = None,
+        phase_timeout: Optional[float] = None,
     ):
         if not trace:
             raise ValueError("empty trace")
@@ -138,6 +160,11 @@ class SimulatedParallelRun:
             fuse_rebuild=fuse_rebuild,
             hot_bytes_per_step=self._hot_bytes_per_step(params),
         )
+        if fault_plan is not None and watchdog_interval is None:
+            # self-healing must be on to survive an armed fault plan;
+            # 0.5 ms sweeps sit well inside the 3–30 ms runs while
+            # staying far coarser than individual 80–5000 µs tasks
+            watchdog_interval = 5e-4
         self.pool = SimExecutorService(
             machine,
             n_threads,
@@ -145,7 +172,16 @@ class SimulatedParallelRun:
             affinities=affinities,
             instrumentation=instrumentation,
             name=f"{name}-pool",
+            watchdog_interval=watchdog_interval,
         )
+        self.injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(
+                machine, fault_plan, pool=self.pool
+            ).arm()
+        self.phase_timeout = phase_timeout
         self._master_affinity = master_affinity
         #: optional JVM GC model: the temp-object churn of each step is
         #: recorded, and young-gen collections inject stop-the-world
@@ -192,7 +228,33 @@ class SimulatedParallelRun:
                             "phase.begin", phase_name, ("step", step_index)
                         )
                     latch = self.pool.submit_phase(costs)
-                    yield latch
+                    if self.phase_timeout is None:
+                        yield latch
+                    else:
+                        # hardened master: a stalled phase triggers an
+                        # immediate watchdog sweep; two sweeps with no
+                        # progress and nothing re-issued means the phase
+                        # can never finish — fail loudly, don't hang
+                        last_count = None
+                        while True:
+                            ok = yield latch.wait(
+                                timeout=self.phase_timeout
+                            )
+                            if ok:
+                                break
+                            healed = self.pool.check_workers()
+                            if sim._subscribers:
+                                sim.emit(
+                                    "phase.stall", phase_name,
+                                    ("remaining", latch.count),
+                                    ("reissued", healed),
+                                )
+                            if latch.count == last_count and healed == 0:
+                                raise SyncTimeout(
+                                    f"phase {phase_name!r}",
+                                    self.phase_timeout,
+                                )
+                            last_count = latch.count
                     if sim._subscribers:
                         sim.emit(
                             "phase.end", phase_name,
@@ -210,17 +272,22 @@ class SimulatedParallelRun:
                     )
                     event = self.gc_model.maybe_collect(machine.now)
                     if event is not None:
+                        pause = event.pause_seconds
+                        if machine.faults is not None:
+                            # gc_amplify fault: the young-gen pause the
+                            # model predicted balloons (full collection)
+                            pause *= machine.faults.gc_multiplier
                         self._gc_pauses += 1
-                        self._gc_pause_seconds += event.pause_seconds
+                        self._gc_pause_seconds += pause
                         self._gc_windows.append(
-                            (machine.now, machine.now + event.pause_seconds)
+                            (machine.now, machine.now + pause)
                         )
                         if sim._subscribers:
                             sim.emit(
                                 "gc.pause", "young",
-                                ("seconds", event.pause_seconds),
+                                ("seconds", pause),
                             )
-                        yield Timeout(event.pause_seconds)
+                        yield Timeout(pause)
                 step_index += 1
         self._finished_at = machine.now
         self.pool.shutdown()
@@ -254,5 +321,12 @@ class SimulatedParallelRun:
             gc_pauses=self._gc_pauses,
             gc_pause_seconds=self._gc_pause_seconds,
             gc_windows=list(self._gc_windows),
+            reissued=list(self.pool.reissued),
+            dead_workers=self.pool.dead_workers,
+            fault_windows=(
+                self.injector.windows(finished)
+                if self.injector is not None
+                else []
+            ),
             machine=self.machine,
         )

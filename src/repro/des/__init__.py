@@ -25,16 +25,24 @@ Example
 [(1.0, 'b'), (2.0, 'a')]
 """
 
-from repro.des.errors import DesError, Interrupted, SimulationDeadlock
+from repro.des.deadlock import diagnose, find_cycle, wait_for_edges
+from repro.des.errors import (
+    DeadlockError,
+    DesError,
+    Interrupted,
+    SimulationDeadlock,
+    SyncTimeout,
+)
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 from repro.des.resources import FifoStore, Lock, Semaphore
-from repro.des.simulator import Simulator
+from repro.des.simulator import Simulator, Timer
 from repro.des.trace import TraceEvent, serialize_events
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeadlockError",
     "DesError",
     "Event",
     "FifoStore",
@@ -44,7 +52,12 @@ __all__ = [
     "Semaphore",
     "SimulationDeadlock",
     "Simulator",
+    "SyncTimeout",
     "Timeout",
+    "Timer",
     "TraceEvent",
+    "diagnose",
+    "find_cycle",
     "serialize_events",
+    "wait_for_edges",
 ]

@@ -33,6 +33,9 @@ class Semaphore:
         self._available = permits
         self._queue: deque = deque()
         self._acquired_at: dict = {}
+        #: id(process) -> process for current permit holders; feeds the
+        #: wait-for-graph deadlock diagnosis (who holds what)
+        self._holders: dict = {}
         self.wait_count = 0
         self.wait_time = 0.0
         self.hold_time = 0.0
@@ -52,10 +55,27 @@ class Semaphore:
         """Return a request object to ``yield``."""
         return _AcquireRequest(self)
 
+    def owners(self) -> list:
+        """Processes currently holding a permit (live ones only)."""
+        return [p for p in self._holders.values() if p.alive]
+
+    def waiters(self) -> list:
+        """Processes currently queued for a permit (live ones only)."""
+        return [p for p, _t in self._queue if p.alive]
+
     def release(self, holder=None) -> None:
         """Return one permit; wakes the head of the wait queue, if any."""
         key = holder if holder is not None else None
-        start = self._acquired_at.pop(id(key), None) if key is not None else None
+        if key is not None:
+            start = self._acquired_at.pop(id(key), None)
+            self._holders.pop(id(key), None)
+        else:
+            start = None
+            if len(self._holders) == 1:
+                # anonymous release of a mutex: the sole holder lets go
+                only = next(iter(self._holders))
+                self._acquired_at.pop(only, None)
+                self._holders.pop(only, None)
         if start is not None:
             self.hold_time += self.sim.now - start
         if self.sim._subscribers:
@@ -67,6 +87,7 @@ class Semaphore:
             self.wait_time += self.sim.now - enqueued_at
             self.acquire_count += 1
             self._acquired_at[id(proc)] = self.sim.now
+            self._holders[id(proc)] = proc
             if self.sim._subscribers:
                 self.sim.emit(
                     "lock.acquire", self.name,
@@ -79,11 +100,26 @@ class Semaphore:
         if self._available > self._permits:
             raise DesError(f"semaphore {self.name!r} over-released")
 
+    def reap_dead_holders(self) -> int:
+        """Release permits held by processes that died without releasing.
+
+        An interrupt can land at the ``yield sem.acquire()`` suspension
+        point after the grant made the process a holder but before its
+        body entered a ``try``/``finally`` — the permit would die with
+        the process and wedge every later acquirer.  Returns the number
+        of permits reclaimed; a watchdog calls this periodically.
+        """
+        dead = [p for p in self._holders.values() if not p.alive]
+        for proc in dead:
+            self.release(holder=proc)
+        return len(dead)
+
     def _try_grant(self, process) -> bool:
         if self._available > 0:
             self._available -= 1
             self.acquire_count += 1
             self._acquired_at[id(process)] = self.sim.now
+            self._holders[id(process)] = process
             return True
         return False
 

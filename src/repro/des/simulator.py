@@ -10,6 +10,30 @@ from repro.des.process import Process
 from repro.des.trace import TraceEvent
 
 
+class Timer:
+    """Handle for a cancellable scheduled callback.
+
+    The heap entry of a cancelled timer is skipped *without advancing
+    simulated time*, so a timeout that lost its race (e.g. a latch wait
+    that completed in time) does not drag the end of the simulation out
+    to its expiry horizon.
+    """
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Disarm the timer; its heap entry is lazily discarded."""
+        self.cancelled = True
+
+    def __call__(self, value) -> None:
+        if not self.cancelled:
+            self.fn(value)
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -80,6 +104,16 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._schedule(time - self.now, callback, value)
 
+    def timer(self, delay: float, callback, value=None) -> Timer:
+        """Schedule a *cancellable* ``callback(value)`` at ``now + delay``.
+
+        Returns the :class:`Timer` handle; ``handle.cancel()`` disarms
+        it, and a cancelled entry is dropped from the heap without
+        advancing :attr:`now` when its turn comes."""
+        handle = Timer(callback)
+        self._schedule(delay, handle, value)
+        return handle
+
     def spawn(self, gen: Generator, name: str = "", daemon: bool = False) -> Process:
         """Create a :class:`Process` from a generator and start it at the
         current simulated time.  Daemon processes are excluded from the
@@ -104,6 +138,8 @@ class Simulator:
         """
         while self._heap:
             time, _seq, callback, value = heapq.heappop(self._heap)
+            if type(callback) is Timer and callback.cancelled:
+                continue
             if until is not None and time > until:
                 heapq.heappush(self._heap, (time, _seq, callback, value))
                 self.now = until
@@ -112,26 +148,39 @@ class Simulator:
             self.event_count += 1
             callback(value)
         if until is None:
-            stuck = [p.name for p in self._live if not p.daemon]
+            stuck = [p for p in self._live if not p.daemon]
             if stuck:
-                raise SimulationDeadlock(stuck)
+                from repro.des.deadlock import diagnose
+
+                waits, cycle = diagnose(stuck)
+                raise SimulationDeadlock(waits, cycle=cycle)
         if until is not None:
             self.now = max(self.now, until) if not self._heap else self.now
         return self.now
 
     def step(self) -> bool:
-        """Process a single event; returns False when the queue is empty."""
-        if not self._heap:
-            return False
-        time, _seq, callback, value = heapq.heappop(self._heap)
-        self.now = time
-        self.event_count += 1
-        callback(value)
-        return True
+        """Process a single event; returns False when the queue is empty.
+
+        Cancelled timers are drained silently (they advance nothing)."""
+        while self._heap:
+            time, _seq, callback, value = heapq.heappop(self._heap)
+            if type(callback) is Timer and callback.cancelled:
+                continue
+            self.now = time
+            self.event_count += 1
+            callback(value)
+            return True
+        return False
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None."""
-        return self._heap[0][0] if self._heap else None
+        while self._heap:
+            head = self._heap[0]
+            if type(head[2]) is Timer and head[2].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return head[0]
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

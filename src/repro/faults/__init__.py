@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the simulated machine.
+
+Faults are *declared* in a :class:`FaultPlan` (programmatically or from
+JSON) and *realized* by a :class:`FaultInjector` as ordinary bus-visible
+events inside the discrete-event simulation — same seed + same plan ⇒
+byte-identical traces, so every failure is replayable.  The chaos
+harness (:mod:`repro.faults.chaos`) sweeps plan batteries across
+workloads and asserts the hardened runtime completes every run.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_SCHEMA,
+    chaos_sweep,
+    default_plans,
+    render_chaos,
+    run_chaos_case,
+)
+from repro.faults.injector import ActiveFaults, FaultInjector, FaultWindow
+from repro.faults.plan import (
+    FAULT_TYPES,
+    PLAN_SCHEMA,
+    FaultPlan,
+    GcAmplify,
+    LockStall,
+    PreemptStorm,
+    Straggler,
+    TaskLoss,
+    WorkerCrash,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "PLAN_SCHEMA",
+    "FAULT_TYPES",
+    "ActiveFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "GcAmplify",
+    "LockStall",
+    "PreemptStorm",
+    "Straggler",
+    "TaskLoss",
+    "WorkerCrash",
+    "chaos_sweep",
+    "default_plans",
+    "fault_from_dict",
+    "fault_to_dict",
+    "render_chaos",
+    "run_chaos_case",
+]

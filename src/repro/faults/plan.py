@@ -1,0 +1,281 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` names a set of faults to inject into one simulated
+run — worker crashes, straggler cores, preemption storms, task loss,
+lock stalls, GC-pause amplification.  Plans are pure data: the same
+plan armed on the same machine with the same seed produces a
+byte-identical event trace (``tests/faults`` asserts this as a
+hypothesis property).  Plans round-trip through JSON so chaos
+experiments can live in files next to the benchmarks they stress.
+
+All times are simulated seconds from run start.  Typical runs are
+3–30 ms of simulated time, so plan times are millisecond-scale; the
+chaos harness (:mod:`repro.faults.chaos`) measures the fault-free
+duration first and places faults at fractions of it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Tuple, Type
+
+PLAN_SCHEMA = "repro.faultplan/1"
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill one pool worker at ``at``: :class:`~repro.des.Interrupted`
+    lands at its next yield point and the worker dies.  Recovery (task
+    re-issue, queue re-routing) is the executor watchdog's job."""
+
+    kind: ClassVar[str] = "worker_crash"
+    at: float
+    worker: int
+
+    def __post_init__(self):
+        _require(self.at >= 0, f"worker_crash.at must be >= 0: {self.at}")
+        _require(
+            self.worker >= 0,
+            f"worker_crash.worker must be >= 0: {self.worker}",
+        )
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One PU executes at ``factor`` of its speed for a window — a
+    frequency dip / thermal throttle.  Threads scheduled there straggle;
+    everything queued behind them inherits the delay."""
+
+    kind: ClassVar[str] = "straggler"
+    start: float
+    duration: float
+    pu: int
+    factor: float = 0.35
+
+    def __post_init__(self):
+        _require(self.start >= 0, f"straggler.start must be >= 0: {self.start}")
+        _require(
+            self.duration > 0,
+            f"straggler.duration must be > 0: {self.duration}",
+        )
+        _require(
+            0.0 < self.factor < 1.0,
+            f"straggler.factor must be in (0, 1): {self.factor}",
+        )
+        _require(self.pu >= 0, f"straggler.pu must be >= 0: {self.pu}")
+
+
+@dataclass(frozen=True)
+class PreemptStorm:
+    """The OS steals the given PUs in bursts for a window: pinned
+    background tasks occupy them ``utilization`` of every ``period``,
+    so pool threads placed there timeshare or migrate away."""
+
+    kind: ClassVar[str] = "preempt_storm"
+    start: float
+    duration: float
+    pus: Tuple[int, ...]
+    utilization: float = 0.6
+    period: float = 0.0005
+
+    def __post_init__(self):
+        object.__setattr__(self, "pus", tuple(int(p) for p in self.pus))
+        _require(self.start >= 0, f"preempt_storm.start must be >= 0: {self.start}")
+        _require(
+            self.duration > 0,
+            f"preempt_storm.duration must be > 0: {self.duration}",
+        )
+        _require(bool(self.pus), "preempt_storm.pus must be non-empty")
+        _require(
+            0.0 < self.utilization < 1.0,
+            f"preempt_storm.utilization must be in (0, 1): {self.utilization}",
+        )
+        _require(
+            self.period > 0,
+            f"preempt_storm.period must be > 0: {self.period}",
+        )
+
+
+@dataclass(frozen=True)
+class TaskLoss:
+    """The ``index``-th task submitted at or after ``at`` vanishes on
+    hand-off — dropped before it reaches any queue, so it is
+    outstanding but invisible.  The watchdog's lost-task sweep re-issues
+    it after two consecutive sightings as missing."""
+
+    kind: ClassVar[str] = "task_loss"
+    at: float
+    index: int = 0
+
+    def __post_init__(self):
+        _require(self.at >= 0, f"task_loss.at must be >= 0: {self.at}")
+        _require(self.index >= 0, f"task_loss.index must be >= 0: {self.index}")
+
+
+@dataclass(frozen=True)
+class LockStall:
+    """A rogue holder grabs a pool lock at ``at`` and sits on it for
+    ``duration`` — a stretched critical section (page fault / priority
+    inversion under the lock).  ``lock="queue"`` targets the contended
+    dequeue lock."""
+
+    kind: ClassVar[str] = "lock_stall"
+    at: float
+    duration: float
+    lock: str = "queue"
+
+    def __post_init__(self):
+        _require(self.at >= 0, f"lock_stall.at must be >= 0: {self.at}")
+        _require(
+            self.duration > 0,
+            f"lock_stall.duration must be > 0: {self.duration}",
+        )
+
+
+@dataclass(frozen=True)
+class GcAmplify:
+    """Every stop-the-world GC pause the run injects is multiplied by
+    ``factor`` — a full-heap collection standing in for the young-gen
+    pause the GC model predicted."""
+
+    kind: ClassVar[str] = "gc_amplify"
+    factor: float = 3.0
+
+    def __post_init__(self):
+        _require(
+            self.factor > 1.0,
+            f"gc_amplify.factor must be > 1: {self.factor}",
+        )
+
+
+FAULT_TYPES: Dict[str, Type] = {
+    cls.kind: cls
+    for cls in (
+        WorkerCrash, Straggler, PreemptStorm, TaskLoss, LockStall, GcAmplify
+    )
+}
+
+
+def fault_to_dict(fault) -> dict:
+    """One fault as a JSON-ready dict (``kind`` + its fields)."""
+    d = {"kind": fault.kind}
+    for f in fields(fault):
+        value = getattr(fault, f.name)
+        d[f.name] = list(value) if isinstance(value, tuple) else value
+    return d
+
+
+def fault_from_dict(d: dict):
+    """Inverse of :func:`fault_to_dict`; raises ValueError on bad input."""
+    if not isinstance(d, dict):
+        raise ValueError(f"fault entry must be an object, got {type(d).__name__}")
+    d = dict(d)
+    kind = d.pop("kind", None)
+    cls = FAULT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choose from {sorted(FAULT_TYPES)}"
+        )
+    known = {f.name for f in fields(cls)}
+    extra = set(d) - known
+    if extra:
+        raise ValueError(
+            f"{kind}: unknown field(s) {sorted(extra)}; accepts {sorted(known)}"
+        )
+    try:
+        return cls(**d)
+    except TypeError as exc:
+        raise ValueError(f"{kind}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of faults to arm on one run."""
+
+    faults: Tuple = ()
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if type(f) not in FAULT_TYPES.values():
+                raise ValueError(
+                    f"not a fault: {f!r} (types: {sorted(FAULT_TYPES)})"
+                )
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_kind(self, kind: str) -> Tuple:
+        """The plan's faults of one kind, in declaration order."""
+        return tuple(f for f in self.faults if f.kind == kind)
+
+    @property
+    def gc_multiplier(self) -> float:
+        """Combined GC-pause amplification of the plan (1.0 = none)."""
+        factor = 1.0
+        for f in self.of_kind("gc_amplify"):
+            factor *= f.factor
+        return factor
+
+    # -- JSON round-trip --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "faults": [fault_to_dict(f) for f in self.faults],
+        }
+
+    def dumps(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        if not isinstance(d, dict):
+            raise ValueError(
+                f"fault plan must be an object, got {type(d).__name__}"
+            )
+        schema = d.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported fault-plan schema {schema!r} "
+                f"(expected {PLAN_SCHEMA!r})"
+            )
+        faults = d.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("fault plan 'faults' must be a list")
+        return cls(
+            faults=tuple(fault_from_dict(f) for f in faults),
+            name=str(d.get("name", "")),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            d = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(d)
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ValueError(f"cannot read fault plan {path!r}: {exc}") from None
+        return cls.loads(text)

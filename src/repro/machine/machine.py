@@ -158,6 +158,11 @@ class SimMachine:
             seed=seed,
         )
         self.threads: List[SimThread] = []
+        #: live fault state (repro.faults.injector.ActiveFaults) when a
+        #: fault plan is armed; the scheduler multiplies its slice math
+        #: by faults.speed_factor(pu) (straggler cores) and the replay
+        #: scales injected GC pauses by faults.gc_multiplier
+        self.faults = None
 
     # -- time --------------------------------------------------------------
 

@@ -222,6 +222,12 @@ class Scheduler:
             preempted = False
             while thread.burst_remaining > 1e-12:
                 factor = self._smt_factor(pu)
+                faults = self.machine.faults
+                if faults is not None:
+                    # straggler core: the PU retires work at a fraction
+                    # of its rate for the fault window (re-evaluated per
+                    # slice, so windows land at slice granularity)
+                    factor *= faults.speed_factor(pu)
                 slice_wall = min(
                     self.quantum, thread.burst_remaining / factor
                 )

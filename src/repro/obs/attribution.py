@@ -14,7 +14,10 @@ Rainey (arXiv:1709.03767) and LAMMPS-style per-phase breakdowns:
 * **sched_overhead** — ready-but-not-running time, the contended
   queue-pop critical section, and the master's serial display/dispatch
   sections that leave every worker idle (the Amdahl fraction);
-* **gc** — stop-the-world collections injected by the GC model.
+* **gc** — stop-the-world collections injected by the GC model;
+* **fault_loss** — time lost to injected faults (crashed workers' dead
+  tails, straggler-core slowdown, preemption storms, lock stalls,
+  amplified GC pauses); zero unless a fault plan is armed.
 
 The accounting is exact by construction: every instant of every
 worker's [0, T] is classified into exactly one class, so
@@ -55,13 +58,14 @@ CLASSES = (
     "exec",           # on-core inside a task span
     "pool_overhead",  # on-core outside spans: queue-pop lock, ctx switch
     "ready",          # runnable, waiting for a PU
+    "fault",          # time lost to an injected fault (chaos runs)
     "gc",             # parked during a stop-the-world collection
     "serial_master",  # parked while the master runs (display/dispatch)
     "queue_wait",     # parked while its next task sits in the queue
     "latch_idle",     # parked at the phase latch (stragglers running)
 )
 
-#: class → displayed bucket (the report's five columns)
+#: class → displayed bucket (the report's six columns)
 CLASS_TO_BUCKET = {
     "exec": "work_inflation",
     "pool_overhead": "sched_overhead",
@@ -70,9 +74,13 @@ CLASS_TO_BUCKET = {
     "queue_wait": "queue_wait",
     "latch_idle": "latch_idle",
     "gc": "gc",
+    "fault": "fault_loss",
 }
 
-BUCKETS = ("work_inflation", "latch_idle", "queue_wait", "sched_overhead", "gc")
+BUCKETS = (
+    "work_inflation", "latch_idle", "queue_wait",
+    "sched_overhead", "gc", "fault_loss",
+)
 
 #: rough core cycles one byte of DRAM-bandwidth traffic costs — used
 #: only to weigh flop-heavy vs byte-heavy kernels against each other
@@ -200,8 +208,13 @@ def observe_run(
 
     The classification is a partition: running time splits into task
     execution vs pool overhead, and parked time is attributed — in
-    priority order — to GC pauses, serial master sections, queue wait,
-    and finally latch idle.
+    priority order — to fault windows (a crashed worker's dead tail,
+    lock stalls), GC pauses, serial master sections, queue wait, and
+    finally latch idle.  When a fault plan rides in via ``run_kwargs``,
+    straggler slowdown is moved from exec to fault ((1−factor) of the
+    on-core time inside the slowed window), storm-time ready goes to
+    fault, and the amplified share of each GC pause goes to fault — so
+    the partition stays exact and the bucket deltas still telescope.
     """
     machine = SimMachine(spec, seed=seed)
     tracer = Tracer().attach(machine.sim)
@@ -226,9 +239,57 @@ def observe_run(
             T,
         )
 
+    def running_by_pu(thread: str) -> Dict[int, List[Interval]]:
+        by: Dict[int, List[Interval]] = {}
+        for iv in timeline.intervals.get(thread, []):
+            if iv.state == ThreadState.RUNNING and iv.pu is not None:
+                by.setdefault(iv.pu, []).append((iv.start, iv.end))
+        return {
+            pu: merge_intervals(l, 0.0, T) for pu, l in by.items()
+        }
+
     master_running = state_ivs("master", ThreadState.RUNNING)
     gc_ivs = merge_intervals(result.gc_windows, 0.0, T)
     serial_spine = merge_intervals(master_running + gc_ivs, 0.0, T)
+
+    # -- fault context (empty unless a fault plan was armed) -------------
+    fault_windows = result.fault_windows
+    slow_windows = [
+        (w.detail["pu"], w.detail["factor"], w.start, w.end)
+        for w in fault_windows
+        if w.kind == "straggler"
+    ]
+    storm_ivs = merge_intervals(
+        [(w.start, w.end) for w in fault_windows if w.kind == "preempt_storm"],
+        0.0, T,
+    )
+    stall_ivs = merge_intervals(
+        [(w.start, w.end) for w in fault_windows if w.kind == "lock_stall"],
+        0.0, T,
+    )
+    death_time: Dict[int, float] = {}
+    loss_start: Dict[str, float] = {}
+    loss_ivs: List[Interval] = []
+    for e in tracer.events:
+        if e.kind == "worker.death":
+            death_time[int(e.subject.rsplit("-", 1)[1])] = e.time
+        elif e.kind == "fault.inject" and e.subject == "task_loss":
+            uid = e.arg("uid", "")
+            if uid:
+                loss_start[uid] = e.time
+        elif e.kind == "task.reissue":
+            t_lost = loss_start.pop(e.subject, None)
+            if t_lost is not None:
+                # the pool idled on the vanished task until the watchdog
+                # re-issued it: that whole window is the fault's doing
+                loss_ivs.append((t_lost, e.time))
+    loss_ivs.extend((t, T) for t in loss_start.values())
+    loss_ivs = merge_intervals(loss_ivs, 0.0, T)
+    gc_mult = (
+        run.injector.active.gc_multiplier
+        if run.injector is not None
+        else 1.0
+    )
 
     #: phase name → merged wall intervals of its windows
     phase_ivs: Dict[str, List[Interval]] = {}
@@ -243,14 +304,19 @@ def observe_run(
         cls: {SERIAL_PHASE: 0.0} for cls in CLASSES
     }
 
-    def attribute_phase(cls: str, ivs: List[Interval]) -> None:
+    def attribute_phase(
+        cls: str, ivs: List[Interval], scale: float = 1.0
+    ) -> None:
+        # scale moves fractional seconds between classes (straggler and
+        # GC-amplification compensation use a +s / −s pair, so the
+        # per-worker partition of [0, T] stays exact)
         remaining = interval_seconds(ivs)
         for pname, pivs in phase_ivs.items():
             t = interval_seconds(intersect_intervals(ivs, pivs))
             if t:
-                acc[cls][pname] = acc[cls].get(pname, 0.0) + t
+                acc[cls][pname] = acc[cls].get(pname, 0.0) + scale * t
             remaining -= t
-        acc[cls][SERIAL_PHASE] += remaining
+        acc[cls][SERIAL_PHASE] += scale * remaining
 
     exec_by_uid: Dict[str, float] = {}
     worker_names = [
@@ -272,12 +338,45 @@ def observe_run(
         )
         exec_run = intersect_intervals(running, span_ivs)
         attribute_phase("exec", exec_run)
+        if slow_windows:
+            on_pu = running_by_pu(wname)
+            for pu, factor, s0, s1 in slow_windows:
+                slow_exec = intersect_intervals(
+                    intersect_intervals(exec_run, on_pu.get(pu, [])),
+                    [(s0, s1)],
+                )
+                if slow_exec:
+                    # of the on-core seconds inside the slowed window,
+                    # (1−factor) is fault loss, factor is honest work
+                    attribute_phase("fault", slow_exec, scale=1.0 - factor)
+                    attribute_phase("exec", slow_exec, scale=factor - 1.0)
         attribute_phase(
             "pool_overhead", subtract_intervals(running, span_ivs, 0.0, T)
         )
-        attribute_phase("ready", ready)
+        if storm_ivs:
+            attribute_phase("fault", intersect_intervals(ready, storm_ivs))
+            attribute_phase(
+                "ready", subtract_intervals(ready, storm_ivs, 0.0, T)
+            )
+        else:
+            attribute_phase("ready", ready)
+        fault_park_src = merge_intervals(
+            stall_ivs
+            + loss_ivs
+            + ([(death_time[i], T)] if i in death_time else []),
+            0.0, T,
+        )
+        attribute_phase(
+            "fault", intersect_intervals(parked, fault_park_src)
+        )
+        parked = subtract_intervals(parked, fault_park_src, 0.0, T)
         gc_park = intersect_intervals(parked, gc_ivs)
         attribute_phase("gc", gc_park)
+        if gc_mult > 1.0 and gc_park:
+            # the amplified share of the pause is the fault's doing
+            move = 1.0 - 1.0 / gc_mult
+            attribute_phase("fault", gc_park, scale=move)
+            attribute_phase("gc", gc_park, scale=-move)
         rem = subtract_intervals(parked, gc_ivs, 0.0, T)
         attribute_phase(
             "serial_master", intersect_intervals(rem, master_running)
@@ -510,6 +609,7 @@ def attribute(
     trace=None,
     baseline: Optional[RunObservation] = None,
     params: Optional[CostParams] = None,
+    fault_plan=None,
     **run_kwargs,
 ) -> AttributionResult:
     """End-to-end attribution for one workload × thread count.
@@ -517,7 +617,9 @@ def attribute(
     Runs the serial physics once (or reuses ``trace``), replays it at 1
     and at ``n_threads`` workers on fresh simulated machines, and
     returns the conserved decomposition.  ``baseline`` lets sweeps
-    reuse the 1-thread observation.
+    reuse the 1-thread observation.  A ``fault_plan`` is armed on the
+    ``n_threads`` observation only — the baseline stays fault-free, so
+    the new ``fault_loss`` bucket measures pure injected loss.
     """
     if isinstance(spec, str):
         from repro.machine import MACHINES
@@ -537,12 +639,13 @@ def attribute(
             trace, wl.system.n_atoms, spec, 1,
             seed=seed, name=wl.name, workload=wl.name, **kwargs,
         )
-    if n_threads == 1:
+    if n_threads == 1 and fault_plan is None:
         obs = baseline
     else:
         obs = observe_run(
             trace, wl.system.n_atoms, spec, n_threads,
-            seed=seed, name=wl.name, workload=wl.name, **kwargs,
+            seed=seed, name=wl.name, workload=wl.name,
+            fault_plan=fault_plan, **kwargs,
         )
     return attribute_observations(
         obs, baseline, trace,

@@ -199,6 +199,36 @@ class Tracer:
                     w.end = e.time
         return windows
 
+    def fault_windows(self) -> List[dict]:
+        """Realized faults from the ``fault.*`` bus events, in injection
+        order: ``{"kind", "start", "end", ...args}`` dicts.  Point
+        faults (``fault.inject``) have ``end == start``; a windowed
+        fault whose ``fault.end`` never arrived (run ended inside the
+        window) has ``end is None``."""
+        out: List[dict] = []
+        open_windows: Dict[tuple, dict] = {}
+
+        def key(e) -> tuple:
+            args = dict(e.args)
+            # pu/lock disambiguate concurrent windows of the same kind
+            return (e.subject, args.get("pu"), args.get("lock"))
+
+        for e in self.events:
+            if e.kind == "fault.inject":
+                w = {"kind": e.subject, "start": e.time, "end": e.time}
+                w.update(dict(e.args))
+                out.append(w)
+            elif e.kind == "fault.begin":
+                w = {"kind": e.subject, "start": e.time, "end": None}
+                w.update(dict(e.args))
+                out.append(w)
+                open_windows[key(e)] = w
+            elif e.kind == "fault.end":
+                w = open_windows.pop(key(e), None)
+                if w is not None:
+                    w["end"] = e.time
+        return out
+
     def gc_windows(self) -> List[Tuple[float, float]]:
         """(start, end) of every stop-the-world GC pause the replay
         injected (``gc.pause`` events carry the pause duration)."""

@@ -39,14 +39,17 @@ class StateInterval:
     start: float
     end: float
     state: ThreadState
+    #: PU executed on (RUNNING intervals only; None for READY/WAITING) —
+    #: lets fault attribution bill straggler windows to slowed cores
+    pu: Optional[int] = None
 
 
 class GroundTruthTimeline:
     """Exact per-thread state history from a SchedulerTrace."""
 
     def __init__(self, events: Sequence[Tuple[float, str, int, str]]):
-        raw: Dict[str, List[Tuple[float, ThreadState]]] = {}
-        for time, thread, _pu, what in events:
+        raw: Dict[str, List[Tuple[float, ThreadState, Optional[int]]]] = {}
+        for time, thread, pu, what in events:
             if what.startswith("run"):
                 state = ThreadState.RUNNING
             elif what == "ready":
@@ -61,18 +64,22 @@ class GroundTruthTimeline:
                 )
             else:  # migrate and other markers carry no state change
                 continue
-            raw.setdefault(thread, []).append((time, state))
+            raw.setdefault(thread, []).append(
+                (time, state, pu if state is ThreadState.RUNNING else None)
+            )
         self.intervals: Dict[str, List[StateInterval]] = {}
         self.end_time = max((t for t, *_ in events), default=0.0)
         for thread, points in raw.items():
             iv: List[StateInterval] = []
-            for (t0, s0), (t1, _s1) in zip(points, points[1:]):
+            for (t0, s0, p0), (t1, _s1, _p1) in zip(points, points[1:]):
                 if t1 > t0:
-                    iv.append(StateInterval(t0, t1, s0))
+                    iv.append(StateInterval(t0, t1, s0, p0))
             if points:
-                last_t, last_s = points[-1]
+                last_t, last_s, last_p = points[-1]
                 if self.end_time > last_t:
-                    iv.append(StateInterval(last_t, self.end_time, last_s))
+                    iv.append(
+                        StateInterval(last_t, self.end_time, last_s, last_p)
+                    )
             self.intervals[thread] = iv
 
     def threads(self) -> List[str]:

@@ -164,6 +164,43 @@ def test_store_blocked_getters_fifo():
     assert got == [(0, "a"), (1, "b"), (2, "c")]
 
 
+def test_reap_dead_holders_frees_wedged_lock():
+    # an interrupt landing at the acquire yield point after the grant
+    # kills the process while it is already the holder; without reaping,
+    # every later acquirer waits forever behind the dead holder
+    from repro.des import Interrupted
+
+    sim = Simulator()
+    lock = Lock(sim, name="m")
+    log = []
+
+    def victim():
+        try:
+            yield lock.acquire()
+            yield Timeout(10.0)
+            lock.release(victim_proc)
+        except Interrupted:
+            return  # dies between the grant and the resume: holder kept
+
+    def contender():
+        yield lock.acquire()
+        log.append(("acquired", sim.now))
+        lock.release()
+
+    def reaper():
+        yield Timeout(1.0)
+        log.append(("reaped", lock.reap_dead_holders()))
+
+    victim_proc = sim.spawn(victim(), name="victim")
+    sim.spawn(contender(), name="contender")
+    sim.spawn(reaper(), name="reaper", daemon=True)
+    victim_proc.interrupt("fault")
+    sim.run()
+    assert log == [("reaped", 1), ("acquired", 1.0)]
+    assert not lock.locked  # contender released cleanly after use
+    assert lock.reap_dead_holders() == 0  # idempotent once clean
+
+
 def test_store_close_releases_getters_with_none():
     sim = Simulator()
     store = FifoStore(sim)

@@ -259,6 +259,34 @@ def test_deadlock_detection():
     assert "stuck-proc" in str(exc_info.value)
 
 
+def test_deadlock_message_renders_wait_for_cycle():
+    from repro.des import Lock
+
+    sim = Simulator()
+    l1 = Lock(sim, name="l1")
+    l2 = Lock(sim, name="l2")
+
+    def grabber(first, second, delay):
+        yield first.acquire()
+        yield Timeout(delay)
+        yield second.acquire()
+
+    # classic lock-order inversion: a holds l1 and wants l2, b holds l2
+    # and wants l1
+    sim.spawn(grabber(l1, l2, 1.0), name="a")
+    sim.spawn(grabber(l2, l1, 1.0), name="b")
+    with pytest.raises(SimulationDeadlock) as exc_info:
+        sim.run()
+    msg = str(exc_info.value)
+    assert "wait-for cycle:" in msg
+    assert "a -waits-on-> lock 'l2' -held-by-> b" in msg
+    assert "b -waits-on-> lock 'l1' -held-by-> a" in msg
+    # the per-process report names what each one is stuck on
+    assert "a (waiting on lock 'l2')" in msg
+    assert "b (waiting on lock 'l1')" in msg
+    assert exc_info.value.cycle is not None
+
+
 def test_yield_garbage_raises():
     sim = Simulator()
 

@@ -1,0 +1,154 @@
+"""FaultInjector behaviors on a synthetic pool (no MD physics)."""
+
+import pytest
+
+from repro.concurrent import SimExecutorService
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    GcAmplify,
+    LockStall,
+    PreemptStorm,
+    Straggler,
+    TaskLoss,
+    WorkerCrash,
+)
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.obs import Tracer
+
+
+def make_machine(**kw):
+    kw.setdefault("seed", 1)
+    kw.setdefault("migrate_prob", 0.0)
+    return SimMachine(CORE_I7_920, **kw)
+
+
+def cpu(machine, seconds, label=""):
+    return WorkCost(cycles=seconds * machine.spec.freq_hz, label=label)
+
+
+def pinned_affinities(machine, n):
+    topo = machine.topology
+    return [[topo.pus_of_core(i % 4)[0]] for i in range(n)]
+
+
+def run_phases(plan, n_threads=4, n_phases=4, task_s=0.05, seed=1):
+    """Drive a synthetic phase workload under an armed plan; returns
+    (machine, pool, tracer, end_time)."""
+    m = make_machine(seed=seed)
+    tracer = Tracer().attach(m.sim)
+    pool = SimExecutorService(
+        m, n_threads,
+        affinities=pinned_affinities(m, n_threads),
+        name="p", watchdog_interval=0.01,
+    )
+    injector = FaultInjector(m, plan, pool=pool).arm()
+    end = {}
+
+    def master():
+        for _ in range(n_phases):
+            latch = pool.submit_phase(
+                [cpu(m, task_s) for _ in range(n_threads)]
+            )
+            ok = yield latch.wait(timeout=60.0)
+            assert ok, "phase stalled despite self-healing"
+        end["t"] = m.now
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    tracer.detach()
+    return m, pool, tracer, end["t"], injector
+
+
+def test_arming_installs_active_faults():
+    m = make_machine()
+    injector = FaultInjector(m, FaultPlan(faults=(GcAmplify(factor=2.0),)))
+    assert m.faults is None
+    injector.arm()
+    assert m.faults is injector.active
+    assert m.faults.gc_multiplier == pytest.approx(2.0)
+    with pytest.raises(RuntimeError):
+        injector.arm()
+
+
+def test_pool_faults_require_a_pool():
+    m = make_machine()
+    plan = FaultPlan(faults=(WorkerCrash(at=0.1, worker=0),))
+    with pytest.raises(ValueError, match="worker pool"):
+        FaultInjector(m, plan).arm()
+
+
+def test_worker_crash_kills_and_pool_heals():
+    plan = FaultPlan(faults=(WorkerCrash(at=0.06, worker=1),))
+    m, pool, tracer, end, injector = run_phases(plan)
+    assert pool.dead_workers == [1]
+    assert len(pool.alive_workers) == 3
+    # the victim's in-flight task was re-issued and every phase closed
+    assert pool.reissued
+    kinds = tracer.counts_by_kind()
+    assert kinds.get("fault.inject") == 1
+    assert kinds.get("worker.death") == 1
+    assert kinds.get("task.reissue", 0) >= 1
+    windows = injector.windows(end)
+    assert [w.kind for w in windows] == ["worker_crash"]
+    assert windows[0].detail["worker"] == 1
+
+
+def test_straggler_slows_only_its_window():
+    base = run_phases(FaultPlan())[3]
+    plan = FaultPlan(
+        faults=(Straggler(start=0.0, duration=10.0, pu=0, factor=0.25),),
+    )
+    m, pool, tracer, slowed, injector = run_phases(plan)
+    # one of four pinned cores at quarter speed: phases wait for it
+    assert slowed > base * 1.5
+    windows = injector.windows(slowed)
+    assert windows[0].kind == "straggler"
+    # the daemon outlives the master and closes its own window
+    assert windows[0].end == pytest.approx(10.0)
+    assert not m.faults.any_slow  # cleaned up after the window
+
+
+def test_crash_at_t0_does_not_wedge_survivors_on_qlock():
+    # regression (hypothesis-found): a worker interrupted between the
+    # qlock grant and its resume died holding the permit, wedging the
+    # other workers forever; the watchdog now reaps dead holders
+    plan = FaultPlan(faults=(WorkerCrash(at=0.0, worker=0),))
+    m, pool, tracer, end, injector = run_phases(plan)
+    assert pool.dead_workers == [0]
+    assert not pool._outstanding  # every phase completed regardless
+
+
+def test_task_loss_reissued_by_watchdog():
+    plan = FaultPlan(faults=(TaskLoss(at=0.06, index=2),))
+    m, pool, tracer, end, injector = run_phases(plan)
+    assert len(pool.reissued) == 1
+    lost = [e for e in tracer.events if e.kind == "fault.inject"]
+    assert lost[0].arg("uid") == pool.reissued[0]
+    # the re-issued attempt completed: nothing outstanding at the end
+    assert not pool._outstanding
+
+
+def test_lock_stall_emits_window():
+    plan = FaultPlan(faults=(LockStall(at=0.0, duration=0.5),))
+    m, pool, tracer, end, injector = run_phases(plan)
+    windows = injector.windows(end)
+    assert windows[0].kind == "lock_stall"
+    assert windows[0].end - windows[0].start == pytest.approx(0.5, rel=0.01)
+    kinds = tracer.counts_by_kind()
+    assert kinds.get("fault.begin") == 1 and kinds.get("fault.end") == 1
+
+
+def test_preempt_storm_slows_stormed_cores():
+    base = run_phases(FaultPlan())[3]
+    plan = FaultPlan(
+        faults=(
+            PreemptStorm(
+                start=0.0, duration=10.0, pus=(0, 2), utilization=0.8
+            ),
+        ),
+    )
+    _, _, _, stormy, injector = run_phases(plan)
+    assert stormy > base * 1.2
+    assert injector.windows(stormy)[0].detail["pus"] == [0, 2]

@@ -1,0 +1,130 @@
+"""FaultPlan declaration, validation, and JSON round-trip."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_TYPES,
+    PLAN_SCHEMA,
+    FaultPlan,
+    GcAmplify,
+    LockStall,
+    PreemptStorm,
+    Straggler,
+    TaskLoss,
+    WorkerCrash,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+
+def full_plan() -> FaultPlan:
+    return FaultPlan(
+        name="everything",
+        faults=(
+            WorkerCrash(at=0.001, worker=2),
+            Straggler(start=0.0, duration=0.002, pu=3, factor=0.5),
+            PreemptStorm(start=0.001, duration=0.001, pus=(0, 1)),
+            TaskLoss(at=0.0005, index=4),
+            LockStall(at=0.002, duration=0.0003),
+            GcAmplify(factor=2.5),
+        ),
+    )
+
+
+def test_every_fault_type_registered():
+    assert sorted(FAULT_TYPES) == [
+        "gc_amplify", "lock_stall", "preempt_storm",
+        "straggler", "task_loss", "worker_crash",
+    ]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: WorkerCrash(at=-1.0, worker=0),
+        lambda: WorkerCrash(at=0.0, worker=-1),
+        lambda: Straggler(start=0.0, duration=0.0, pu=0),
+        lambda: Straggler(start=0.0, duration=1.0, pu=0, factor=1.0),
+        lambda: Straggler(start=0.0, duration=1.0, pu=0, factor=0.0),
+        lambda: PreemptStorm(start=0.0, duration=1.0, pus=()),
+        lambda: PreemptStorm(start=0.0, duration=1.0, pus=(0,), utilization=1.5),
+        lambda: TaskLoss(at=-0.1),
+        lambda: LockStall(at=0.0, duration=0.0),
+        lambda: GcAmplify(factor=1.0),
+    ],
+)
+def test_validation_rejects_bad_parameters(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_plan_rejects_non_fault_entries():
+    with pytest.raises(ValueError):
+        FaultPlan(faults=("not a fault",))
+
+
+def test_round_trip_through_json():
+    plan = full_plan()
+    clone = FaultPlan.loads(plan.dumps())
+    assert clone == plan
+    assert clone.name == "everything"
+    assert len(clone) == 6
+
+
+def test_round_trip_through_file(tmp_path):
+    path = tmp_path / "plan.json"
+    plan = full_plan()
+    plan.save(path)
+    assert FaultPlan.load(path) == plan
+
+
+def test_to_dict_carries_schema_tag():
+    assert full_plan().to_dict()["schema"] == PLAN_SCHEMA
+
+
+def test_fault_dict_round_trip_each_kind():
+    for fault in full_plan():
+        d = fault_to_dict(fault)
+        assert d["kind"] == fault.kind
+        assert fault_from_dict(d) == fault
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        fault_from_dict({"kind": "meteor_strike", "at": 0.0})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError, match="unknown field"):
+        fault_from_dict({"kind": "worker_crash", "at": 0.0, "worker": 0,
+                         "blast_radius": 3})
+
+
+def test_missing_field_rejected():
+    with pytest.raises(ValueError):
+        fault_from_dict({"kind": "worker_crash", "at": 0.0})
+
+
+def test_wrong_schema_rejected():
+    with pytest.raises(ValueError, match="schema"):
+        FaultPlan.from_dict({"schema": "repro.faultplan/99", "faults": []})
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.loads("{nope")
+
+
+def test_unreadable_file_rejected(tmp_path):
+    with pytest.raises(ValueError, match="cannot read"):
+        FaultPlan.load(tmp_path / "missing.json")
+
+
+def test_of_kind_and_gc_multiplier():
+    plan = FaultPlan(faults=(GcAmplify(factor=2.0), GcAmplify(factor=3.0)))
+    assert len(plan.of_kind("gc_amplify")) == 2
+    assert plan.gc_multiplier == pytest.approx(6.0)
+    assert full_plan().of_kind("worker_crash") == (
+        WorkerCrash(at=0.001, worker=2),
+    )
+    assert FaultPlan().gc_multiplier == 1.0

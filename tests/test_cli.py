@@ -116,3 +116,61 @@ def test_compare_command_reports_tools(capsys):
     )
     assert "visualvm-1s" in out and "vtune-5ms" in out
     assert "ground-truth runtime" in out
+
+
+def test_chaos_unknown_workload_is_one_line_exit_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["chaos", "--workloads", "fusion-reactor"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "fusion-reactor" in err
+    assert err.count("\n") == 1  # one line, no traceback
+
+
+def test_bad_thread_count_exits_2(capsys):
+    for bad in ("0", "-3", "lots"):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--threads", bad])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--threads" in err and "Traceback" not in err
+
+
+def test_unreadable_fault_plan_exits_2(capsys, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["chaos", "--plan", str(tmp_path / "nope.json")])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "cannot read" in err
+    assert err.count("\n") == 1
+
+
+def test_malformed_fault_plan_exits_2(capsys, tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text("{nope", encoding="utf-8")
+    with pytest.raises(SystemExit) as exc:
+        main(["chaos", "--plan", str(path)])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:") and err.count("\n") == 1
+
+
+def test_chaos_command_runs_a_plan_file(capsys, tmp_path):
+    from repro.faults import FaultPlan, WorkerCrash
+
+    path = tmp_path / "crash.json"
+    FaultPlan(
+        name="crash", faults=(WorkerCrash(at=0.0005, worker=1),)
+    ).save(path)
+    out = run_cli(
+        capsys,
+        "chaos",
+        "--workloads", "nanocar",
+        "--steps", "1",
+        "--plan", str(path),
+        "--out", str(tmp_path / "o"),
+    )
+    assert "crash" in out and "0 failed" in out
+    assert (tmp_path / "o" / "chaos.json").exists()
