@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -38,6 +38,19 @@ chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --steps 2 \
 		--out benchmarks/out/chaos-smoke
 	$(PYTHON) scripts/check_chaos.py benchmarks/out/chaos-smoke/chaos.json
+
+# wall-clock throughput gate: the committed BENCH_throughput.json must
+# record the >=1.5x DES hot-path speedup vs its pre-optimization
+# baseline, and a quick live sweep must still produce a valid artifact
+# (shape-checked only: live ratios on shared CI runners are too noisy
+# to gate, the recorded artifact is the number of record)
+perf-smoke:
+	$(PYTHON) scripts/check_throughput.py BENCH_throughput.json
+	PYTHONPATH=src $(PYTHON) scripts/bench_throughput.py --quick \
+		--baseline BENCH_throughput.json \
+		--out benchmarks/out/throughput-smoke.json
+	$(PYTHON) scripts/check_throughput.py \
+		benchmarks/out/throughput-smoke.json --min-speedup 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Measure wall-clock throughput of the simulated machine itself.
+
+The attribution/chaos sweeps execute tens of thousands of DES events per
+MD step; this script tracks what the *instrument* costs: for every
+workload x thread count it replays one captured physics trace on a
+fresh simulated machine and records
+
+* ``events_per_sec`` — DES events executed per wall-clock second,
+* ``sim_seconds_per_wall_second`` — simulated time advanced per
+  wall-clock second (how much faster than "real time" the model runs),
+* ``peak_heap`` — high-water mark of the event heap (live entries plus
+  cancelled-timer tombstones),
+
+plus the raw counts behind them.  Timing runs are untraced (tracing is
+wall-clock overhead, though never simulated-time overhead) and the
+physics capture is excluded, so the numbers isolate the DES hot path.
+
+The payload (schema ``repro.bench_throughput/1``) carries a ``baseline``
+block — the same sweep measured before the PR 4 optimization pass — so
+``scripts/check_throughput.py`` can gate on the recorded speedup.  Pass
+``--baseline FILE`` to carry an existing baseline forward (the default
+re-uses the one in ``--out`` when present); without either, the current
+measurements become the baseline of record.
+
+Exits 0 on success; usage errors print one line and exit 2 like the
+``repro`` CLI and the other ``scripts/check_*.py`` gates.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+SCHEMA = "repro.bench_throughput/1"
+
+#: replay repeats per workload, tuned so one timing run is long enough
+#: (tens of milliseconds at least) for a stable events/sec figure
+REPEATS = {"salt": 8, "nanocar": 8, "Al-1000": 4}
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"bench_throughput: {msg}")
+    return SystemExit(2)
+
+
+def measure_run(trace, wl, spec, n_threads: int, seed: int, repeat: int) -> dict:
+    """Replay ``trace`` once at ``n_threads`` workers and time it."""
+    from repro.core.simulate import SimulatedParallelRun
+    from repro.machine.machine import SimMachine
+
+    machine = SimMachine(spec, seed=seed)
+    run = SimulatedParallelRun(
+        trace, wl.system.n_atoms, machine, n_threads,
+        name=wl.name, repeat=repeat,
+    )
+    t0 = time.perf_counter()
+    result = run.run()
+    wall = time.perf_counter() - t0
+    sim = machine.sim
+    wall = max(wall, 1e-9)
+    return {
+        "workload": wl.name,
+        "threads": n_threads,
+        "steps": result.steps,
+        "repeat": repeat,
+        "wall_seconds": wall,
+        "events": sim.event_count,
+        "events_per_sec": sim.event_count / wall,
+        "sim_seconds": result.sim_seconds,
+        "sim_seconds_per_wall_second": result.sim_seconds / wall,
+        "peak_heap": getattr(sim, "heap_peak", None),
+    }
+
+
+def aggregate_events_per_sec(runs) -> float:
+    """Sweep-level throughput: total events over total wall seconds."""
+    wall = sum(r["wall_seconds"] for r in runs)
+    events = sum(r["events"] for r in runs)
+    return events / wall if wall > 0 else 0.0
+
+
+def run_sweep(workloads, threads, spec, steps, seed, repeat_scale) -> list:
+    from repro.core.simulate import capture_trace
+    from repro.workloads import BUILDERS
+
+    runs = []
+    for name in workloads:
+        wl = BUILDERS[name]()
+        trace = capture_trace(wl, steps)
+        repeat = max(1, int(REPEATS.get(wl.name, 4) * repeat_scale))
+        for n in threads:
+            runs.append(measure_run(trace, wl, spec, n, seed, repeat))
+    return runs
+
+
+def load_baseline(path: str):
+    """Pull the baseline block (or the runs themselves) from a payload."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    base = payload.get("baseline")
+    if isinstance(base, dict) and base.get("runs"):
+        return base
+    if payload.get("runs"):
+        return {
+            "label": payload.get("label", "imported"),
+            "runs": payload["runs"],
+            "events_per_sec": aggregate_events_per_sec(payload["runs"]),
+        }
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_throughput.json",
+        help="output JSON path (default: repo-root artifact name)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=["salt", "nanocar", "al1000"]
+    )
+    parser.add_argument(
+        "--threads", default="1,2,4,8",
+        help="comma-separated thread counts",
+    )
+    parser.add_argument("--machine", default="i7-920")
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeat-scale", type=float, default=1.0,
+        help="multiplier on the per-workload replay repeats",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fast smoke sweep: fewer threads and shorter replays",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="carry the baseline block forward from this JSON file "
+             "(default: the --out file when it already exists)",
+    )
+    parser.add_argument(
+        "--label", default="current",
+        help="label recorded on this measurement set",
+    )
+    args = parser.parse_args()
+
+    try:
+        threads = [int(t) for t in args.threads.split(",") if t.strip()]
+    except ValueError:
+        raise usage_error(f"bad --threads {args.threads!r}")
+    if not threads or any(t < 1 for t in threads):
+        raise usage_error(f"bad --threads {args.threads!r}")
+    if args.steps < 1:
+        raise usage_error(f"--steps must be >= 1, got {args.steps}")
+    if args.repeat_scale <= 0:
+        raise usage_error(
+            f"--repeat-scale must be > 0, got {args.repeat_scale}"
+        )
+    if args.quick:
+        threads = sorted(set(threads) & {1, 4}) or threads[:2]
+        args.repeat_scale = min(args.repeat_scale, 0.25)
+
+    from repro.machine import MACHINES
+    from repro.workloads import resolve_workload
+
+    if args.machine not in MACHINES:
+        raise usage_error(
+            f"unknown machine {args.machine!r} "
+            f"(choose from {', '.join(sorted(MACHINES))})"
+        )
+    spec = MACHINES[args.machine]
+    try:
+        workloads = [resolve_workload(w) for w in args.workloads]
+    except KeyError as exc:
+        raise usage_error(f"unknown workload {exc.args[0]!r}")
+
+    runs = run_sweep(
+        workloads, threads, spec, args.steps, args.seed, args.repeat_scale
+    )
+    current = aggregate_events_per_sec(runs)
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(args.out):
+        baseline_path = args.out
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        if baseline is None and args.baseline is not None:
+            raise usage_error(
+                f"--baseline {args.baseline!r} has no usable runs"
+            )
+    if baseline is None:
+        baseline = {
+            "label": args.label,
+            "runs": runs,
+            "events_per_sec": current,
+        }
+
+    base_eps = baseline.get("events_per_sec") or aggregate_events_per_sec(
+        baseline["runs"]
+    )
+    payload = {
+        "schema": SCHEMA,
+        "machine": spec.name,
+        "label": args.label,
+        "steps": args.steps,
+        "seed": args.seed,
+        "workloads": workloads,
+        "threads": threads,
+        "runs": runs,
+        "events_per_sec": current,
+        "baseline": baseline,
+        "speedup": current / base_eps if base_eps > 0 else 0.0,
+    }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    for run in runs:
+        print(
+            f"{run['workload']:<8} x{run['threads']}: "
+            f"{run['events_per_sec'] / 1e3:8.1f}k events/s  "
+            f"{run['sim_seconds_per_wall_second']:8.4f} sim-s/s  "
+            f"peak heap {run['peak_heap']}"
+        )
+    print(
+        f"sweep: {current / 1e3:.1f}k events/s "
+        f"({payload['speedup']:.2f}x vs baseline "
+        f"{base_eps / 1e3:.1f}k events/s); wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Validate BENCH_throughput.json and gate on the recorded speedup.
+
+Used by ``make perf-smoke``:
+
+* the file is loadable JSON with the ``repro.bench_throughput/...``
+  schema tag, a machine name, and a non-empty ``runs`` list;
+* every run carries the required keys with positive wall time and
+  event counts, and its ``events_per_sec`` is consistent with the raw
+  ``events / wall_seconds`` it summarizes;
+* the payload's ``baseline`` block has runs and a positive throughput;
+* the recorded sweep speedup vs that baseline must clear
+  ``--min-speedup`` (default 1.5, the PR 4 optimization target) minus
+  ``--tolerance`` — a regression that erases the optimization pass
+  fails the gate.
+
+``--min-speedup 0`` skips the speedup gate but still validates the
+artifact's shape (useful on machines too noisy for a fair ratio).
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
+2 with a one-line message on usage errors.
+"""
+
+import argparse
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+REQUIRED_RUN_KEYS = {
+    "workload", "threads", "steps", "repeat", "wall_seconds",
+    "events", "events_per_sec", "sim_seconds",
+    "sim_seconds_per_wall_second", "peak_heap",
+}
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"check_throughput: {msg}")
+    return SystemExit(2)
+
+
+def check_runs(runs, where: str):
+    """Shape-check one measurement set; returns an error string or None."""
+    for i, run in enumerate(runs):
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
+        if missing:
+            return f"{where} run {i} missing keys {missing}"
+        if run["wall_seconds"] <= 0:
+            return f"{where} run {i}: non-positive wall_seconds"
+        if run["events"] <= 0:
+            return f"{where} run {i}: non-positive event count"
+        derived = run["events"] / run["wall_seconds"]
+        if abs(derived - run["events_per_sec"]) > 1e-6 * derived:
+            return (
+                f"{where} run {i}: events_per_sec {run['events_per_sec']!r} "
+                f"inconsistent with events/wall {derived!r}"
+            )
+    return None
+
+
+def check_throughput(path: str, min_speedup: float, tolerance: float) -> int:
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.bench_throughput/")
+    if err is None:
+        err = check_runs(payload["runs"], "current")
+    if err is not None:
+        return fail(err)
+
+    baseline = payload.get("baseline")
+    if not isinstance(baseline, dict) or not baseline.get("runs"):
+        return fail("missing 'baseline' block with runs")
+    err = check_runs(baseline["runs"], "baseline")
+    if err is not None:
+        return fail(err)
+    base_eps = baseline.get("events_per_sec", 0.0)
+    if not base_eps or base_eps <= 0:
+        return fail("baseline has non-positive events_per_sec")
+
+    current = payload.get("events_per_sec", 0.0)
+    if not current or current <= 0:
+        return fail("payload has non-positive events_per_sec")
+    speedup = payload.get("speedup")
+    derived = current / base_eps
+    if speedup is None or abs(speedup - derived) > 1e-6 * derived:
+        return fail(
+            f"recorded speedup {speedup!r} inconsistent with "
+            f"current/baseline {derived!r}"
+        )
+
+    if min_speedup > 0 and speedup < min_speedup - tolerance:
+        return fail(
+            f"speedup {speedup:.3f}x below the {min_speedup:.2f}x gate "
+            f"(baseline {base_eps / 1e3:.1f}k events/s "
+            f"[{baseline.get('label', '?')}], "
+            f"current {current / 1e3:.1f}k events/s "
+            f"[{payload.get('label', '?')}])"
+        )
+    print(
+        f"OK: {path} — {current / 1e3:.1f}k events/s, "
+        f"{speedup:.2f}x vs baseline {base_eps / 1e3:.1f}k events/s "
+        f"({len(payload['runs'])} runs)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="BENCH_throughput.json to validate")
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="required sweep speedup vs the recorded baseline "
+             "(0 disables the gate; default %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="absolute slack subtracted from --min-speedup "
+             "(default %(default)s)",
+    )
+    args = parser.parse_args()
+    if args.min_speedup < 0:
+        raise usage_error(
+            f"--min-speedup must be >= 0, got {args.min_speedup}"
+        )
+    if args.tolerance < 0:
+        raise usage_error(f"--tolerance must be >= 0, got {args.tolerance}")
+    return check_throughput(args.path, args.min_speedup, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.costmodel import CostParams
+from repro.core.costmodel import DEFAULT_COST_PARAMS, CostParams
 from repro.machine.topology import MachineSpec
 from repro.md.engine import StepReport
 
@@ -53,7 +53,7 @@ def machine_ridge_point(
     spec: MachineSpec, params: Optional[CostParams] = None
 ) -> float:
     """Arithmetic intensity at which one core turns compute-bound."""
-    params = params if params is not None else CostParams()
+    params = params if params is not None else DEFAULT_COST_PARAMS
     peak_flops = spec.freq_hz / params.cycles_per_flop
     return peak_flops / spec.core_bw
 
@@ -65,7 +65,7 @@ def phase_roofline(
     params: Optional[CostParams] = None,
 ) -> Dict[str, RooflinePoint]:
     """Classify each phase of a work trace against a machine."""
-    params = params if params is not None else CostParams()
+    params = params if params is not None else DEFAULT_COST_PARAMS
     if n_cores < 1:
         raise ValueError(f"n_cores must be >= 1: {n_cores}")
     totals: Dict[str, List[float]] = {}

@@ -323,46 +323,55 @@ class SimExecutorService:
         machine = self.machine
         sim = self.sim
         instr = self.instrumentation
+        # the contended-dequeue toll is the same frozen WorkCost every
+        # time — build it once instead of per task
+        pop_cost = None
+        if (
+            self.queue_mode is QueueMode.SINGLE
+            and self.pop_overhead_cycles > 0
+            and self.n_threads > 1
+        ):
+            pop_cost = WorkCost(
+                cycles=self.pop_overhead_cycles, label="queue-pop"
+            )
+        qlock = self._qlock
+        inflight = self._inflight
+        busy_time = self.busy_time
+        tasks_executed = self.tasks_executed
         try:
             while True:
                 task = yield q.get()
                 if task is None:
                     return
-                self._inflight[index] = task
+                inflight[index] = task
                 # the epoch claimed now guards completion below: if the
                 # watchdog re-issued the task in the meantime, this
                 # execution is stale and must not complete it again
                 claim = task.epoch
                 task.attempts += 1
-                task.dequeued_at = machine.now
+                task.dequeued_at = sim.now
                 task.worker = index
                 if sim._subscribers:
                     sim.emit(
                         "task.dequeue", task.uid,
                         ("worker", index),
-                        ("queue_wait", machine.now - task.submitted_at),
+                        ("queue_wait", sim.now - task.submitted_at),
                     )
-                if (
-                    self.queue_mode is QueueMode.SINGLE
-                    and self.pop_overhead_cycles > 0
-                    and self.n_threads > 1
-                ):
+                if pop_cost is not None:
                     # the contended dequeue critical section; released in
                     # a finally so a worker crashed mid-section cannot
                     # wedge the survivors behind a dead holder
-                    yield self._qlock.acquire()
+                    yield qlock.acquire()
                     try:
-                        yield WorkCost(
-                            cycles=self.pop_overhead_cycles, label="queue-pop"
-                        )
+                        yield pop_cost
                     finally:
-                        self._qlock.release()
+                        qlock.release()
                 if instr is not None:
                     yield from instr.on_task_start(index, task)
                     cost = instr.transform_cost(index, task.cost)
                 else:
                     cost = task.cost
-                started = machine.now
+                started = sim.now
                 task.started_at = started
                 if sim._subscribers:
                     sim.emit(
@@ -370,12 +379,12 @@ class SimExecutorService:
                         ("worker", index), ("label", cost.label),
                     )
                 yield cost
-                self.busy_time[index] += machine.now - started
-                self.tasks_executed[index] += 1
+                busy_time[index] += sim.now - started
+                tasks_executed[index] += 1
                 if task.epoch != claim or task.future.done:
                     # re-issued under us (at-most-once per epoch): the
                     # re-issued copy owns completion, drop this one
-                    self._inflight[index] = None
+                    inflight[index] = None
                     if sim._subscribers:
                         sim.emit(
                             "task.stale", task.uid,
@@ -384,21 +393,21 @@ class SimExecutorService:
                     if instr is not None:
                         yield from instr.on_task_end(index, task)
                     continue
-                task.finished_at = machine.now
+                task.finished_at = sim.now
                 if sim._subscribers:
                     worker_thread = self.workers[index]
                     sim.emit(
                         "task.end", task.uid,
                         ("worker", index),
                         ("pu", worker_thread.last_pu),
-                        ("exec", machine.now - started),
+                        ("exec", sim.now - started),
                     )
                 if instr is not None:
                     yield from instr.on_task_end(index, task)
-                self._inflight[index] = None
+                inflight[index] = None
                 self._outstanding.pop(task.uid, None)
                 self._suspect.discard(task.uid)
-                task.future._fire(machine.now, self.sim)
+                task.future._fire(sim.now, sim)
                 if task.latch is not None:
                     task.latch.count_down()
         except Interrupted as exc:

@@ -34,7 +34,7 @@ from repro.md.engine import PhaseWork, StepReport
 Range = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostParams:
     """Calibration knobs for the machine cost model."""
 
@@ -74,6 +74,12 @@ class CostParams:
     reduce_flops_per_element: float = 1.0
 
 
+#: the calibrated defaults, shared by every "params=None" call site —
+#: CostParams is frozen, so one instance is safe to hand out forever
+#: (constructing it fresh showed up in the replay profile)
+DEFAULT_COST_PARAMS = CostParams()
+
+
 class MachineCostModel:
     """Prices one workload's step reports for a given thread partition."""
 
@@ -91,7 +97,7 @@ class MachineCostModel:
         self.n_atoms = n_atoms
         self.ranges = list(ranges)
         self.n_threads = len(self.ranges)
-        params = params if params is not None else CostParams()
+        params = params if params is not None else DEFAULT_COST_PARAMS
         self.params = params
         self.name = name
         self.fuse_rebuild = fuse_rebuild

@@ -19,7 +19,11 @@ import numpy as np
 
 from repro.concurrent import QueueMode, SimExecutorService
 from repro.concurrent.simexec import Instrumentation
-from repro.core.costmodel import CostParams, MachineCostModel
+from repro.core.costmodel import (
+    DEFAULT_COST_PARAMS,
+    CostParams,
+    MachineCostModel,
+)
 from repro.core.partition import balanced_partition, block_partition
 from repro.des import SyncTimeout, Timeout
 from repro.jvm.gc import GcModel
@@ -139,7 +143,7 @@ class SimulatedParallelRun:
             raise ValueError("empty trace")
         if repeat < 1:
             raise ValueError(f"repeat must be >= 1: {repeat}")
-        params = params if params is not None else CostParams()
+        params = params if params is not None else DEFAULT_COST_PARAMS
         self.trace = list(trace)
         self.machine = machine
         self.n_threads = n_threads
@@ -214,11 +218,22 @@ class SimulatedParallelRun:
         sim = machine.sim
         cm = self.cost_model
         step_index = 0
+        # the per-step cost plan is a pure function of the captured
+        # trace, and WorkCost is frozen — price each step once and
+        # replay the same objects every repeat instead of rebuilding
+        # thousands of Traffic/WorkCost records per pass
+        overhead = cm.master_step_overhead()
+        plans = [cm.step_phases(report) for report in self.trace]
+        dispatch_costs = {
+            len(costs): cm.dispatch_cost(len(costs))
+            for phases in plans
+            for _, costs in phases
+        }
         for _ in range(self.repeat):
-            for report in self.trace:
-                yield cm.master_step_overhead()
-                for phase_name, costs in cm.step_phases(report):
-                    yield cm.dispatch_cost(len(costs))
+            for report, plan in zip(self.trace, plans):
+                yield overhead
+                for phase_name, costs in plan:
+                    yield dispatch_costs[len(costs)]
                     t0 = machine.now
                     # phase markers cost nothing in simulated time (the
                     # bus is observation-only); they let the attribution

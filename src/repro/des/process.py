@@ -26,6 +26,7 @@ class Process:
         "name",
         "daemon",
         "_gen",
+        "_send",
         "terminated",
         "_alive",
         "_waiting_on",
@@ -42,6 +43,7 @@ class Process:
         #: deadlock check), like dispatcher loops waiting for work forever
         self.daemon = daemon
         self._gen = gen
+        self._send = gen.send  # bound once; _resume runs per event
         #: fires with the generator's return value when it finishes
         self.terminated = Event(name=f"{self.name}.terminated")
         self._alive = True
@@ -58,10 +60,11 @@ class Process:
         if not self._alive:  # e.g. resumed after an interrupt killed us
             return
         self._waiting_on = None
-        if self.sim._subscribers:
-            self.sim.emit("process.resume", self.name)
+        sim = self.sim
+        if sim._subscribers:
+            sim.emit("process.resume", self.name)
         try:
-            request = self._gen.send(value)
+            request = self._send(value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
@@ -91,19 +94,22 @@ class Process:
 
     def _dispatch(self, request) -> None:
         self._waiting_on = request
-        subscribe = getattr(request, "_subscribe", None)
-        if subscribe is None:
+        try:
+            subscribe = request._subscribe
+        except AttributeError:
             raise DesError(
                 f"process {self.name!r} yielded non-request "
                 f"{type(request).__name__}: {request!r}"
-            )
-        self.sim._live.add(self)
-        if self.sim._subscribers:
-            self.sim.emit(
+            ) from None
+        # membership in sim._live is managed at spawn/_finish/_crash;
+        # re-adding on every yield was pure hot-loop overhead
+        sim = self.sim
+        if sim._subscribers:
+            sim.emit(
                 "process.block", self.name,
                 ("request", type(request).__name__),
             )
-        subscribe(self.sim, self)
+        subscribe(sim, self)
 
     def _finish(self, value) -> None:
         self._alive = False

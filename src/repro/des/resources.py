@@ -40,6 +40,9 @@ class Semaphore:
         self.wait_time = 0.0
         self.hold_time = 0.0
         self.acquire_count = 0
+        # request objects are stateless handles on this semaphore, so
+        # every acquire() can hand out the same one (hot-path allocation)
+        self._acquire_req = _AcquireRequest(self)
 
     @property
     def available(self) -> int:
@@ -53,7 +56,7 @@ class Semaphore:
 
     def acquire(self) -> "_AcquireRequest":
         """Return a request object to ``yield``."""
-        return _AcquireRequest(self)
+        return self._acquire_req
 
     def owners(self) -> list:
         """Processes currently holding a permit (live ones only)."""
@@ -181,6 +184,8 @@ class FifoStore:
         self.put_count = 0
         self.get_count = 0
         self.max_depth = 0
+        # like Semaphore.acquire: one stateless request serves every get()
+        self._get_req = _GetRequest(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -201,13 +206,15 @@ class FifoStore:
             self.get_count += 1
             self.sim._schedule(0.0, proc._resume, item)
             return
-        self._items.append(item)
-        self.max_depth = max(self.max_depth, len(self._items))
+        items = self._items
+        items.append(item)
+        if len(items) > self.max_depth:
+            self.max_depth = len(items)
 
     def get(self) -> "_GetRequest":
         """Return a request to ``yield``; resolves to an item or None if
         the store is closed and drained."""
-        return _GetRequest(self)
+        return self._get_req
 
     def try_get(self):
         """Non-blocking pop: returns an item, or None if empty."""

@@ -17,20 +17,36 @@ class Timer:
     simulated time*, so a timeout that lost its race (e.g. a latch wait
     that completed in time) does not drag the end of the simulation out
     to its expiry horizon.
+
+    Cancelled entries ("tombstones") are dropped lazily when they reach
+    the head of the heap, and compacted wholesale when they outnumber
+    live entries (see :meth:`Simulator._compact`) — long chaos runs arm
+    and cancel timed waits constantly, and without compaction the dead
+    entries would bloat the heap and slow every ``heappush``.
     """
 
-    __slots__ = ("fn", "cancelled")
+    __slots__ = ("fn", "cancelled", "_sim")
 
-    def __init__(self, fn: Callable):
+    def __init__(self, fn: Callable, sim: "Optional[Simulator]" = None):
         self.fn = fn
         self.cancelled = False
+        #: owning simulator while our heap entry is pending; cleared on
+        #: fire so a late cancel() cannot skew the tombstone count
+        self._sim = sim
 
     def cancel(self) -> None:
         """Disarm the timer; its heap entry is lazily discarded."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._tombstones += 1
+            sim._maybe_compact()
 
     def __call__(self, value) -> None:
         if not self.cancelled:
+            self._sim = None  # entry consumed; cancel() is now a no-op
             self.fn(value)
 
 
@@ -49,12 +65,23 @@ class Simulator:
     :attr:`_subscribers`, and tracing never costs simulated time.
     """
 
+    #: compact the heap when cancelled-timer tombstones exceed this
+    #: fraction of its entries (and the heap is big enough to matter)
+    COMPACT_FRACTION = 0.5
+    COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
         self._seq: int = 0
         self._live: set = set()
         self.event_count: int = 0
+        #: high-water mark of the event heap (live entries + tombstones)
+        self.heap_peak: int = 0
+        #: cancelled-timer entries still sitting in the heap
+        self._tombstones: int = 0
+        #: number of wholesale tombstone compactions performed
+        self.compactions: int = 0
         #: event-bus subscribers; emission sites check truthiness inline,
         #: so an empty list is the zero-overhead "tracing off" fast path
         self._subscribers: list = []
@@ -81,12 +108,15 @@ class Simulator:
 
         ``args`` are ``(key, value)`` pairs in emitter-fixed order.  Hot
         paths guard the call with ``if sim._subscribers:`` so the
-        traced-off cost is a single attribute check.
+        traced-off cost is a single attribute check; with subscribers
+        attached the one :class:`TraceEvent` instance is shared by all
+        of them (subscribers must treat events as immutable).
         """
-        if not self._subscribers:
+        subscribers = self._subscribers
+        if not subscribers:
             return
         event = TraceEvent(self.now, kind, subject, args)
-        for fn in self._subscribers:
+        for fn in subscribers:
             fn(event)
 
     # -- scheduling ------------------------------------------------------
@@ -96,7 +126,10 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, value))
+        heap = self._heap
+        heapq.heappush(heap, (self.now + delay, self._seq, callback, value))
+        if len(heap) > self.heap_peak:
+            self.heap_peak = len(heap)
 
     def call_at(self, time: float, callback, value=None) -> None:
         """Schedule ``callback(value)`` at an absolute simulated time."""
@@ -110,7 +143,7 @@ class Simulator:
         Returns the :class:`Timer` handle; ``handle.cancel()`` disarms
         it, and a cancelled entry is dropped from the heap without
         advancing :attr:`now` when its turn comes."""
-        handle = Timer(callback)
+        handle = Timer(callback, self)
         self._schedule(delay, handle, value)
         return handle
 
@@ -125,62 +158,150 @@ class Simulator:
         self._schedule(0.0, proc._resume, None)
         return proc
 
+    # -- the heap --------------------------------------------------------
+    #
+    # All cancelled-timer handling funnels through _peek_live/_pop_live,
+    # so run()/step()/peek() cannot drift apart in how they treat
+    # tombstones (they used to be three hand-copied drain loops).
+
+    def _peek_live(self):
+        """Head entry of the heap, dropping cancelled-timer tombstones.
+
+        Mutates the heap (tombstones at the head are discarded) but never
+        removes a live entry."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            callback = head[2]
+            if type(callback) is Timer and callback.cancelled:
+                heapq.heappop(heap)
+                self._tombstones -= 1
+                continue
+            return head
+        return None
+
+    def _pop_live(self):
+        """Pop the next live ``(time, seq, callback, value)`` entry, or
+        None when the heap holds nothing but tombstones."""
+        head = self._peek_live()
+        if head is None:
+            return None
+        heapq.heappop(self._heap)
+        return head
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled-timer tombstones wholesale once they exceed
+        :attr:`COMPACT_FRACTION` of the heap.
+
+        Event order is unchanged: surviving entries keep their
+        ``(time, seq)`` keys, and ``heapify`` restores the invariant.
+        The heap list is rebuilt *in place* so aliases held by a running
+        :meth:`run` loop stay valid.
+        """
+        tombstones = self._tombstones
+        heap = self._heap
+        if (
+            tombstones < self.COMPACT_MIN_TOMBSTONES
+            or tombstones < len(heap) * self.COMPACT_FRACTION
+        ):
+            return
+        heap[:] = [
+            entry
+            for entry in heap
+            if not (type(entry[2]) is Timer and entry[2].cancelled)
+        ]
+        heapq.heapify(heap)
+        self._tombstones = 0
+        self.compactions += 1
+
+    def _raise_if_stuck(self) -> None:
+        """Diagnose and raise when live non-daemon processes can never
+        be woken (the event queue has fully drained)."""
+        stuck = [p for p in self._live if not p.daemon]
+        if stuck:
+            from repro.des.deadlock import diagnose
+
+            waits, cycle = diagnose(stuck)
+            raise SimulationDeadlock(waits, cycle=cycle)
+
     # -- running ---------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or simulated time reaches
         ``until``.  Returns the final simulated time.
 
-        Raises :class:`SimulationDeadlock` if live processes remain when
-        the queue drains and no ``until`` bound was given, since that
-        always indicates a lost wakeup (e.g. a barrier that can never
-        trip).
+        Raises :class:`SimulationDeadlock` if live non-daemon processes
+        remain when the queue drains, since that always indicates a lost
+        wakeup (e.g. a barrier that can never trip) — **including** when
+        an ``until`` bound was given: once the heap is empty nothing can
+        ever wake a blocked process, so a bounded run that drained early
+        has deadlocked just the same, and returning silently would mask
+        exactly the bugs :mod:`repro.des.deadlock` diagnoses.
         """
-        while self._heap:
-            time, _seq, callback, value = heapq.heappop(self._heap)
-            if type(callback) is Timer and callback.cancelled:
-                continue
-            if until is not None and time > until:
-                heapq.heappush(self._heap, (time, _seq, callback, value))
-                self.now = until
-                return self.now
-            self.now = time
-            self.event_count += 1
-            callback(value)
-        if until is None:
-            stuck = [p for p in self._live if not p.daemon]
-            if stuck:
-                from repro.des.deadlock import diagnose
-
-                waits, cycle = diagnose(stuck)
-                raise SimulationDeadlock(waits, cycle=cycle)
-        if until is not None:
-            self.now = max(self.now, until) if not self._heap else self.now
+        # the tombstone drain is inlined from _pop_live — this loop runs
+        # once per simulated event and the two extra call frames were
+        # measurable; the logic must stay in lockstep with _peek_live
+        heap = self._heap
+        heappop = heapq.heappop
+        count = 0
+        try:
+            if until is None:
+                while heap:
+                    entry = heap[0]
+                    callback = entry[2]
+                    if type(callback) is Timer and callback.cancelled:
+                        heappop(heap)
+                        self._tombstones -= 1
+                        continue
+                    heappop(heap)
+                    self.now = entry[0]
+                    count += 1
+                    callback(entry[3])
+            else:
+                while heap:
+                    entry = heap[0]
+                    callback = entry[2]
+                    if type(callback) is Timer and callback.cancelled:
+                        heappop(heap)
+                        self._tombstones -= 1
+                        continue
+                    if entry[0] > until:
+                        # not due yet: left on the heap untouched
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    self.now = entry[0]
+                    count += 1
+                    callback(entry[3])
+        finally:
+            self.event_count += count
+        self._raise_if_stuck()
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty.
 
         Cancelled timers are drained silently (they advance nothing)."""
-        while self._heap:
-            time, _seq, callback, value = heapq.heappop(self._heap)
-            if type(callback) is Timer and callback.cancelled:
-                continue
-            self.now = time
-            self.event_count += 1
-            callback(value)
-            return True
-        return False
+        entry = self._pop_live()
+        if entry is None:
+            return False
+        self.now = entry[0]
+        self.event_count += 1
+        entry[2](entry[3])
+        return True
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None."""
-        while self._heap:
-            head = self._heap[0]
-            if type(head[2]) is Timer and head[2].cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return head[0]
-        return None
+        """Time of the next pending event, or None.
+
+        Pure with respect to simulated state, but *not* with respect to
+        the heap: cancelled-timer tombstones at the head are discarded
+        as a side effect (observable only through ``len(sim._heap)``).
+        No live entry is ever removed, and :attr:`now` never changes.
+        """
+        head = self._peek_live()
+        return head[0] if head is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

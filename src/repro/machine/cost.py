@@ -14,13 +14,13 @@ overlap outstanding misses with arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.machine.cachestate import Region
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Traffic:
     """Bytes moved against one region by one task."""
 
@@ -33,7 +33,7 @@ class Traffic:
             raise ValueError(f"negative traffic: {self.n_bytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkCost:
     """The machine-level cost of one task.
 
@@ -54,10 +54,28 @@ class WorkCost:
     reads: Tuple[Traffic, ...] = ()
     writes: Tuple[Traffic, ...] = ()
     label: str = ""
+    #: read_bytes + write_bytes, fixed by the frozen traffic tuples —
+    #: computed once here because the dispatch hot path checks it per
+    #: burst (derived: excluded from init/repr/equality)
+    _total_bytes: float = field(init=False, repr=False, compare=False)
+    #: (region, n_bytes) per read — what migration_penalty re-fetches;
+    #: precomputed because dispatch installs it on the thread per burst
+    _hot_regions: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.cycles < 0:
             raise ValueError(f"negative cycles: {self.cycles}")
+        object.__setattr__(
+            self,
+            "_total_bytes",
+            sum(t.n_bytes for t in self.reads)
+            + sum(t.n_bytes for t in self.writes),
+        )
+        object.__setattr__(
+            self,
+            "_hot_regions",
+            tuple((t.region, t.n_bytes) for t in self.reads),
+        )
 
     @property
     def read_bytes(self) -> float:
@@ -69,7 +87,7 @@ class WorkCost:
 
     @property
     def total_bytes(self) -> float:
-        return self.read_bytes + self.write_bytes
+        return self._total_bytes
 
     def arithmetic_intensity(self) -> float:
         """Cycles per byte — the roofline knob.  inf for pure compute."""

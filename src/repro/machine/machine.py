@@ -77,7 +77,8 @@ class SimThread:
             if not mask:
                 raise ValueError("empty affinity mask")
         self.affinity = mask
-        self.affinity_list = sorted(mask)
+        # tuple: placement hashes it to cache per-LLC candidate pools
+        self.affinity_list = tuple(sorted(mask))
 
     @property
     def terminated(self) -> Event:
@@ -86,17 +87,20 @@ class SimThread:
     def _drive(self, body):
         value = None
         error: Optional[BaseException] = None
+        send = body.send
+        burst_name = f"{self.name}.burst"
+        submit = self.machine.scheduler.submit
         while True:
             try:
-                item = body.throw(error) if error is not None else body.send(value)
+                item = body.throw(error) if error is not None else send(value)
             except StopIteration as stop:
                 return stop.value
             error = None
             if isinstance(item, WorkCost):
                 self.pending_cost = item
                 self.burst_remaining = 0.0
-                self._burst_done = Event(name=f"{self.name}.burst")
-                self.machine.scheduler.submit(self)
+                self._burst_done = Event(name=burst_name)
+                submit(self)
                 try:
                     yield self._burst_done
                     value = None
@@ -146,6 +150,18 @@ class SimMachine:
             for i in range(self.topology.n_llc_groups)
         ]
         self.memory = MemorySystem(spec, self.topology)
+        # burst pricing runs once per dispatched burst; flatten the
+        # pu -> llc/controller/socket resolution chains into tuples
+        n_pus = spec.n_pus
+        self._llc_of_pu = tuple(
+            self.llc_states[self.topology.llc_of(p)] for p in range(n_pus)
+        )
+        self._ctrl_of_pu = tuple(
+            self.memory.controller_for_pu(p) for p in range(n_pus)
+        )
+        self._socket_of_pu = tuple(
+            self.topology.socket_of(p) for p in range(n_pus)
+        )
         #: region name -> socket that last wrote it (home for remote reads)
         self.region_home: Dict[str, int] = {}
         self.overlap = overlap
@@ -190,7 +206,7 @@ class SimMachine:
 
     def llc_for_pu(self, pu: int) -> LlcState:
         """The warmth state of the LLC serving a PU."""
-        return self.llc_states[self.topology.llc_of(pu)]
+        return self._llc_of_pu[pu]
 
     # -- cost evaluation -------------------------------------------------------
 
@@ -201,32 +217,39 @@ class SimMachine:
         duration is ``max(compute, memory) + overlap * min(...)`` — the
         ``overlap`` parameter (< 1) models imperfect overlap.
         """
-        spec = self.spec
-        compute = cost.cycles / spec.freq_hz
-        llc = self.llc_for_pu(pu)
-        ctrl = self.memory.controller_for_pu(pu)
-        socket = self.topology.socket_of(pu)
+        compute = cost.cycles / self.spec.freq_hz
+        llc = self._llc_of_pu[pu]
+        ctrl = self._ctrl_of_pu[pu]
+        socket = self._socket_of_pu[pu]
+        region_home = self.region_home
+        transfer_time = ctrl.transfer_time
         mem = 0.0
-        for t in cost.reads:
-            miss = llc.touch(t.region, t.n_bytes)
-            home = self.region_home.get(t.region.name)
-            remote = (
-                t.region.shared and home is not None and home != socket
-            )
-            mem += ctrl.transfer_time(miss, remote=remote, extra_streams=1)
+        reads = cost.reads
+        if reads:
+            # batch the warmth updates; transfer_time stays per-record
+            # and in order (it accumulates controller statistics)
+            misses = llc.touch_many(reads)
+            for t, miss in zip(reads, misses):
+                region = t.region
+                home = region_home.get(region.name)
+                remote = (
+                    region.shared and home is not None and home != socket
+                )
+                mem += transfer_time(miss, remote=remote, extra_streams=1)
         for t in cost.writes:
             llc.install(t.region, t.n_bytes)
-            self.region_home[t.region.name] = socket
+            region_home[t.region.name] = socket
             # coherence: writing invalidates every other cache's copy,
             # so a thread that migrates away finds its data gone
             for other in self.llc_states:
                 if other is not llc:
                     other.evict_region(t.region)
-            mem += ctrl.transfer_time(
+            mem += transfer_time(
                 t.n_bytes * self.writeback_fraction, extra_streams=1
             )
-        lo, hi = sorted((compute, mem))
-        return hi + self.overlap * lo
+        if compute <= mem:
+            return mem + self.overlap * compute
+        return compute + self.overlap * mem
 
     def migration_penalty(self, thread: SimThread, pu: int) -> float:
         """Cold-cache cost of arriving on a PU under a different LLC.
@@ -236,8 +259,8 @@ class SimMachine:
         the new cache)."""
         if not thread.hot_regions:
             return 0.0
-        llc = self.llc_for_pu(pu)
-        ctrl = self.memory.controller_for_pu(pu)
+        llc = self._llc_of_pu[pu]
+        ctrl = self._ctrl_of_pu[pu]
         penalty = 0.0
         for region, n_bytes in thread.hot_regions:
             miss = llc.touch(region, n_bytes)
@@ -254,9 +277,7 @@ class SimMachine:
             duration = self.burst_duration(pu, cost)
             duration += self.scheduler.ctx_switch
             thread.burst_remaining = duration
-            thread.hot_regions = tuple(
-                (t.region, t.n_bytes) for t in cost.reads
-            )
+            thread.hot_regions = cost._hot_regions
         # cold-cache cost of arriving under a different LLC (applies to
         # both fresh bursts after a park and resumed preempted bursts;
         # for fresh bursts burst_duration() already touched the new LLC,
@@ -269,20 +290,20 @@ class SimMachine:
             ):
                 thread.burst_remaining += self.migration_penalty(thread, pu)
             thread.pending_migration = False
-        if cost is not None and cost.total_bytes > 0:
-            self.memory.controller_for_pu(pu).begin_stream()
+        if cost is not None and cost._total_bytes > 0:
+            self._ctrl_of_pu[pu].begin_stream()
             thread._streaming = True
 
     def on_burst_pause(self, thread: SimThread, pu: int) -> None:
         """Scheduler callback: the burst was preempted mid-flight."""
         if thread._streaming:
-            self.memory.controller_for_pu(pu).end_stream()
+            self._ctrl_of_pu[pu].end_stream()
             thread._streaming = False
 
     def on_burst_end(self, thread: SimThread, pu: int) -> None:
         """Scheduler callback: the burst completed."""
         if thread._streaming:
-            self.memory.controller_for_pu(pu).end_stream()
+            self._ctrl_of_pu[pu].end_stream()
             thread._streaming = False
         thread.burst_count += 1
         thread.pending_cost = None

@@ -121,6 +121,27 @@ class Scheduler:
         # invisible to len(runqueue); without this counter simultaneous
         # placements pile onto one PU while others idle
         self._pending: List[int] = [0] * n
+        # topology is immutable, but llc_of/smt_siblings build fresh
+        # lists per call — placement consults them for every runnable
+        # thread, so flatten them into indexed tables once
+        self._llc_of: Tuple[int, ...] = tuple(
+            self.topology.llc_of(p) for p in range(n)
+        )
+        self._smt_other: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s for s in self.topology.smt_siblings(p) if s != p)
+            for p in range(n)
+        )
+        # run-queue depth is read per candidate PU per placement; index
+        # the underlying deques directly instead of FifoStore.__len__
+        self._rq_items = [rq._items for rq in self.runqueues]
+        # incrementally maintained count of *busy* SMT siblings per PU
+        # (busy = running or pending work); placement reads this for
+        # every candidate, so the flip points in submit()/_dispatch()
+        # keep it current instead of rescanning siblings per query
+        self._busy_sibs: List[int] = [0] * n
+        #: (affinity tuple, llc id) -> candidate PUs under that LLC;
+        #: affinity masks are few and stable, so this saturates quickly
+        self._local_pools: Dict[Tuple[Tuple[int, ...], int], List[int]] = {}
         self.trace = SchedulerTrace(_sim=self.sim)
         for p in range(n):
             self.sim.spawn(self._dispatch(p), name=f"cpu{p}", daemon=True)
@@ -130,15 +151,16 @@ class Scheduler:
     def load(self, pu: int) -> float:
         """Instantaneous load metric used for placement decisions."""
         l = (
-            len(self.runqueues[pu])
+            len(self._rq_items[pu])
             + self._pending[pu]
             + (1.0 if self._running[pu] else 0.0)
         )
-        for sib in self.topology.smt_siblings(pu):
-            if sib != pu and (
-                self._running[sib] is not None or self._pending[sib]
-            ):
-                l += 0.45  # a busy HT sibling makes this PU less attractive
+        # one += per busy sibling, exactly like the original sibling
+        # scan, so the float result is bit-identical
+        k = self._busy_sibs[pu]
+        while k:  # a busy HT sibling makes this PU less attractive
+            l += 0.45
+            k -= 1
         return l
 
     def choose_pu(self, thread) -> int:
@@ -155,29 +177,56 @@ class Scheduler:
         if len(aff) == 1:
             return aff[0]
         last = thread.last_pu
-        loads = {p: self.load(p) for p in aff}
+        # inlined self.load() over the affinity mask — this runs for
+        # every placement and dominated the replay profile; arithmetic
+        # and iteration order match load() exactly
+        running = self._running
+        pending = self._pending
+        rq_items = self._rq_items
+        busy_sibs = self._busy_sibs
+        loads = {}
+        global_best = None
+        for p in aff:
+            l = (
+                len(rq_items[p])
+                + pending[p]
+                + (1.0 if running[p] else 0.0)
+            )
+            k = busy_sibs[p]
+            while k:
+                l += 0.45
+                k -= 1
+            loads[p] = l
+            if global_best is None or l < global_best:
+                global_best = l
         roll = self._rng.random()
         wander = roll < self.migrate_prob
         # a rarer event models the kernel's idle balancer pulling the
         # thread to any socket; ordinary wander stays within the domain
         rebalance = roll < self.rebalance_prob
-        if last in loads and loads[last] == 0 and not wander:
+        if loads.get(last) == 0 and not wander:
             return last
         pool = aff
+        best = global_best
         if last is not None and not rebalance:
             # CFS-style domain preference: stay under the current LLC
             # unless the local domain is distinctly busier; a wander
             # event models the idle balancer pulling the thread anywhere
-            local = [
-                p for p in aff
-                if self.topology.llc_of(p) == self.topology.llc_of(last)
-            ]
+            llc_of = self._llc_of
+            key = (aff, llc_of[last])
+            local = self._local_pools.get(key)
+            if local is None:
+                local = [p for p in aff if llc_of[p] == llc_of[last]]
+                self._local_pools[key] = local
             if local:
-                local_best = min(loads[p] for p in local)
-                global_best = min(loads.values())
+                local_best = loads[local[0]]
+                for p in local:
+                    v = loads[p]
+                    if v < local_best:
+                        local_best = v
                 if local_best <= global_best + 0.25:
                     pool = local
-        best = min(loads[p] for p in pool)
+                    best = local_best
         cands = [p for p in pool if loads[p] == best]
         if last in cands and not wander:
             return last
@@ -190,6 +239,10 @@ class Scheduler:
             thread.pending_migration = True
             self.trace.migrations[thread.name] += 1
             self.trace.record(self.sim.now, thread.name, pu, "migrate")
+        if self._pending[pu] == 0 and self._running[pu] is None:
+            # idle -> busy: this PU now burdens its SMT siblings
+            for s in self._smt_other[pu]:
+                self._busy_sibs[s] += 1
         self._pending[pu] += 1
         self.trace.record(self.sim.now, thread.name, pu, "ready")
         self.runqueues[pu].put(thread)
@@ -199,8 +252,9 @@ class Scheduler:
 
     def _smt_factor(self, pu: int) -> float:
         """Execution-rate multiplier given SMT sibling activity."""
-        for sib in self.topology.smt_siblings(pu):
-            if sib != pu and self._running[sib] is not None:
+        running = self._running
+        for sib in self._smt_other[pu]:
+            if running[sib] is not None:
                 return self.smt_throughput
         return 1.0
 
@@ -208,47 +262,77 @@ class Scheduler:
         """Daemon process serving one PU's run queue."""
         sim = self.sim
         rq = self.runqueues[pu]
+        rq_items = self._rq_items[pu]
+        machine = self.machine
+        trace = self.trace
+        record = trace.record
+        residency = trace.add_residency
+        dispatches = trace.dispatches
+        quantum = self.quantum
+        pending = self._pending
+        running = self._running
+        llc = self._llc_of[pu]
+        smt_other = self._smt_other[pu]
+        smt_throughput = self.smt_throughput
+        # one mutable Timeout per dispatcher: the request is consumed
+        # synchronously at the yield, so rewriting .delay per slice is
+        # safe and saves an allocation every quantum
+        slice_timeout = Timeout(0.0)
         while True:
             thread = yield rq.get()
             if thread is None:
                 return
-            self._pending[pu] -= 1
-            self._running[pu] = thread
-            self.trace.dispatches[thread.name] += 1
-            label = getattr(thread.pending_cost, "label", "") or ""
-            self.trace.record(sim.now, thread.name, pu, f"run:{label}")
-            self.machine.on_dispatch(thread, pu)
+            pending[pu] -= 1
+            running[pu] = thread
+            dispatches[thread.name] += 1
+            cost = thread.pending_cost
+            label = cost.label if cost is not None else ""
+            record(sim.now, thread.name, pu, f"run:{label}")
+            machine.on_dispatch(thread, pu)
             thread.current_pu = pu
             preempted = False
-            while thread.burst_remaining > 1e-12:
-                factor = self._smt_factor(pu)
-                faults = self.machine.faults
+            faults = machine.faults
+            remaining = thread.burst_remaining
+            while remaining > 1e-12:
+                factor = 1.0
+                for sib in smt_other:  # inlined _smt_factor
+                    if running[sib] is not None:
+                        factor = smt_throughput
+                        break
                 if faults is not None:
                     # straggler core: the PU retires work at a fraction
                     # of its rate for the fault window (re-evaluated per
                     # slice, so windows land at slice granularity)
                     factor *= faults.speed_factor(pu)
-                slice_wall = min(
-                    self.quantum, thread.burst_remaining / factor
-                )
+                need = remaining / factor
+                slice_wall = quantum if quantum < need else need
                 t0 = sim.now
-                yield Timeout(slice_wall)
+                # float() mirrors Timeout.__init__'s cast: burst math can
+                # carry numpy scalars, and the sim clock must stay float
+                slice_timeout.delay = float(slice_wall)
+                yield slice_timeout
                 dt = sim.now - t0
-                thread.burst_remaining -= dt * factor
+                remaining -= dt * factor
                 thread.cpu_time += dt
-                self.trace.add_residency(thread.name, pu, dt)
-                if thread.burst_remaining > 1e-12 and len(rq) > 0:
+                residency(thread.name, pu, dt)
+                if remaining > 1e-12 and rq_items:
                     preempted = True
                     break
+            thread.burst_remaining = remaining
             thread.current_pu = None
             thread.last_pu = pu
-            thread.last_llc = self.topology.llc_of(pu)
-            self._running[pu] = None
+            thread.last_llc = llc
+            running[pu] = None
+            if pending[pu] == 0:
+                # busy -> idle: lift the SMT burden off the siblings
+                # (a preempt resubmit below may immediately restore it)
+                for s in self._smt_other[pu]:
+                    self._busy_sibs[s] -= 1
             if preempted:
-                self.trace.record(sim.now, thread.name, pu, "preempt")
-                self.machine.on_burst_pause(thread, pu)
+                record(sim.now, thread.name, pu, "preempt")
+                machine.on_burst_pause(thread, pu)
                 self.submit(thread)
             else:
-                self.trace.record(sim.now, thread.name, pu, "done")
-                self.machine.on_burst_end(thread, pu)
-                thread._burst_done.fire(sim=self.sim)
+                record(sim.now, thread.name, pu, "done")
+                machine.on_burst_end(thread, pu)
+                thread._burst_done.fire(sim=sim)

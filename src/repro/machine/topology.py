@@ -136,6 +136,15 @@ class Topology:
                 sock * spec.llc_groups_per_socket + within // shared
             )
         self.n_llc_groups = spec.sockets * spec.llc_groups_per_socket
+        # sibling sets are asked for constantly by placement code; build
+        # the tables once (queries hand out copies, so callers can't
+        # corrupt the shared state)
+        self._pus_of_core = [
+            tuple(range(c * smt, (c + 1) * smt)) for c in range(spec.n_cores)
+        ]
+        self._llc_of_pu = [
+            self._llc_of_core[self._core_of_pu[p]] for p in range(spec.n_pus)
+        ]
 
     # -- id maps ---------------------------------------------------------
 
@@ -157,12 +166,11 @@ class Topology:
 
     def llc_of(self, pu: int) -> int:
         """Id of the last-level-cache group serving this PU."""
-        return self._llc_of_core[self._core_of_pu[pu]]
+        return self._llc_of_pu[pu]
 
     def pus_of_core(self, core: int) -> List[int]:
         """The SMT sibling PUs of one physical core."""
-        smt = self.spec.smt
-        return list(range(core * smt, (core + 1) * smt))
+        return list(self._pus_of_core[core])
 
     def pus_of_socket(self, socket: int) -> List[int]:
         """Every PU on one socket."""

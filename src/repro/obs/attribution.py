@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.costmodel import CostParams
+from repro.core.costmodel import DEFAULT_COST_PARAMS, CostParams
 from repro.core.simulate import RunResult, SimulatedParallelRun, capture_trace
 from repro.machine.machine import SimMachine
 from repro.machine.topology import CORE_I7_920, MachineSpec
@@ -428,7 +428,7 @@ def kernel_shares(
     rebuilds are fused into the force tasks (the paper's design) the
     rebuild work appears as its own pseudo-kernel.
     """
-    p = params if params is not None else CostParams()
+    p = params if params is not None else DEFAULT_COST_PARAMS
 
     def weight(pw) -> float:
         return pw.flops * p.cycles_per_flop + _CYCLES_PER_BYTE * (
@@ -704,9 +704,12 @@ def render_attribution(res: AttributionResult) -> str:
     row += f"{res.bucket_total * 1e3:>12.3f} ms"
     lines.append(row)
     if res.kernel_inflation:
+        # an N=1 or zero-work run has zero inflation in every kernel;
+        # report flat 0% shares rather than dividing by a zero total
         total = sum(res.kernel_inflation.values())
         parts = ", ".join(
-            f"{k} {v * 1e3:.3f} ms ({v / total * 100:.1f}%)"
+            f"{k} {v * 1e3:.3f} ms "
+            f"({(v / total * 100) if total > 0 else 0.0:.1f}%)"
             for k, v in sorted(
                 res.kernel_inflation.items(), key=lambda kv: -kv[1]
             )
@@ -714,10 +717,15 @@ def render_attribution(res: AttributionResult) -> str:
         lines.append("")
         lines.append(f"forces-phase work inflation by kernel: {parts}")
     cp = res.critical_path
+    cp_pct = (
+        cp.seconds / res.achieved_seconds * 100
+        if res.achieved_seconds > 0
+        else 0.0
+    )
     lines.append("")
     lines.append(
         f"critical path {cp.seconds * 1e3:.3f} ms "
-        f"({cp.seconds / res.achieved_seconds * 100:.1f}% of achieved); "
+        f"({cp_pct:.1f}% of achieved); "
         f"speedup upper bound on this machine {res.speedup_bound():.2f}x "
         f"(parallelism {cp.parallelism:.2f})"
     )
@@ -731,9 +739,8 @@ def render_attribution(res: AttributionResult) -> str:
     )
     phase, bucket = res.dominant()
     gap = res.gap_seconds
-    pct = (
-        res.by_phase[phase][bucket] / gap * 100 if gap > 0 else 0.0
-    )
+    dom = res.by_phase.get(phase, {}).get(bucket, 0.0)
+    pct = dom / gap * 100 if gap > 0 else 0.0
     lines.append(
         f"dominant loss: {bucket} in phase {phase!r} "
         f"({pct:.1f}% of the gap)"

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.des.trace import TraceEvent, serialize_events
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseWindow:
     """One master-side phase execution: submit → latch trip.
 
@@ -125,13 +125,15 @@ class Tracer:
         if self._sim is not None:
             raise ValueError("tracer already attached")
         self._sim = sim
-        sim.subscribe(self._on_event)
+        # subscribe the buffer's bound append directly: recording one
+        # event is then a single list append with no wrapper frame
+        sim.subscribe(self.events.append)
         return self
 
     def detach(self) -> None:
         """Unsubscribe from the simulator (events are kept)."""
         if self._sim is not None:
-            self._sim.unsubscribe(self._on_event)
+            self._sim.unsubscribe(self.events.append)
             self._sim = None
 
     def _on_event(self, event: TraceEvent) -> None:

@@ -79,6 +79,44 @@ def test_run_until_bound():
     assert len(log) == 10
 
 
+def test_run_until_raises_deadlock_when_queue_drains_early():
+    """Regression: a bounded run used to return silently when the heap
+    drained before ``until`` even though a blocked non-daemon process
+    could never be woken again — masking lost-wakeup bugs whenever the
+    caller supplied a time bound."""
+    sim = Simulator()
+    evt = Event("never-fired")
+
+    def blocked():
+        yield evt
+
+    def brief():
+        yield Timeout(1.0)
+
+    sim.spawn(blocked(), name="blocked-proc")
+    sim.spawn(brief(), name="brief-proc")
+    # the queue fully drains at t=1.0, far before the bound: nothing
+    # can ever wake blocked-proc, so this is a deadlock, bound or not
+    with pytest.raises(SimulationDeadlock) as exc_info:
+        sim.run(until=50.0)
+    msg = str(exc_info.value)
+    assert "blocked-proc" in msg
+    assert "brief-proc" not in msg  # it terminated; only the stuck one
+
+
+def test_run_until_with_future_work_pending_does_not_raise():
+    """The bound stopping short of pending events is NOT a deadlock:
+    the blocked process still has a wakeup sitting in the heap."""
+    sim = Simulator()
+
+    def sleeper():
+        yield Timeout(100.0)
+
+    sim.spawn(sleeper(), name="sleeper")
+    assert sim.run(until=5.0) == 5.0
+    assert sim.run() == 100.0  # resumes and completes cleanly
+
+
 def test_process_return_value_via_join():
     sim = Simulator()
     results = []
