@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -52,20 +52,28 @@ perf-smoke:
 	$(PYTHON) scripts/check_throughput.py \
 		benchmarks/out/throughput-smoke.json --min-speedup 0
 
+# run-cache effectiveness gate: regenerate BENCH_runcache.json (cold
+# sweep into a fresh store, identical warm sweep, sampled byte-identity
+# verify) and require warm-over-cold >= 5x with hit rate >= 0.9
+cache-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/bench_runcache.py \
+		--out BENCH_runcache.json
+	$(PYTHON) scripts/check_runcache.py BENCH_runcache.json
+
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # regenerate every paper artifact into benchmarks/out/
 experiments: bench
 	@ls benchmarks/out/
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/salt_melt.py
-	$(PYTHON) examples/nanocar_drive.py
-	$(PYTHON) examples/ewald_ionic_crystal.py
-	$(PYTHON) examples/custom_model.py
-	$(PYTHON) examples/perf_study.py
+	PYTHONPATH=src $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src $(PYTHON) examples/salt_melt.py
+	PYTHONPATH=src $(PYTHON) examples/nanocar_drive.py
+	PYTHONPATH=src $(PYTHON) examples/ewald_ionic_crystal.py
+	PYTHONPATH=src $(PYTHON) examples/custom_model.py
+	PYTHONPATH=src $(PYTHON) examples/perf_study.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/out

@@ -8,11 +8,12 @@ so the regenerated tables and figures survive the pytest capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
-from repro.core import capture_trace
+from repro.runcache import RunCache, cached_capture
 from repro.workloads import BUILDERS
 
 #: timesteps of real physics per workload (the paper ran 10,000-20,000;
@@ -24,11 +25,18 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 @pytest.fixture(scope="session")
 def traces():
-    """{name: (workload, [StepReport, ...])} for the three benchmarks."""
+    """{name: (workload, [StepReport, ...])} for the three benchmarks.
+
+    Captures come through the content-addressed run cache (byte-exact
+    by construction); set ``REPRO_RUNCACHE_DISABLE=1`` to re-simulate.
+    """
+    cache = (
+        None if os.environ.get("REPRO_RUNCACHE_DISABLE") else RunCache()
+    )
     out = {}
     for name, builder in BUILDERS.items():
         wl = builder()
-        out[name] = (wl, capture_trace(wl, TRACE_STEPS))
+        out[name] = (wl, cached_capture(cache, name, TRACE_STEPS))
     return out
 
 

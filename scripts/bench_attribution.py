@@ -6,6 +6,11 @@ i7 920 (one physics capture and one 1-thread baseline per workload) and
 writes ``BENCH_attribution.json`` at the repo root — the repository's
 perf-trajectory record.  Schema is validated by
 ``scripts/check_bench.py`` (``make bench-smoke``).
+
+By default the sweep runs through the content-addressed run cache
+(misses fanned out over ``--jobs`` workers); the payload is
+byte-identical to the uncached one — pass ``--no-cache`` to bypass the
+cache and re-simulate everything in-process.
 """
 
 import argparse
@@ -39,16 +44,44 @@ def main() -> int:
     parser.add_argument("--machine", default="i7-920")
     parser.add_argument("--steps", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the run cache and re-simulate in-process",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="run-cache directory (default: $REPRO_RUNCACHE_DIR or "
+        "~/.cache/repro/runcache)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool width for cache misses "
+        "(default: os.cpu_count())",
+    )
     args = parser.parse_args()
 
     threads = [int(t) for t in args.threads.split(",")]
-    payload = bench_attribution(
-        workloads=args.workloads,
-        threads=threads,
-        spec=args.machine,
-        steps=args.steps,
-        seed=args.seed,
-    )
+    sweep_stats = None
+    if args.no_cache:
+        payload = bench_attribution(
+            workloads=args.workloads,
+            threads=threads,
+            spec=args.machine,
+            steps=args.steps,
+            seed=args.seed,
+        )
+    else:
+        from repro.runcache import RunCache, attribution_sweep
+
+        payload, sweep_stats = attribution_sweep(
+            workloads=args.workloads,
+            threads=threads,
+            spec=args.machine,
+            steps=args.steps,
+            seed=args.seed,
+            cache=RunCache(args.cache_dir),
+            jobs=args.jobs,
+        )
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
@@ -61,6 +94,13 @@ def main() -> int:
             f"bound {run['speedup_bound']:.2f}x"
         )
     print(f"wrote {args.out} ({len(payload['runs'])} runs)")
+    if sweep_stats is not None:
+        print(
+            f"run cache: {sweep_stats.hits} hits / "
+            f"{sweep_stats.misses} misses "
+            f"(hit rate {sweep_stats.hit_rate * 100:.0f}%, "
+            f"jobs {sweep_stats.jobs})"
+        )
     return 0
 
 

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Measure the run cache: cold-vs-warm sweep wall-clock and hit rate.
+
+Runs the repeated attribution-shaped sweep (3 workloads x 1/2/4/8
+threads plus their physics captures — 15 specs, 12 workload x thread
+configs) twice against a fresh cache directory:
+
+* **cold** — every spec is a miss and executes (fanned out over
+  ``--jobs`` workers);
+* **warm** — the identical sweep again; every spec must hit.
+
+The payload (schema ``repro.runcache_bench/1``) records both
+wall-clocks, the warm-over-cold speedup, the warm hit rate, a sampled
+``verify`` re-run (byte-identity of cached vs fresh artifacts), and the
+code-version salt.  ``scripts/check_runcache.py`` (``make cache-smoke``)
+gates on speedup >= 5x and hit rate >= 0.9.
+
+The cold/warm wall-clocks measure the *cache*, not the simulator —
+cached numbers never replace the BENCH_attribution / BENCH_throughput
+measurements (see EXPERIMENTS.md).
+
+Exits 0 on success; usage errors print one line and exit 2 like the
+other scripts.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+SCHEMA = "repro.runcache_bench/1"
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"bench_runcache: {msg}")
+    return SystemExit(2)
+
+
+def build_specs(names, threads, machine_key, steps, seed):
+    from repro.runcache import capture_spec, observe_spec
+
+    specs = []
+    for name in names:
+        specs.append(capture_spec(name, steps))
+        for n in threads:
+            specs.append(
+                observe_spec(name, steps, n, machine_key, seed=seed)
+            )
+    return specs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_runcache.json",
+        help="output JSON path (default: repo-root artifact name)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=["salt", "nanocar", "al1000"]
+    )
+    parser.add_argument(
+        "--threads", default="1,2,4,8",
+        help="comma-separated thread counts",
+    )
+    parser.add_argument("--machine", default="i7-920")
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool width for the cold sweep "
+        "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="measure against this directory instead of a fresh "
+        "temporary one (the cold sweep is then only cold on first use)",
+    )
+    parser.add_argument(
+        "--verify-sample", type=int, default=2,
+        help="cached entries to re-run for the byte-identity check "
+        "(default %(default)s)",
+    )
+    args = parser.parse_args()
+
+    try:
+        threads = [int(t) for t in args.threads.split(",") if t.strip()]
+    except ValueError:
+        raise usage_error(f"bad --threads {args.threads!r}")
+    if not threads or any(t < 1 for t in threads):
+        raise usage_error(f"bad --threads {args.threads!r}")
+    if args.steps < 1:
+        raise usage_error(f"--steps must be >= 1, got {args.steps}")
+    if args.verify_sample < 0:
+        raise usage_error(
+            f"--verify-sample must be >= 0, got {args.verify_sample}"
+        )
+
+    from repro.machine import MACHINES
+    from repro.runcache import RunCache, code_version_salt, sweep
+    from repro.workloads import resolve_workload
+
+    if args.machine not in MACHINES:
+        raise usage_error(
+            f"unknown machine {args.machine!r} "
+            f"(choose from {', '.join(sorted(MACHINES))})"
+        )
+    try:
+        names = [resolve_workload(w) for w in args.workloads]
+    except KeyError as exc:
+        raise usage_error(f"unknown workload {exc.args[0]!r}")
+
+    specs = build_specs(names, threads, args.machine, args.steps, args.seed)
+
+    tmp_root = None
+    if args.cache_dir is None:
+        tmp_root = tempfile.mkdtemp(prefix="repro-runcache-bench-")
+        cache_dir = tmp_root
+    else:
+        cache_dir = args.cache_dir
+    try:
+        cache = RunCache(cache_dir)
+        t0 = time.perf_counter()
+        cold = sweep(specs, cache, jobs=args.jobs)
+        t1 = time.perf_counter()
+        warm = sweep(specs, cache, jobs=args.jobs)
+        t2 = time.perf_counter()
+
+        verify_reports = (
+            cache.verify(sample=args.verify_sample, seed=args.seed)
+            if args.verify_sample
+            else []
+        )
+        cold_seconds = t1 - t0
+        warm_seconds = max(t2 - t1, 1e-9)
+        payload = {
+            "schema": SCHEMA,
+            "machine": MACHINES[args.machine].name,
+            "steps": args.steps,
+            "seed": args.seed,
+            "workloads": names,
+            "threads": threads,
+            "jobs": cold.jobs,
+            "salt": code_version_salt(),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / warm_seconds,
+            "cold_hit_rate": cold.hit_rate,
+            "hit_rate": warm.hit_rate,
+            "runs": [
+                {
+                    "label": spec.label(),
+                    "kind": spec.kind,
+                    "cold_hit": bool(c),
+                    "warm_hit": bool(w),
+                }
+                for spec, c, w in zip(
+                    specs, cold.hit_flags, warm.hit_flags
+                )
+            ],
+            "verify": {
+                "sampled": len(verify_reports),
+                "ok": all(r.ok for r in verify_reports),
+                "entries": [
+                    {"label": r.label, "ok": r.ok, "detail": r.detail}
+                    for r in verify_reports
+                ],
+            },
+        }
+    finally:
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(
+        f"cold {cold_seconds:.2f}s ({cold.misses} misses, "
+        f"jobs {cold.jobs})  warm {warm_seconds * 1e3:.1f}ms "
+        f"({warm.hits}/{len(specs)} hits)"
+    )
+    print(
+        f"speedup {payload['speedup']:.1f}x, warm hit rate "
+        f"{payload['hit_rate'] * 100:.0f}%, verify "
+        f"{payload['verify']['sampled']} sampled "
+        f"{'ok' if payload['verify']['ok'] else 'MISMATCH'}; "
+        f"wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

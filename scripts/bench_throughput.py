@@ -88,14 +88,19 @@ def aggregate_events_per_sec(runs) -> float:
     return events / wall if wall > 0 else 0.0
 
 
-def run_sweep(workloads, threads, spec, steps, seed, repeat_scale) -> list:
-    from repro.core.simulate import capture_trace
+def run_sweep(
+    workloads, threads, spec, steps, seed, repeat_scale, cache=None
+) -> list:
+    """Timed replays always run live — only the untimed physics
+    captures go through the run cache, so cached wall-clock numbers
+    can never leak into the measurements."""
+    from repro.runcache import cached_capture
     from repro.workloads import BUILDERS
 
     runs = []
     for name in workloads:
         wl = BUILDERS[name]()
-        trace = capture_trace(wl, steps)
+        trace = cached_capture(cache, name, steps)
         repeat = max(1, int(REPEATS.get(wl.name, 4) * repeat_scale))
         for n in threads:
             runs.append(measure_run(trace, wl, spec, n, seed, repeat))
@@ -156,6 +161,16 @@ def main() -> int:
         "--label", default="current",
         help="label recorded on this measurement set",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-run the physics captures instead of using the run "
+        "cache (timed replays are never cached either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="run-cache directory (default: $REPRO_RUNCACHE_DIR or "
+        "~/.cache/repro/runcache)",
+    )
     args = parser.parse_args()
 
     try:
@@ -188,8 +203,14 @@ def main() -> int:
     except KeyError as exc:
         raise usage_error(f"unknown workload {exc.args[0]!r}")
 
+    cache = None
+    if not args.no_cache:
+        from repro.runcache import RunCache
+
+        cache = RunCache(args.cache_dir)
     runs = run_sweep(
-        workloads, threads, spec, args.steps, args.seed, args.repeat_scale
+        workloads, threads, spec, args.steps, args.seed,
+        args.repeat_scale, cache=cache,
     )
     current = aggregate_events_per_sec(runs)
 

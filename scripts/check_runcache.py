@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Validate BENCH_runcache.json and gate on cache effectiveness.
+
+Used by ``make cache-smoke``:
+
+* the file is loadable JSON with the ``repro.runcache_bench/...``
+  schema tag, a machine name, and a non-empty ``runs`` list;
+* every run entry carries ``label``/``kind``/``cold_hit``/``warm_hit``;
+* the recorded warm hit rate is consistent with the per-run flags and
+  clears ``--min-hit-rate`` (default 0.9);
+* the recorded warm-over-cold speedup is consistent with the raw
+  wall-clocks and clears ``--min-speedup`` (default 5.0) — the cache
+  must make the repeated sweep at least that much cheaper;
+* the sampled ``verify`` block re-ran at least one cached entry and
+  every re-run was byte-identical.
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
+2 with a one-line message on usage errors.
+"""
+
+import argparse
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+REQUIRED_RUN_KEYS = {"label", "kind", "cold_hit", "warm_hit"}
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"check_runcache: {msg}")
+    return SystemExit(2)
+
+
+def check_runcache(
+    path: str, min_speedup: float, min_hit_rate: float
+) -> int:
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.runcache_bench/")
+    if err is not None:
+        return fail(err)
+
+    runs = payload["runs"]
+    for i, run in enumerate(runs):
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
+        if missing:
+            return fail(f"run {i} missing keys {missing}")
+
+    for key in ("cold_seconds", "warm_seconds", "speedup", "hit_rate"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            return fail(f"missing or non-numeric {key!r}: {value!r}")
+    if payload["cold_seconds"] <= 0 or payload["warm_seconds"] <= 0:
+        return fail("wall-clocks must be positive")
+
+    derived_speedup = payload["cold_seconds"] / payload["warm_seconds"]
+    if abs(derived_speedup - payload["speedup"]) > 1e-6 * derived_speedup:
+        return fail(
+            f"recorded speedup {payload['speedup']!r} inconsistent "
+            f"with cold/warm {derived_speedup!r}"
+        )
+    derived_rate = sum(1 for r in runs if r["warm_hit"]) / len(runs)
+    if abs(derived_rate - payload["hit_rate"]) > 1e-9:
+        return fail(
+            f"recorded hit_rate {payload['hit_rate']!r} inconsistent "
+            f"with per-run flags ({derived_rate!r})"
+        )
+
+    if not payload.get("salt"):
+        return fail("missing 'salt' (the code-version digest)")
+
+    verify = payload.get("verify")
+    if not isinstance(verify, dict):
+        return fail("missing 'verify' block")
+    if verify.get("sampled", 0) < 1:
+        return fail("verify sampled no cached entries")
+    if not verify.get("ok"):
+        return fail(
+            f"verify found non-byte-identical re-runs: "
+            f"{verify.get('entries')}"
+        )
+
+    if payload["hit_rate"] < min_hit_rate:
+        return fail(
+            f"warm hit rate {payload['hit_rate']:.2f} below the "
+            f"{min_hit_rate:.2f} gate"
+        )
+    if min_speedup > 0 and payload["speedup"] < min_speedup:
+        return fail(
+            f"warm-over-cold speedup {payload['speedup']:.1f}x below "
+            f"the {min_speedup:.1f}x gate "
+            f"(cold {payload['cold_seconds']:.2f}s, "
+            f"warm {payload['warm_seconds'] * 1e3:.1f}ms)"
+        )
+    print(
+        f"OK: {path} — {payload['speedup']:.1f}x warm-over-cold, "
+        f"hit rate {payload['hit_rate'] * 100:.0f}%, "
+        f"verify {verify['sampled']} sampled byte-identical "
+        f"({len(runs)} specs)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="BENCH_runcache.json to validate")
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="required warm-over-cold sweep speedup "
+        "(0 disables the gate; default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-hit-rate", type=float, default=0.9,
+        help="required warm hit rate (default %(default)s)",
+    )
+    args = parser.parse_args()
+    if args.min_speedup < 0:
+        raise usage_error(
+            f"--min-speedup must be >= 0, got {args.min_speedup}"
+        )
+    if not 0 <= args.min_hit_rate <= 1:
+        raise usage_error(
+            f"--min-hit-rate must be in [0, 1], got {args.min_hit_rate}"
+        )
+    return check_runcache(args.path, args.min_speedup, args.min_hit_rate)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

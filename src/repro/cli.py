@@ -20,6 +20,9 @@ attribute  speedup-loss decomposition (work inflation, idle,
            export
 chaos      fault-injection sweep: arm fault plans, assert the
            self-healing runtime completes every run
+cache      content-addressed run cache: stats | clear | verify |
+           salt (trace/attribute/chaos cache by default; opt out
+           with --no-cache)
 ========== =====================================================
 
 Usage errors (unknown workload, bad thread count, unreadable fault
@@ -45,21 +48,14 @@ from repro.machine.background import inject_mobile_load
 from repro.machine.topology import Topology
 from repro.md.io import XyzTrajectoryWriter
 from repro.obs import (
-    MetricsRegistry,
-    Tracer,
     attribute,
     attribution_csv,
-    collect_executor_metrics,
-    collect_machine_metrics,
-    collect_span_metrics,
     compare_tools,
     render_attribution,
     result_to_dict,
-    write_chrome_trace,
     write_folded_stacks,
-    write_metrics,
 )
-from repro.perftools import GroundTruthTimeline, VTune, topology_report
+from repro.perftools import VTune, topology_report
 from repro.workloads import BUILDERS, resolve_workload
 
 
@@ -103,6 +99,20 @@ def _ensure_outdir(path: str) -> str:
     """Create an output directory (and parents) if missing."""
     os.makedirs(path, exist_ok=True)
     return path
+
+
+def _run_cache(args):
+    """The content-addressed run cache, or None under ``--no-cache``.
+
+    The cache changes wall-clock only — every cached artifact is
+    byte-identical to a fresh run (see ``repro cache verify``) — so
+    caching is on by default for the deterministic commands.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.runcache import RunCache
+
+    return RunCache(getattr(args, "cache_dir", None))
 
 
 def cmd_table1(args) -> None:
@@ -296,67 +306,35 @@ def cmd_run(args) -> None:
 
 
 def cmd_trace(args) -> None:
-    """Run a workload under ground-truth tracing; write trace + metrics."""
-    spec = _machine_spec(args.machine)
-    wl = BUILDERS[args.workload]()
-    trace = capture_trace(wl, args.steps)
-    machine = SimMachine(spec, seed=args.seed)
-    tracer = Tracer().attach(machine.sim)
-    run = SimulatedParallelRun(
-        trace, wl.system.n_atoms, machine, args.threads, name="wl"
+    """Run a workload under ground-truth tracing; write trace + metrics.
+
+    Both the cached and the fresh path produce the same artifact bundle
+    (file bytes + summary) through ``repro.runcache.sweep``, so the
+    files and the stdout summary are byte-identical either way.
+    """
+    from repro.runcache import execute_spec, run_and_store, trace_spec
+
+    _machine_spec(args.machine)  # validate before digesting
+    spec = trace_spec(
+        args.workload, args.steps, args.threads, args.machine, args.seed
     )
-    result = run.run()
-    tracer.detach()
-    spans = tracer.task_spans()
-    truth = GroundTruthTimeline(machine.scheduler.trace.events)
+    cache = _run_cache(args)
+    if cache is None:
+        artifact = execute_spec(spec)
+    else:
+        artifact, _hit = run_and_store(cache, spec)
 
     _ensure_outdir(args.out)
-    trace_path = os.path.join(args.out, "trace.json")
-    n_events = write_chrome_trace(trace_path, spans, timeline=truth)
-    registry = MetricsRegistry()
-    collect_machine_metrics(machine, registry)
-    collect_executor_metrics(run.pool, registry)
-    collect_span_metrics(spans, registry)
-    json_path = os.path.join(args.out, "metrics.json")
-    csv_path = os.path.join(args.out, "metrics.csv")
-    write_metrics(json_path, csv_path, registry)
-
-    complete = [s for s in spans if s.complete]
+    paths = {}
+    for fname, data in artifact["files"].items():
+        paths[fname] = os.path.join(args.out, fname)
+        with open(paths[fname], "wb") as fh:
+            fh.write(data)
+    print(artifact["summary"])
     print(
-        f"traced {args.workload}: {result.steps} steps x "
-        f"{args.threads} threads on simulated {spec.name}"
-    )
-    print(
-        f"simulated runtime {result.sim_seconds * 1e3:.3f} ms, "
-        f"{len(tracer.events)} bus events, {len(spans)} task spans "
-        f"({len(complete)} complete)"
-    )
-    by_label = {}
-    for s in complete:
-        label = s.label or "task"
-        agg = by_label.setdefault(label, [0, 0.0, 0.0])
-        agg[0] += 1
-        agg[1] += s.exec_time
-        agg[2] += s.queue_wait
-    for label in sorted(by_label):
-        n, exec_t, wait_t = by_label[label]
-        print(
-            f"  {label:<12} {n:>4} tasks  exec {exec_t * 1e3:8.3f} ms  "
-            f"mean queue wait {wait_t / n * 1e6:8.1f} us"
-        )
-    for llc in machine.llc_states:
-        total = llc.bytes_hit + llc.bytes_missed
-        ratio = llc.bytes_hit / total if total else 0.0
-        print(
-            f"  LLC {llc.llc_id}: hit ratio {ratio * 100:.1f}% "
-            f"({llc.bytes_hit / 2**20:.1f} MB hit, "
-            f"{llc.bytes_missed / 2**20:.1f} MB missed)"
-        )
-    migrations = sum(result.migrations.values())
-    print(f"  thread migrations: {migrations}")
-    print(
-        f"wrote {trace_path} ({n_events} trace events), "
-        f"{json_path}, {csv_path}"
+        f"wrote {paths['trace.json']} "
+        f"({artifact['n_trace_events']} trace events), "
+        f"{paths['metrics.json']}, {paths['metrics.csv']}"
     )
     print(
         "open the trace in Perfetto (https://ui.perfetto.dev) or "
@@ -386,13 +364,27 @@ def cmd_compare(args) -> None:
 def cmd_attribute(args) -> None:
     """Decompose the speedup loss of one workload × thread count."""
     spec = _machine_spec(args.machine)
-    res = attribute(
-        _workload_name(args.workload),
-        args.threads,
-        spec=spec,
-        steps=args.steps,
-        seed=args.seed,
-    )
+    cache = _run_cache(args)
+    if cache is None:
+        res = attribute(
+            _workload_name(args.workload),
+            args.threads,
+            spec=spec,
+            steps=args.steps,
+            seed=args.seed,
+        )
+    else:
+        from repro.runcache import attribute_cached
+
+        res = attribute_cached(
+            _workload_name(args.workload),
+            args.threads,
+            spec=args.machine,
+            steps=args.steps,
+            seed=args.seed,
+            cache=cache,
+            jobs=args.jobs,
+        )
     print(render_attribution(res))
     if args.out:
         _ensure_outdir(args.out)
@@ -444,6 +436,8 @@ def cmd_chaos(args) -> None:
         spec=spec,
         steps=args.steps,
         seed=args.seed,
+        cache=_run_cache(args),
+        jobs=args.jobs,
     )
     print(render_chaos(payload))
     if args.out:
@@ -455,6 +449,66 @@ def cmd_chaos(args) -> None:
         print(f"wrote {path}")
     if not payload["all_ok"]:
         raise SystemExit(1)
+
+
+def cmd_cache(args) -> None:
+    """Inspect/manage the content-addressed run cache."""
+    from repro.runcache import RunCache, code_version_salt
+
+    if args.cache_cmd is None:
+        _die("cache: choose one of stats | clear | verify | salt")
+    if args.cache_cmd == "salt":
+        # bare digest on stdout — CI uses it as the actions/cache key
+        print(code_version_salt())
+        return
+    cache = RunCache(args.cache_dir)
+    if args.cache_cmd == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=1, sort_keys=True))
+        else:
+            print(stats.render())
+    elif args.cache_cmd == "clear":
+        n = cache.clear()
+        print(f"cleared {n} entries from {cache.root}")
+    elif args.cache_cmd == "verify":
+        reports = cache.verify(sample=args.sample, seed=args.seed)
+        if not reports:
+            print(f"nothing to verify: {cache.root} is empty")
+            return
+        failed = 0
+        for rep in reports:
+            status = "ok  " if rep.ok else "FAIL"
+            print(f"{status} {rep.digest[:16]}  {rep.label}  {rep.detail}")
+            failed += 0 if rep.ok else 1
+        print(
+            f"verified {len(reports)} cached entr"
+            f"{'y' if len(reports) == 1 else 'ies'}: "
+            f"{len(reports) - failed} byte-identical, {failed} mismatched"
+        )
+        if failed:
+            raise SystemExit(1)
+
+
+def _add_cache_flags(p, jobs: bool = True) -> None:
+    """``--no-cache`` / ``--cache-dir`` (and ``--jobs``) for the
+    deterministic commands that run through the content-addressed
+    cache by default."""
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the run cache and re-simulate from scratch",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="run-cache directory (default: $REPRO_RUNCACHE_DIR or "
+        "~/.cache/repro/runcache)",
+    )
+    if jobs:
+        p.add_argument(
+            "--jobs", type=_positive_int, default=None,
+            help="process-pool width for cache misses "
+            "(default: os.cpu_count())",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -519,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="trace_out",
         help="output directory for trace.json / metrics.{json,csv}",
     )
+    _add_cache_flags(p, jobs=False)
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
@@ -559,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flamegraph.folded / attribution.{csv,json} here "
         "(directory created if missing)",
     )
+    _add_cache_flags(p)
     p.set_defaults(fn=cmd_attribute)
 
     p = sub.add_parser(
@@ -584,7 +640,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.chaos/1 payload as chaos.json here "
         "(directory created if missing)",
     )
+    _add_cache_flags(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect/manage the content-addressed run cache",
+    )
+    csub = p.add_subparsers(dest="cache_cmd")
+    for name, chelp in (
+        ("stats", "entry counts, size, hit rate, code salt"),
+        ("clear", "delete every cached entry"),
+        ("verify", "re-run sampled entries, assert byte-identity"),
+        ("salt", "print the code-version salt (CI cache key)"),
+    ):
+        cp = csub.add_parser(name, help=chelp)
+        if name != "salt":
+            cp.add_argument(
+                "--cache-dir", default=None,
+                help="run-cache directory (default: $REPRO_RUNCACHE_DIR "
+                "or ~/.cache/repro/runcache)",
+            )
+        if name == "stats":
+            cp.add_argument(
+                "--json", action="store_true",
+                help="machine-readable stats on stdout",
+            )
+        if name == "verify":
+            cp.add_argument(
+                "--sample", type=_positive_int, default=1,
+                help="number of cached entries to re-run (default 1)",
+            )
+            cp.add_argument("--seed", type=int, default=0)
+        cp.set_defaults(fn=cmd_cache, cache_cmd=name)
+    p.set_defaults(fn=cmd_cache, cache_cmd=None)
 
     p = sub.add_parser("run", help="run a workload's physics")
     p.add_argument("workload", choices=sorted(BUILDERS))

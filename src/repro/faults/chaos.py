@@ -280,18 +280,28 @@ def chaos_sweep(
     spec: Union[str, MachineSpec] = CORE_I7_920,
     steps: int = 3,
     seed: int = 0,
+    cache=None,
+    jobs: Optional[int] = None,
 ) -> dict:
     """Sweep fault plans across workloads; the ``repro.chaos/1`` payload.
 
     With ``plans=None`` the default plan battery is generated per
     workload from its measured fault-free duration (plus a fault-free
-    control case).
+    control case).  With a :class:`repro.runcache.RunCache`, the
+    fault-free references and every case run through the content-
+    addressed store (misses fanned out over ``jobs`` workers) — the
+    payload is value-identical to the uncached sweep's.
     """
     if isinstance(spec, str):
         from repro.machine import MACHINES
 
         spec = MACHINES[spec]
     names = [resolve_workload(w) for w in workloads]
+    if cache is not None:
+        return _chaos_sweep_cached(
+            names, n_threads, plans=plans, spec=spec, steps=steps,
+            seed=seed, cache=cache, jobs=jobs,
+        )
     runs: List[dict] = []
     for wname in names:
         wl = BUILDERS[wname]()
@@ -317,6 +327,10 @@ def chaos_sweep(
             )
             case["plan"] = pname
             runs.append(case)
+    return _chaos_payload(spec, steps, seed, n_threads, names, runs)
+
+
+def _chaos_payload(spec, steps, seed, n_threads, names, runs) -> dict:
     return {
         "schema": CHAOS_SCHEMA,
         "machine": spec.name,
@@ -332,6 +346,72 @@ def chaos_sweep(
         "all_ok": all(r["ok"] for r in runs),
         "runs": runs,
     }
+
+
+def _chaos_sweep_cached(
+    names: Sequence[str],
+    n_threads: int,
+    *,
+    plans: Optional[Dict[str, FaultPlan]],
+    spec: MachineSpec,
+    steps: int,
+    seed: int,
+    cache,
+    jobs: Optional[int],
+) -> dict:
+    """Cache-backed sweep body: two staged spec sweeps (fault-free
+    references first — the default battery's timings derive from them —
+    then every case), value-identical to the serial path."""
+    from repro.runcache.key import RunSpec
+    from repro.runcache.sweep import machine_key
+    from repro.runcache.sweep import sweep as run_sweep
+
+    mkey = machine_key(spec)
+
+    def _spec(kind, wname, fault_plan=None):
+        return RunSpec(
+            kind=kind,
+            workload=wname,
+            steps=steps,
+            seed=seed,
+            threads=n_threads,
+            machine=mkey,
+            fault_plan=fault_plan,
+            options={"gc_model": "chaos"},
+        )
+
+    ref_specs = {name: _spec("chaos_ref", name) for name in names}
+    ref_result = run_sweep(list(ref_specs.values()), cache, jobs=jobs)
+
+    order: List[tuple] = []  # (workload, plan-name, spec)
+    for name in names:
+        t0 = ref_result.artifact_for(ref_specs[name])["sim_seconds"]
+        battery = (
+            plans
+            if plans is not None
+            else default_plans(t0, n_threads, spec.n_pus)
+        )
+        cases: Dict[str, Optional[FaultPlan]] = {"none": None}
+        cases.update(battery)
+        for pname, plan in cases.items():
+            order.append((
+                name,
+                pname,
+                _spec(
+                    "chaos_case", name,
+                    plan.to_dict() if plan is not None else None,
+                ),
+            ))
+    case_result = run_sweep([s for _, _, s in order], cache, jobs=jobs)
+
+    runs: List[dict] = []
+    for (name, pname, _cspec), case in zip(
+        order, case_result.artifacts
+    ):
+        case = dict(case)  # cached artifacts may be shared; never mutate
+        case["plan"] = pname
+        runs.append(case)
+    return _chaos_payload(spec, steps, seed, n_threads, list(names), runs)
 
 
 def render_chaos(payload: dict) -> str:

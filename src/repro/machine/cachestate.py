@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True, slots=True)
 class Region:
@@ -140,8 +142,6 @@ class LlcState:
         """Vectorized touch of distinct regions, or None when the batch
         needs the stateful scalar path (duplicates, zero-size regions,
         or a projected overflow that would evict mid-batch)."""
-        import numpy as np
-
         resident = self._resident
         names = []
         sizes = np.empty(len(traffics))

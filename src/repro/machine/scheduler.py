@@ -31,6 +31,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.des import FifoStore, Timeout
 
 
@@ -80,8 +82,6 @@ class SchedulerTrace:
 
     def residency_matrix(self, threads: List[str], n_pus: int):
         """Rows = threads, cols = PUs, values = seconds executed there."""
-        import numpy as np
-
         mat = np.zeros((len(threads), n_pus))
         for i, t in enumerate(threads):
             for pu, sec in self.residency[t].items():

@@ -21,7 +21,8 @@ is heavy — the compute-bound profile.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +34,10 @@ from repro.md.units import COULOMB_K
 
 #: flops per charged pair (distance, sqrt, 1/r, 1/r^3, force vector)
 FLOPS_PER_PAIR = 30.0
+#: distinct charged-atom counts whose pair enumerations stay cached —
+#: bounded LRU so alternating geometries (sweeps over several systems
+#: sharing one force object) neither thrash nor grow without limit
+RING_CACHE_SIZE = 4
 #: unique streamed bytes per charged atom per evaluation: the linear
 #: sweep re-reads the same packed position/charge arrays, so traffic is
 #: one pass over the charged set (positions + charges + force row), not
@@ -80,7 +85,9 @@ class CoulombForce(Force):
             raise ValueError(f"min_distance must be positive: {min_distance}")
         self.min_distance = min_distance
         self.owner_range = owner_range
-        self._ring_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._ring_cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
 
     def restrict(self, lo: int, hi: int) -> "CoulombForce":
         """A copy computing only pairs whose owner atom is in [lo, hi)."""
@@ -89,10 +96,14 @@ class CoulombForce(Force):
         return other
 
     def _pairs(self, m: int) -> Tuple[np.ndarray, np.ndarray]:
-        if m not in self._ring_cache:
-            self._ring_cache.clear()  # hold at most one geometry
-            self._ring_cache[m] = half_shell_pairs(m)
-        return self._ring_cache[m]
+        cache = self._ring_cache
+        if m in cache:
+            cache.move_to_end(m)
+        else:
+            cache[m] = half_shell_pairs(m)
+            while len(cache) > RING_CACHE_SIZE:
+                cache.popitem(last=False)
+        return cache[m]
 
     def compute(
         self,

@@ -1,0 +1,421 @@
+"""The on-disk content-addressed run cache.
+
+Layout (under ``RunCache.root``, default ``~/.cache/repro/runcache`` or
+``$REPRO_RUNCACHE_DIR``)::
+
+    objects/<aa>/<digest>.pkl    pickled artifact (the content)
+    objects/<aa>/<digest>.json   meta: spec, label, sizes, created
+    stats.json                   cumulative hit/miss counters
+
+Guarantees:
+
+* **atomic writes** — artifacts land via ``os.replace`` of a same-dir
+  temp file, so readers never observe a partial entry and concurrent
+  writers of the same digest are last-writer-wins with identical bytes
+  (the digest pins the content);
+* **corruption recovery** — an unreadable/truncated entry is treated as
+  a miss and deleted, never raised to the caller;
+* **LRU size cap** — ``max_bytes`` (default 512 MiB, or
+  ``$REPRO_RUNCACHE_MAX_BYTES``) is enforced after every put by
+  evicting least-recently-*used* entries (hits refresh an entry's
+  stamp);
+* **verify** — a sampled entry is re-executed from its stored spec and
+  the fresh pickle is byte-compared against the cached one, which the
+  DES's deterministic-replay guarantee makes an exact check.
+
+Wall-clock numbers are never cached: artifacts are simulated-time
+results, and the benchmark scripts time only cache *misses*.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runcache.key import RunSpec, code_version_salt, spec_digest
+
+#: pinned so one store never mixes pickle encodings across interpreters
+PICKLE_PROTOCOL = 4
+
+DEFAULT_MAX_BYTES = 512 * 2**20
+
+_ENV_DIR = "REPRO_RUNCACHE_DIR"
+_ENV_MAX = "REPRO_RUNCACHE_MAX_BYTES"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_RUNCACHE_DIR`` or ``~/.cache/repro/runcache``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "runcache"
+
+
+def dumps_artifact(artifact: Any) -> bytes:
+    """Canonical byte encoding of an artifact (the verify currency)."""
+    buf = io.BytesIO()
+    pickle.Pickler(buf, protocol=PICKLE_PROTOCOL).dump(artifact)
+    return buf.getvalue()
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of re-running one cached entry."""
+
+    digest: str
+    label: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Snapshot of a store's state (the ``repro cache stats`` payload)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    max_bytes: int
+    hits: int
+    misses: int
+    salt: str
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "salt": self.salt,
+            "by_kind": dict(self.by_kind),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"run cache at {self.root}",
+            f"  entries     {self.entries} "
+            f"({self.total_bytes / 2**20:.2f} MiB of "
+            f"{self.max_bytes / 2**20:.0f} MiB cap)",
+            f"  lookups     {self.hits} hits / {self.misses} misses "
+            f"(hit rate {self.hit_rate * 100:.1f}%)",
+            f"  code salt   {self.salt[:16]}…",
+        ]
+        for kind in sorted(self.by_kind):
+            lines.append(f"    {kind:<11} {self.by_kind[kind]} entries")
+        return "\n".join(lines)
+
+
+class RunCache:
+    """Content-addressed store of deterministic run artifacts."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            env = os.environ.get(_ENV_MAX)
+            max_bytes = int(env) if env else DEFAULT_MAX_BYTES
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1: {max_bytes}")
+        self.max_bytes = max_bytes
+        self._salt = code_version_salt()
+        #: lookups made through *this* handle (session counters; the
+        #: cumulative ones live in stats.json)
+        self.session_hits = 0
+        self.session_misses = 0
+
+    # -- paths -----------------------------------------------------------
+
+    def _objects(self) -> Path:
+        return self.root / "objects"
+
+    def _paths(self, digest: str) -> tuple:
+        shard = self._objects() / digest[:2]
+        return shard / f"{digest}.pkl", shard / f"{digest}.json"
+
+    def digest(self, spec: RunSpec) -> str:
+        return spec_digest(spec, self._salt)
+
+    # -- lookups ---------------------------------------------------------
+
+    def _read(self, spec: RunSpec) -> Optional[bytes]:
+        """Uncounted lookup: artifact bytes or None.
+
+        A corrupted or half-written entry (short file, bad meta) is
+        deleted and reported as a miss; a sound entry gets its LRU
+        stamp refreshed.
+        """
+        digest = self.digest(spec)
+        pkl, meta = self._paths(digest)
+        try:
+            data = pkl.read_bytes()
+            expected = json.loads(meta.read_text()).get("artifact_bytes")
+        except (OSError, ValueError):
+            self._drop(digest)
+            return None
+        if expected is not None and expected != len(data):
+            self._drop(digest)
+            return None
+        now = time.time()
+        try:
+            os.utime(pkl, (now, now))  # LRU stamp
+        except OSError:
+            pass
+        return data
+
+    def get_bytes(self, spec: RunSpec) -> Optional[bytes]:
+        """Raw artifact bytes for a spec, or None on miss."""
+        data = self._read(spec)
+        self._count(hit=data is not None)
+        return data
+
+    def get(self, spec: RunSpec) -> Optional[Any]:
+        """Unpickled artifact for a spec, or None on miss/corruption."""
+        data = self._read(spec)
+        artifact = None
+        if data is not None:
+            try:
+                artifact = pickle.loads(data)
+            except Exception:
+                self._drop(self.digest(spec))
+        self._count(hit=artifact is not None)
+        return artifact
+
+    def contains(self, spec: RunSpec) -> bool:
+        pkl, _meta = self._paths(self.digest(spec))
+        return pkl.exists()
+
+    # -- writes ----------------------------------------------------------
+
+    def put_bytes(self, spec: RunSpec, data: bytes) -> str:
+        """Store pre-pickled artifact bytes; returns the digest."""
+        digest = self.digest(spec)
+        pkl, meta = self._paths(digest)
+        pkl.parent.mkdir(parents=True, exist_ok=True)
+        meta_doc = {
+            "digest": digest,
+            "label": spec.label(),
+            "spec": spec.canonical(),
+            "artifact_bytes": len(data),
+            "salt": self._salt,
+            "created": time.time(),
+        }
+        self._atomic_write(pkl, data)
+        self._atomic_write(
+            meta, (json.dumps(meta_doc, indent=1) + "\n").encode()
+        )
+        self._enforce_cap()
+        return digest
+
+    def put(self, spec: RunSpec, artifact: Any) -> str:
+        return self.put_bytes(spec, dumps_artifact(artifact))
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _drop(self, digest: str) -> None:
+        for path in self._paths(digest):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self) -> List[dict]:
+        """All live entries: digest, size, LRU stamp, kind."""
+        out = []
+        objects = self._objects()
+        if not objects.is_dir():
+            return out
+        for pkl in objects.glob("*/*.pkl"):
+            try:
+                st = pkl.stat()
+            except OSError:
+                continue
+            kind = ""
+            try:
+                kind = json.loads(
+                    pkl.with_suffix(".json").read_text()
+                )["spec"]["kind"]
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+            out.append(
+                {
+                    "digest": pkl.stem,
+                    "bytes": st.st_size,
+                    "used": st.st_mtime,
+                    "kind": kind,
+                }
+            )
+        return out
+
+    def _enforce_cap(self) -> int:
+        """Evict least-recently-used entries above the size cap."""
+        entries = self._entries()
+        total = sum(e["bytes"] for e in entries)
+        evicted = 0
+        for entry in sorted(entries, key=lambda e: e["used"]):
+            if total <= self.max_bytes:
+                break
+            self._drop(entry["digest"])
+            total -= entry["bytes"]
+            evicted += 1
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry (and the counters); returns entries removed."""
+        entries = self._entries()
+        for entry in entries:
+            self._drop(entry["digest"])
+        for leftover in (self.root / "stats.json",):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        # remove now-empty shard dirs, best effort
+        objects = self._objects()
+        if objects.is_dir():
+            for shard in objects.iterdir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return len(entries)
+
+    # -- counters --------------------------------------------------------
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.session_hits += 1
+        else:
+            self.session_misses += 1
+        # cumulative counters: best-effort read-modify-replace (lost
+        # updates under contention are acceptable for a diagnostic)
+        path = self.root / "stats.json"
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            doc = {}
+        doc["hits"] = int(doc.get("hits", 0)) + (1 if hit else 0)
+        doc["misses"] = int(doc.get("misses", 0)) + (0 if hit else 1)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(
+                path, (json.dumps(doc) + "\n").encode()
+            )
+        except OSError:
+            pass
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        by_kind: Dict[str, int] = {}
+        for e in entries:
+            by_kind[e["kind"] or "?"] = by_kind.get(e["kind"] or "?", 0) + 1
+        try:
+            doc = json.loads((self.root / "stats.json").read_text())
+        except (OSError, ValueError):
+            doc = {}
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=sum(e["bytes"] for e in entries),
+            max_bytes=self.max_bytes,
+            hits=int(doc.get("hits", 0)),
+            misses=int(doc.get("misses", 0)),
+            salt=self._salt,
+            by_kind=by_kind,
+        )
+
+    # -- verification ----------------------------------------------------
+
+    def verify(
+        self, sample: int = 1, seed: int = 0
+    ) -> List[VerifyReport]:
+        """Re-run up to ``sample`` cached entries and byte-compare.
+
+        Entries are chosen deterministically from ``seed`` over the
+        sorted digest list.  Each report says whether the fresh
+        artifact's pickle bytes equal the cached ones; a mismatch is a
+        determinism (or corruption) bug, never an expected state.
+        """
+        import random
+
+        from repro.runcache.sweep import execute_spec
+
+        entries = sorted(self._entries(), key=lambda e: e["digest"])
+        if not entries:
+            return []
+        rng = random.Random(seed)
+        chosen = rng.sample(entries, min(sample, len(entries)))
+        reports: List[VerifyReport] = []
+        for entry in chosen:
+            pkl, meta = self._paths(entry["digest"])
+            try:
+                cached = pkl.read_bytes()
+                spec_doc = json.loads(meta.read_text())["spec"]
+                spec = RunSpec(
+                    kind=spec_doc["kind"],
+                    workload=spec_doc["workload"],
+                    steps=spec_doc["steps"],
+                    seed=spec_doc["seed"],
+                    threads=spec_doc["threads"],
+                    machine=spec_doc["machine"],
+                    params=spec_doc["params"],
+                    fault_plan=spec_doc["fault_plan"],
+                    affinities=spec_doc["affinities"],
+                    master_affinity=spec_doc["master_affinity"],
+                    options=spec_doc["options"],
+                )
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                reports.append(
+                    VerifyReport(
+                        entry["digest"], "?", False,
+                        f"unreadable entry: {exc}",
+                    )
+                )
+                continue
+            fresh = dumps_artifact(execute_spec(spec, cache=self))
+            ok = fresh == cached
+            reports.append(
+                VerifyReport(
+                    entry["digest"],
+                    spec.label(),
+                    ok,
+                    "byte-identical" if ok else (
+                        f"MISMATCH: fresh {len(fresh)} bytes vs "
+                        f"cached {len(cached)}"
+                    ),
+                )
+            )
+        return reports

@@ -1,0 +1,18 @@
+"""Suite-wide fixtures.
+
+The run cache defaults to ``~/.cache/repro/runcache``; tests must never
+read or pollute a developer's real store, so the whole session runs
+against a throwaway directory.  Cache behaviour itself is exercised in
+``tests/runcache/``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runcache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("runcache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_RUNCACHE_DIR", str(root))
+    yield
+    mp.undo()

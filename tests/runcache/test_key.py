@@ -1,0 +1,144 @@
+"""Cache-key canonicalization: equal configs digest equal, observable
+changes digest different, and the code salt invalidates everything."""
+
+import dataclasses
+
+import pytest
+
+from repro.concurrent import QueueMode
+from repro.core.costmodel import DEFAULT_COST_PARAMS
+from repro.faults import FaultPlan, WorkerCrash
+from repro.runcache import RunSpec, code_version_salt, spec_digest
+from repro.runcache.key import OPTION_DEFAULTS, params_to_spec
+
+
+def obs(**overrides) -> RunSpec:
+    base = dict(
+        kind="observe", workload="salt", steps=3,
+        seed=0, threads=2, machine="i7-920",
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+# ------------------------------------------------ same config, same key
+
+
+def test_dict_ordering_never_matters():
+    a = obs(options={"partition": "block", "repeat": 2})
+    b = obs(options={"repeat": 2, "partition": "block"})
+    assert a.encode() == b.encode()
+    assert spec_digest(a) == spec_digest(b)
+
+
+def test_default_params_and_none_digest_identically():
+    explicit = obs(params=params_to_spec(DEFAULT_COST_PARAMS))
+    assert spec_digest(obs()) == spec_digest(explicit)
+
+
+def test_omitted_options_fill_from_defaults():
+    explicit = obs(options=dict(OPTION_DEFAULTS))
+    assert spec_digest(obs()) == spec_digest(explicit)
+    # a single explicitly-passed default is also a no-op
+    assert spec_digest(obs(options={"repeat": 1})) == spec_digest(obs())
+
+
+def test_queue_mode_enum_and_string_digest_identically():
+    a = obs(options={"queue_mode": QueueMode.PER_THREAD})
+    b = obs(options={"queue_mode": "per-thread"})
+    assert spec_digest(a) == spec_digest(b)
+
+
+def test_capture_normalizes_replay_fields():
+    a = RunSpec(kind="capture", workload="salt", steps=3)
+    b = RunSpec(
+        kind="capture", workload="salt", steps=3,
+        seed=9, threads=8, machine="x7560x4",
+    )
+    assert spec_digest(a) == spec_digest(b)
+
+
+def test_fault_plan_round_trip_is_stable():
+    plan = FaultPlan(
+        name="crash", faults=(WorkerCrash(at=0.1, worker=1),)
+    )
+    a = obs(fault_plan=plan.to_dict())
+    b = obs(fault_plan=FaultPlan.from_dict(plan.to_dict()).to_dict())
+    assert spec_digest(a) == spec_digest(b)
+
+
+# ------------------------------------------- any change, different key
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"workload": "nanocar"},
+        {"steps": 4},
+        {"seed": 1},
+        {"threads": 4},
+        {"machine": "e5450x2"},
+        {"kind": "trace"},
+        {"affinities": [[0], [1]]},
+        {"master_affinity": [0]},
+        {"options": {"repeat": 2}},
+        {"options": {"partition": "interleave"}},
+        {"options": {"queue_mode": "per-thread"}},
+        {"options": {"gc_model": "chaos"}},
+        {
+            "fault_plan": FaultPlan(
+                name="crash", faults=(WorkerCrash(at=0.1, worker=0),)
+            ).to_dict()
+        },
+    ],
+)
+def test_any_field_change_changes_the_digest(change):
+    assert spec_digest(obs(**change)) != spec_digest(obs())
+
+
+def test_params_field_change_changes_the_digest():
+    tweaked = dataclasses.replace(
+        DEFAULT_COST_PARAMS,
+        cycles_per_flop=DEFAULT_COST_PARAMS.cycles_per_flop * 2,
+    )
+    assert spec_digest(obs(params=params_to_spec(tweaked))) != (
+        spec_digest(obs())
+    )
+
+
+def test_salt_is_part_of_the_digest():
+    spec = obs()
+    assert spec_digest(spec, salt="a") != spec_digest(spec, salt="b")
+
+
+def test_code_version_salt_is_a_stable_sha256():
+    salt = code_version_salt()
+    assert salt == code_version_salt()  # per-process cache
+    assert len(salt) == 64
+    int(salt, 16)  # hex
+
+
+# --------------------------------------------------------- validation
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown spec kind"):
+        RunSpec(kind="nope", workload="salt", steps=1)
+
+
+def test_bad_steps_and_threads_rejected():
+    with pytest.raises(ValueError, match="steps"):
+        RunSpec(kind="capture", workload="salt", steps=0)
+    with pytest.raises(ValueError, match="threads"):
+        obs(threads=0)
+
+
+def test_unknown_params_field_rejected_at_encode():
+    with pytest.raises(ValueError, match="unknown CostParams field"):
+        obs(params={"warp_drive": 9}).encode()
+
+
+def test_label_is_human_readable():
+    assert obs().label() == "observe:salt:s3:x2:i7-920"
+    cap = RunSpec(kind="capture", workload="salt", steps=3)
+    assert cap.label() == "capture:salt:s3"

@@ -1,0 +1,191 @@
+"""RunCache store behaviour: atomicity, corruption recovery, LRU cap,
+counters, and the sampled byte-identity verify."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.runcache import RunCache, RunSpec, dumps_artifact
+
+
+def spec(n: int = 0) -> RunSpec:
+    return RunSpec(kind="capture", workload="salt", steps=n + 1)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> RunCache:
+    return RunCache(tmp_path / "store")
+
+
+def test_round_trip(cache):
+    artifact = {"x": [1, 2, 3], "y": "payload"}
+    digest = cache.put(spec(), artifact)
+    assert cache.contains(spec())
+    assert cache.get(spec()) == artifact
+    assert cache.get_bytes(spec()) == dumps_artifact(artifact)
+    assert len(digest) == 64
+
+
+def test_miss_is_none_and_counted(cache):
+    assert cache.get(spec()) is None
+    assert (cache.session_hits, cache.session_misses) == (0, 1)
+    cache.put(spec(), 1)
+    assert cache.get(spec()) == 1
+    assert (cache.session_hits, cache.session_misses) == (1, 1)
+    # persistent counters survive a new handle
+    fresh = RunCache(cache.root)
+    assert fresh.stats().hits == 1
+    assert fresh.stats().misses == 1
+
+
+# ------------------------------------------------ corruption recovery
+
+
+def test_truncated_pickle_is_dropped_and_missed(cache):
+    cache.put(spec(), {"big": list(range(1000))})
+    pkl, _meta = cache._paths(cache.digest(spec()))
+    pkl.write_bytes(pkl.read_bytes()[:10])  # torn write
+    assert cache.get(spec()) is None
+    assert not pkl.exists()  # entry dropped, not left to fail again
+
+
+def test_garbage_pickle_bytes_are_dropped(cache):
+    cache.put(spec(), 42)
+    pkl, meta = cache._paths(cache.digest(spec()))
+    garbage = b"\x80\x04not a pickle at all"
+    pkl.write_bytes(garbage)
+    doc = json.loads(meta.read_text())
+    doc["artifact_bytes"] = len(garbage)  # size check passes
+    meta.write_text(json.dumps(doc))
+    assert cache.get(spec()) is None
+    assert not pkl.exists()
+
+
+def test_missing_meta_is_treated_as_corruption(cache):
+    cache.put(spec(), 42)
+    _pkl, meta = cache._paths(cache.digest(spec()))
+    os.unlink(meta)
+    assert cache.get(spec()) is None
+    # and the store recovers on the next put
+    cache.put(spec(), 43)
+    assert cache.get(spec()) == 43
+
+
+def test_no_temp_files_left_behind(cache):
+    for i in range(5):
+        cache.put(spec(i), list(range(100)))
+    leftovers = [
+        p for p in cache.root.rglob("*") if p.name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+def test_concurrent_writers_converge(tmp_path):
+    """Many handles racing identical puts: atomic replace means the
+    entry is always whole and readable afterwards."""
+    root = tmp_path / "shared"
+    artifact = {"rows": list(range(500))}
+    errors = []
+
+    def writer():
+        try:
+            handle = RunCache(root)
+            for _ in range(10):
+                handle.put(spec(), artifact)
+                got = handle.get(spec())
+                if got is not None and got != artifact:
+                    errors.append(got)
+        except Exception as exc:  # pragma: no cover - the failure mode
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert RunCache(root).get(spec()) == artifact
+
+
+# ------------------------------------------------------------ LRU cap
+
+
+def test_lru_eviction_prefers_stale_entries(tmp_path):
+    payload = b"x" * 1000
+    cache = RunCache(tmp_path / "small", max_bytes=3500)
+    for i in range(3):
+        cache.put_bytes(spec(i), payload)
+    # make spec(0) the most recently used despite being written first
+    stamps = {0: 300.0, 1: 100.0, 2: 200.0}
+    for i, stamp in stamps.items():
+        pkl, _ = cache._paths(cache.digest(spec(i)))
+        os.utime(pkl, (stamp, stamp))
+    cache.put_bytes(spec(3), payload)  # 4000 > 3500: evict one
+    assert cache.get_bytes(spec(1)) is None  # oldest stamp went
+    for kept in (0, 2, 3):
+        assert cache.get_bytes(spec(kept)) == payload
+
+
+def test_clear_removes_everything(cache):
+    for i in range(4):
+        cache.put(spec(i), i)
+    assert cache.clear() == 4
+    assert cache.stats().entries == 0
+    assert cache.get(spec(0)) is None
+
+
+def test_stats_reports_kinds_and_sizes(cache):
+    cache.put(spec(), 1)
+    cache.put(
+        RunSpec(
+            kind="observe", workload="salt", steps=1,
+            threads=2, machine="i7-920",
+        ),
+        2,
+    )
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.by_kind == {"capture": 1, "observe": 1}
+    assert stats.total_bytes > 0
+    assert "run cache at" in stats.render()
+
+
+def test_bad_max_bytes_rejected(tmp_path):
+    with pytest.raises(ValueError, match="max_bytes"):
+        RunCache(tmp_path, max_bytes=0)
+
+
+# ------------------------------------------------------------- verify
+
+
+def test_verify_confirms_byte_identity(cache):
+    from repro.runcache import capture_spec, run_and_store
+
+    run_and_store(cache, capture_spec("salt", 1))
+    reports = cache.verify(sample=1, seed=0)
+    assert len(reports) == 1
+    assert reports[0].ok
+    assert reports[0].detail == "byte-identical"
+
+
+def test_verify_flags_a_tampered_artifact(cache):
+    from repro.runcache import capture_spec, run_and_store
+
+    run_and_store(cache, capture_spec("salt", 1))
+    digest = cache.digest(capture_spec("salt", 1))
+    pkl, meta = cache._paths(digest)
+    tampered = pkl.read_bytes() + b"\x00"
+    pkl.write_bytes(tampered)
+    doc = json.loads(meta.read_text())
+    doc["artifact_bytes"] = len(tampered)
+    meta.write_text(json.dumps(doc))
+    reports = cache.verify(sample=1, seed=0)
+    assert len(reports) == 1
+    assert not reports[0].ok
+    assert "MISMATCH" in reports[0].detail
+
+
+def test_verify_empty_store_is_empty_list(cache):
+    assert cache.verify(sample=3) == []

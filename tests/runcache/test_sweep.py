@@ -1,0 +1,149 @@
+"""Sweep orchestration: dedupe, memoization, payload parity with the
+uncached benches, and the byte-identity property behind the whole
+design — a cache hit IS a fresh run."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runcache import (
+    RunCache,
+    attribution_sweep,
+    cached_capture,
+    capture_spec,
+    dumps_artifact,
+    execute_spec,
+    observe_spec,
+    run_and_store,
+    sweep,
+    trace_spec,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> RunCache:
+    return RunCache(tmp_path / "store")
+
+
+# ------------------------------------------- hit == fresh run, by bytes
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    kind=st.sampled_from(["capture", "observe"]),
+    steps=st.integers(1, 2),
+    threads=st.integers(1, 2),
+    seed=st.integers(0, 1),
+)
+def test_property_cache_hit_is_byte_identical_to_fresh_run(
+    tmp_path_factory, kind, steps, threads, seed
+):
+    """For any small spec: miss-then-hit returns exactly the bytes a
+    from-scratch execution produces.  This is the soundness property
+    that lets cached artifacts replace re-simulation everywhere."""
+    if kind == "capture":
+        spec = capture_spec("salt", steps)
+    else:
+        spec = observe_spec("salt", steps, threads, "i7-920", seed=seed)
+    cache = RunCache(tmp_path_factory.mktemp("prop"))
+    first, hit1 = run_and_store(cache, spec)
+    cached, hit2 = run_and_store(cache, spec)
+    assert (hit1, hit2) == (False, True)
+    fresh = execute_spec(spec)
+    assert dumps_artifact(cached) == dumps_artifact(fresh)
+    assert dumps_artifact(first) == dumps_artifact(fresh)
+
+
+def test_trace_artifact_is_byte_identical_on_hit(cache):
+    spec = trace_spec("salt", 2, 2, "i7-920")
+    miss, _ = run_and_store(cache, spec)
+    hit, was_hit = run_and_store(cache, spec)
+    assert was_hit
+    assert dumps_artifact(hit) == dumps_artifact(miss)
+    assert set(hit["files"]) == {
+        "trace.json", "metrics.json", "metrics.csv"
+    }
+    assert "traced salt" in hit["summary"]
+
+
+# ---------------------------------------------------------- orchestrator
+
+
+def test_sweep_dedupes_identical_specs(cache):
+    specs = [capture_spec("salt", 1)] * 3
+    result = sweep(specs, cache, jobs=1)
+    assert len(result.artifacts) == 3
+    assert len(result.executed) == 1  # one distinct digest ran
+    assert result.hit_flags == [False, False, False]
+    warm = sweep(specs, cache, jobs=1)
+    assert warm.hit_flags == [True, True, True]
+    assert warm.hit_rate == 1.0
+    assert warm.executed == []
+
+
+def test_sweep_without_cache_still_dedupes(tmp_path):
+    specs = [capture_spec("salt", 1), capture_spec("salt", 1)]
+    result = sweep(specs, cache=None, jobs=1)
+    assert result.hits == 0
+    assert len(result.executed) == 1
+    assert result.artifacts[0] is result.artifacts[1]
+
+
+def test_sweep_artifact_for_unknown_spec_raises(cache):
+    result = sweep([capture_spec("salt", 1)], cache, jobs=1)
+    with pytest.raises(KeyError):
+        result.artifact_for(capture_spec("nanocar", 1))
+
+
+def test_cached_capture_none_degrades_to_plain_capture():
+    from repro.core.simulate import capture_trace
+    from repro.workloads import BUILDERS
+
+    via_none = cached_capture(None, "salt", 1)
+    plain = capture_trace(BUILDERS["salt"](), 1)
+    assert dumps_artifact(via_none) == dumps_artifact(plain)
+
+
+def test_cached_capture_publishes_and_reuses(cache):
+    first = cached_capture(cache, "salt", 1)
+    assert cache.contains(capture_spec("salt", 1))
+    again = cached_capture(cache, "salt", 1)
+    assert dumps_artifact(first) == dumps_artifact(again)
+
+
+# ------------------------------------------------------- payload parity
+
+
+def test_attribution_sweep_payload_matches_uncached_bench(cache):
+    from repro.obs.attribution import bench_attribution
+
+    kwargs = dict(workloads=["salt"], threads=[1, 2], steps=2, seed=0)
+    expected = bench_attribution(**kwargs)
+    cold, cold_stats = attribution_sweep(cache=cache, jobs=1, **kwargs)
+    warm, warm_stats = attribution_sweep(cache=cache, jobs=1, **kwargs)
+    assert cold == expected
+    assert warm == expected
+    assert cold_stats.hit_rate == 0.0
+    assert warm_stats.hit_rate == 1.0
+
+
+def test_attribute_cached_matches_uncached(cache):
+    from repro.obs import attribute, result_to_dict
+    from repro.runcache import attribute_cached
+
+    plain = attribute("salt", 2, spec="i7-920", steps=2, seed=0)
+    cached = attribute_cached(
+        "salt", 2, spec="i7-920", steps=2, seed=0, cache=cache, jobs=1
+    )
+    assert result_to_dict(cached) == result_to_dict(plain)
+
+
+def test_machine_key_rejects_unknown_machine():
+    from repro.runcache.sweep import machine_key
+
+    with pytest.raises(ValueError, match="unknown machine"):
+        machine_key("cray-1")

@@ -174,3 +174,62 @@ def test_chaos_command_runs_a_plan_file(capsys, tmp_path):
     )
     assert "crash" in out and "0 failed" in out
     assert (tmp_path / "o" / "chaos.json").exists()
+
+
+def test_trace_cached_and_uncached_outputs_match(capsys, tmp_path):
+    args = ["trace", "salt", "--steps", "2", "--threads", "2"]
+    cold = run_cli(
+        capsys, *args, "--out", str(tmp_path / "a"),
+        "--cache-dir", str(tmp_path / "store"),
+    )
+    warm = run_cli(
+        capsys, *args, "--out", str(tmp_path / "b"),
+        "--cache-dir", str(tmp_path / "store"),
+    )
+    plain = run_cli(
+        capsys, *args, "--out", str(tmp_path / "c"), "--no-cache"
+    )
+    def normalize(text, sub):
+        return text.replace(str(tmp_path / sub), "OUT")
+
+    assert (
+        normalize(cold, "a") == normalize(warm, "b") == normalize(plain, "c")
+    )
+    for name in ("trace.json", "metrics.json", "metrics.csv"):
+        assert (
+            (tmp_path / "a" / name).read_bytes()
+            == (tmp_path / "b" / name).read_bytes()
+            == (tmp_path / "c" / name).read_bytes()
+        )
+
+
+def test_cache_stats_clear_verify_cycle(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    run_cli(
+        capsys, "trace", "salt", "--steps", "1",
+        "--out", str(tmp_path / "t"), "--cache-dir", store,
+    )
+    out = run_cli(capsys, "cache", "stats", "--cache-dir", store)
+    assert "run cache at" in out and "trace" in out
+    out = run_cli(
+        capsys, "cache", "verify", "--sample", "2", "--cache-dir", store
+    )
+    assert "byte-identical" in out and "0 mismatched" in out
+    out = run_cli(capsys, "cache", "clear", "--cache-dir", store)
+    assert "cleared" in out
+    out = run_cli(capsys, "cache", "verify", "--cache-dir", store)
+    assert "nothing to verify" in out
+
+
+def test_cache_salt_prints_bare_digest(capsys):
+    out = run_cli(capsys, "cache", "salt")
+    assert len(out.strip()) == 64
+    int(out.strip(), 16)
+
+
+def test_cache_without_subcommand_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["cache"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:") and "stats" in err
