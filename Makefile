@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -41,16 +41,21 @@ chaos-smoke:
 
 # wall-clock throughput gate: the committed BENCH_throughput.json must
 # record the >=1.5x DES hot-path speedup vs its pre-optimization
-# baseline, and a quick live sweep must still produce a valid artifact
-# (shape-checked only: live ratios on shared CI runners are too noisy
-# to gate, the recorded artifact is the number of record)
+# baseline AND a telemetry-on-vs-off sweep overhead within the <=5%
+# budget; a quick live sweep must still produce a valid artifact
+# (shape-checked only, overhead sweep skipped: live ratios on shared
+# CI runners are too noisy to gate, the recorded artifact is the
+# number of record)
 perf-smoke:
-	$(PYTHON) scripts/check_throughput.py BENCH_throughput.json
+	$(PYTHON) scripts/check_throughput.py BENCH_throughput.json \
+		--max-overhead 0.05
 	PYTHONPATH=src $(PYTHON) scripts/bench_throughput.py --quick \
+		--skip-overhead \
 		--baseline BENCH_throughput.json \
 		--out benchmarks/out/throughput-smoke.json
 	$(PYTHON) scripts/check_throughput.py \
-		benchmarks/out/throughput-smoke.json --min-speedup 0
+		benchmarks/out/throughput-smoke.json \
+		--min-speedup 0 --max-overhead -1
 
 # run-cache effectiveness gate: regenerate BENCH_runcache.json (cold
 # sweep into a fresh store, identical warm sweep, sampled byte-identity
@@ -59,6 +64,18 @@ cache-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/bench_runcache.py \
 		--out BENCH_runcache.json
 	$(PYTHON) scripts/check_runcache.py BENCH_runcache.json
+
+# end-to-end runtime-telemetry check: run the attribution sweep with a
+# telemetry run active (12 workload x thread configs, warm after
+# bench-smoke), render it with `repro report`, and validate that
+# report.json is schema-valid and report.html is fully self-contained
+report-smoke:
+	rm -rf benchmarks/out/report-smoke
+	PYTHONPATH=src $(PYTHON) scripts/bench_attribution.py \
+		--telemetry benchmarks/out/report-smoke \
+		--out benchmarks/out/report-smoke/BENCH_attribution.json
+	PYTHONPATH=src $(PYTHON) -m repro report benchmarks/out/report-smoke
+	$(PYTHON) scripts/check_report.py benchmarks/out/report-smoke
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

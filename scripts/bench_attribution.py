@@ -11,6 +11,12 @@ By default the sweep runs through the content-addressed run cache
 (misses fanned out over ``--jobs`` workers); the payload is
 byte-identical to the uncached one — pass ``--no-cache`` to bypass the
 cache and re-simulate everything in-process.
+
+With ``--telemetry DIR`` the sweep emits runtime telemetry
+(``repro.telemetry/1``) into that run directory and drops the bench
+payload there as ``bench.json``, which is exactly what ``repro report
+DIR`` consumes to render speedup curves and attribution buckets next
+to the orchestration timeline.
 """
 
 import argparse
@@ -26,6 +32,8 @@ except ImportError:  # running from a checkout without PYTHONPATH=src
     )
 
 from repro.obs import bench_attribution
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.log import add_verbosity_flags, from_args
 
 
 def main() -> int:
@@ -58,48 +66,73 @@ def main() -> int:
         help="process-pool width for cache misses "
         "(default: os.cpu_count())",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="emit runtime telemetry into this run directory and also "
+        "write the payload there as bench.json (for 'repro report')",
+    )
+    add_verbosity_flags(parser)
     args = parser.parse_args()
+    log = from_args("bench_attribution", args)
 
     threads = [int(t) for t in args.threads.split(",")]
-    sweep_stats = None
-    if args.no_cache:
-        payload = bench_attribution(
-            workloads=args.workloads,
-            threads=threads,
-            spec=args.machine,
-            steps=args.steps,
-            seed=args.seed,
-        )
-    else:
-        from repro.runcache import RunCache, attribution_sweep
+    if args.telemetry:
+        telemetry_runtime.activate(args.telemetry, label="bench_attribution")
+    try:
+        sweep_stats = None
+        if args.no_cache:
+            payload = bench_attribution(
+                workloads=args.workloads,
+                threads=threads,
+                spec=args.machine,
+                steps=args.steps,
+                seed=args.seed,
+            )
+        else:
+            from repro.runcache import RunCache, attribution_sweep
 
-        payload, sweep_stats = attribution_sweep(
-            workloads=args.workloads,
-            threads=threads,
-            spec=args.machine,
-            steps=args.steps,
-            seed=args.seed,
-            cache=RunCache(args.cache_dir),
-            jobs=args.jobs,
-        )
+            payload, sweep_stats = attribution_sweep(
+                workloads=args.workloads,
+                threads=threads,
+                spec=args.machine,
+                steps=args.steps,
+                seed=args.seed,
+                cache=RunCache(args.cache_dir),
+                jobs=args.jobs,
+            )
+    finally:
+        telemetry_runtime.deactivate()
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
+    if args.telemetry:
+        bench_copy = os.path.join(args.telemetry, "bench.json")
+        with open(bench_copy, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        log.info("telemetry run ready", dir=args.telemetry)
     for run in payload["runs"]:
-        print(
-            f"{run['workload']:<8} x{run['threads']}: "
-            f"speedup {run['speedup']:.2f}/{run['ideal_speedup']:.0f} "
-            f"gap {run['gap_seconds'] * 1e3:8.3f} ms  "
-            f"dominant {run['dominant_bucket']}@{run['dominant_phase']}  "
-            f"bound {run['speedup_bound']:.2f}x"
+        log.info(
+            "run",
+            workload=run["workload"],
+            threads=run["threads"],
+            speedup=run["speedup"],
+            ideal=run["ideal_speedup"],
+            gap_ms=run["gap_seconds"] * 1e3,
+            dominant=f"{run['dominant_bucket']}@{run['dominant_phase']}",
+            bound=run["speedup_bound"],
         )
-    print(f"wrote {args.out} ({len(payload['runs'])} runs)")
+    log.info("wrote artifact", out=args.out, runs=len(payload["runs"]))
     if sweep_stats is not None:
-        print(
-            f"run cache: {sweep_stats.hits} hits / "
-            f"{sweep_stats.misses} misses "
-            f"(hit rate {sweep_stats.hit_rate * 100:.0f}%, "
-            f"jobs {sweep_stats.jobs})"
+        log.info(
+            "run cache",
+            hits=sweep_stats.hits,
+            misses=sweep_stats.misses,
+            hit_rate=sweep_stats.hit_rate,
+            jobs=sweep_stats.jobs,
+            fanout=sweep_stats.fanout,
+            worker_hits=sweep_stats.worker_hits,
+            worker_misses=sweep_stats.worker_misses,
         )
     return 0
 

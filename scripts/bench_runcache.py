@@ -42,7 +42,7 @@ SCHEMA = "repro.runcache_bench/1"
 
 
 def usage_error(msg: str) -> "SystemExit":
-    print(f"bench_runcache: {msg}")
+    print(f"bench_runcache: {msg}", file=sys.stderr)
     return SystemExit(2)
 
 
@@ -90,7 +90,11 @@ def main() -> int:
         help="cached entries to re-run for the byte-identity check "
         "(default %(default)s)",
     )
+    from repro.telemetry.log import add_verbosity_flags, from_args
+
+    add_verbosity_flags(parser)
     args = parser.parse_args()
+    log = from_args("bench_runcache", args)
 
     try:
         threads = [int(t) for t in args.threads.split(",") if t.strip()]
@@ -156,6 +160,8 @@ def main() -> int:
             "speedup": cold_seconds / warm_seconds,
             "cold_hit_rate": cold.hit_rate,
             "hit_rate": warm.hit_rate,
+            "fanout": cold.fanout,
+            "worker_cache": cold.worker_cache,
             "runs": [
                 {
                     "label": spec.label(),
@@ -186,17 +192,28 @@ def main() -> int:
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
-    print(
-        f"cold {cold_seconds:.2f}s ({cold.misses} misses, "
-        f"jobs {cold.jobs})  warm {warm_seconds * 1e3:.1f}ms "
-        f"({warm.hits}/{len(specs)} hits)"
+    log.info(
+        "cold sweep",
+        seconds=cold_seconds,
+        misses=cold.misses,
+        jobs=cold.jobs,
+        fanout=cold.fanout,
+        worker_hits=cold.worker_hits,
+        worker_misses=cold.worker_misses,
     )
-    print(
-        f"speedup {payload['speedup']:.1f}x, warm hit rate "
-        f"{payload['hit_rate'] * 100:.0f}%, verify "
-        f"{payload['verify']['sampled']} sampled "
-        f"{'ok' if payload['verify']['ok'] else 'MISMATCH'}; "
-        f"wrote {args.out}"
+    log.info(
+        "warm sweep",
+        seconds=warm_seconds,
+        hits=warm.hits,
+        total=len(specs),
+    )
+    log.info(
+        "summary",
+        speedup=payload["speedup"],
+        hit_rate=payload["hit_rate"],
+        verify_sampled=payload["verify"]["sampled"],
+        verify_ok=payload["verify"]["ok"],
+        out=args.out,
     )
     return 0
 

@@ -23,8 +23,15 @@ block — the same sweep measured before the PR 4 optimization pass — so
 re-uses the one in ``--out`` when present); without either, the current
 measurements become the baseline of record.
 
-Exits 0 on success; usage errors print one line and exit 2 like the
-``repro`` CLI and the other ``scripts/check_*.py`` gates.
+Unless ``--skip-overhead`` is given, the sweep is measured a second
+time with a runtime-telemetry run active, and the payload's
+``telemetry`` block records the end-to-end wall-clock overhead ratio
+(gated at ≤ 5% by ``check_throughput.py --max-overhead``) plus the
+Prometheus exposition of the runtime metrics the telemetry sweep
+emitted.
+
+Exits 0 on success; usage errors print one line on stderr and exit 2
+like the ``repro`` CLI and the other ``scripts/check_*.py`` gates.
 """
 
 import argparse
@@ -48,7 +55,7 @@ REPEATS = {"salt": 8, "nanocar": 8, "Al-1000": 4}
 
 
 def usage_error(msg: str) -> "SystemExit":
-    print(f"bench_throughput: {msg}")
+    print(f"bench_throughput: {msg}", file=sys.stderr)
     return SystemExit(2)
 
 
@@ -95,16 +102,81 @@ def run_sweep(
     captures go through the run cache, so cached wall-clock numbers
     can never leak into the measurements."""
     from repro.runcache import cached_capture
+    from repro.telemetry import runtime as telemetry_runtime
     from repro.workloads import BUILDERS
 
+    emitter = telemetry_runtime.current()
     runs = []
     for name in workloads:
         wl = BUILDERS[name]()
         trace = cached_capture(cache, name, steps)
         repeat = max(1, int(REPEATS.get(wl.name, 4) * repeat_scale))
         for n in threads:
-            runs.append(measure_run(trace, wl, spec, n, seed, repeat))
+            with emitter.span(
+                "bench.replay", workload=wl.name, threads=n
+            ):
+                run = measure_run(trace, wl, spec, n, seed, repeat)
+            emitter.counter(
+                "bench_events", run["events"],
+                workload=wl.name, threads=str(n),
+            )
+            emitter.gauge(
+                "bench_events_per_sec", run["events_per_sec"],
+                workload=wl.name, threads=str(n),
+            )
+            runs.append(run)
     return runs
+
+
+def measure_telemetry_overhead(
+    workloads, threads, spec, steps, seed, repeat_scale, cache,
+) -> dict:
+    """Measure the sweep's telemetry-off vs telemetry-on wall-clock.
+
+    Runs the sweep twice back-to-back — telemetry off, then on — so
+    both sides see the same (warm) cache state and the ratio isolates
+    the emission cost rather than first-run capture misses.  Returns
+    the payload's ``telemetry`` block: the end-to-end overhead ratio
+    (what ``check_throughput --max-overhead`` gates) and the
+    Prometheus exposition of the runtime metrics the instrumented
+    sweep emitted.
+    """
+    import shutil
+    import tempfile
+
+    from repro.telemetry import runtime as telemetry_runtime
+    from repro.telemetry.merge import load_records, registry_from_samples
+    from repro.telemetry.prom import prometheus_text
+
+    t0 = time.perf_counter()
+    run_sweep(
+        workloads, threads, spec, steps, seed, repeat_scale, cache=cache
+    )
+    wall_off = time.perf_counter() - t0
+
+    tel_dir = tempfile.mkdtemp(prefix="repro-bench-telemetry-")
+    emitter = telemetry_runtime.activate(tel_dir, label="bench_throughput")
+    t0 = time.perf_counter()
+    try:
+        with emitter.span("bench.sweep", workloads=",".join(workloads)):
+            runs_on = run_sweep(
+                workloads, threads, spec, steps, seed,
+                repeat_scale, cache=cache,
+            )
+    finally:
+        telemetry_runtime.deactivate()
+    wall_on = time.perf_counter() - t0
+    records, _skipped = load_records(tel_dir)
+    metrics = prometheus_text(registry_from_samples(records))
+    shutil.rmtree(tel_dir, ignore_errors=True)
+    return {
+        "off_wall_seconds": wall_off,
+        "on_wall_seconds": wall_on,
+        "overhead": wall_on / wall_off - 1.0 if wall_off > 0 else 0.0,
+        "events_per_sec_on": aggregate_events_per_sec(runs_on),
+        "n_records": len(records),
+        "runtime_metrics": metrics,
+    }
 
 
 def load_baseline(path: str):
@@ -171,7 +243,16 @@ def main() -> int:
         help="run-cache directory (default: $REPRO_RUNCACHE_DIR or "
         "~/.cache/repro/runcache)",
     )
+    parser.add_argument(
+        "--skip-overhead", action="store_true",
+        help="skip the second, telemetry-on sweep (no 'telemetry' "
+        "block in the payload)",
+    )
+    from repro.telemetry.log import add_verbosity_flags, from_args
+
+    add_verbosity_flags(parser)
     args = parser.parse_args()
+    log = from_args("bench_throughput", args)
 
     try:
         threads = [int(t) for t in args.threads.split(",") if t.strip()]
@@ -208,11 +289,28 @@ def main() -> int:
         from repro.runcache import RunCache
 
         cache = RunCache(args.cache_dir)
+    log.info(
+        "sweep start", workloads=",".join(workloads),
+        threads=args.threads, steps=args.steps,
+    )
     runs = run_sweep(
         workloads, threads, spec, args.steps, args.seed,
         args.repeat_scale, cache=cache,
     )
     current = aggregate_events_per_sec(runs)
+
+    telemetry_block = None
+    if not args.skip_overhead:
+        log.info("measuring telemetry off-vs-on sweeps for the overhead gate")
+        telemetry_block = measure_telemetry_overhead(
+            workloads, threads, spec, args.steps, args.seed,
+            args.repeat_scale, cache,
+        )
+        log.info(
+            "telemetry overhead",
+            overhead=f"{telemetry_block['overhead'] * 100:.2f}%",
+            records=telemetry_block["n_records"],
+        )
 
     baseline = None
     baseline_path = args.baseline
@@ -246,6 +344,7 @@ def main() -> int:
         "events_per_sec": current,
         "baseline": baseline,
         "speedup": current / base_eps if base_eps > 0 else 0.0,
+        "telemetry": telemetry_block,
     }
     out_dir = os.path.dirname(args.out)
     if out_dir:
@@ -254,16 +353,20 @@ def main() -> int:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
     for run in runs:
-        print(
-            f"{run['workload']:<8} x{run['threads']}: "
-            f"{run['events_per_sec'] / 1e3:8.1f}k events/s  "
-            f"{run['sim_seconds_per_wall_second']:8.4f} sim-s/s  "
-            f"peak heap {run['peak_heap']}"
+        log.info(
+            "run",
+            workload=run["workload"],
+            threads=run["threads"],
+            events_per_sec=run["events_per_sec"],
+            sim_per_wall=run["sim_seconds_per_wall_second"],
+            peak_heap=run["peak_heap"],
         )
-    print(
-        f"sweep: {current / 1e3:.1f}k events/s "
-        f"({payload['speedup']:.2f}x vs baseline "
-        f"{base_eps / 1e3:.1f}k events/s); wrote {args.out}"
+    log.info(
+        "sweep done",
+        events_per_sec=current,
+        speedup=payload["speedup"],
+        baseline_events_per_sec=base_eps,
+        out=args.out,
     )
     return 0
 

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Validate a ``repro report`` artifact set (``make report-smoke``).
+
+Given the directory ``repro report`` wrote into, checks that
+
+* ``report.json`` is loadable JSON carrying the ``repro.report/...``
+  schema tag with a machine name and a non-empty ``runs`` list (the
+  shared envelope convention of every ``scripts/check_*.py`` gate),
+  each run naming its pid/role/seconds/span tallies, and the cache
+  block internally consistent (hits + misses == lookups);
+* ``report.html`` exists and is **self-contained**: no external
+  scripts, stylesheets, images, or fonts — the file must render from
+  a file:// URL on an air-gapped machine (hyperlinks in anchor tags
+  are fine; loaded resources are not);
+* ``trace.json`` is a Chrome trace-event file with at least one
+  orchestration event;
+* ``merged.jsonl`` and ``metrics.prom`` exist.
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
+2 with a one-line message on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+REQUIRED_RUN_KEYS = {
+    "pid", "role", "seconds", "n_spans", "n_events", "hits", "misses",
+}
+REQUIRED_CACHE_KEYS = {
+    "lookups", "hits", "misses", "hit_rate", "puts", "evictions",
+    "worker_hits", "worker_misses",
+}
+
+#: a loaded external resource — anything here breaks self-containment
+_EXTERNAL = (
+    re.compile(r"<script[^>]*\bsrc\s*=", re.I),
+    re.compile(r"<link[^>]*\brel\s*=\s*[\"']?stylesheet[^>]*"
+               r"\bhref\s*=\s*[\"']?(?:https?:)?//", re.I),
+    re.compile(r"<img[^>]*\bsrc\s*=\s*[\"']?(?:https?:)?//", re.I),
+    re.compile(r"@import\s+", re.I),
+    re.compile(r"url\(\s*[\"']?(?:https?:)?//", re.I),
+    re.compile(r"<iframe", re.I),
+)
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"check_report: {msg}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def check_report_json(path: str):
+    """Error string or None."""
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.report/")
+    if err is not None:
+        return err
+    for i, run in enumerate(payload["runs"]):
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
+        if missing:
+            return f"run {i} missing keys {missing}"
+        if run["role"] not in ("parent", "worker", "process"):
+            return f"run {i}: unknown role {run['role']!r}"
+        if run["seconds"] < 0:
+            return f"run {i}: negative seconds"
+    cache = payload.get("cache")
+    if not isinstance(cache, dict):
+        return "missing 'cache' block"
+    missing = missing_keys(cache, REQUIRED_CACHE_KEYS)
+    if missing:
+        return f"'cache' block missing keys {missing}"
+    if cache["hits"] + cache["misses"] != cache["lookups"]:
+        return (
+            f"cache hits {cache['hits']} + misses {cache['misses']} "
+            f"!= lookups {cache['lookups']}"
+        )
+    trace = payload.get("trace")
+    if not isinstance(trace, dict) or trace.get("n_records", 0) < 1:
+        return "'trace' block missing or empty"
+    if not payload.get("trace_id"):
+        return "missing 'trace_id'"
+    return None
+
+
+def check_html(path: str):
+    """Self-containment check; error string or None."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            html = fh.read()
+    except OSError as exc:
+        return f"cannot read {path}: {exc}"
+    if "<svg" not in html:
+        return f"{path} has no inline SVG charts"
+    if "<style" not in html:
+        return f"{path} has no inline stylesheet"
+    for pattern in _EXTERNAL:
+        match = pattern.search(html)
+        if match:
+            return (
+                f"{path} is not self-contained: external resource "
+                f"reference {match.group(0)!r}"
+            )
+    return None
+
+
+def check_trace(path: str):
+    payload, err = load_json(path)
+    if err is not None:
+        return err
+    events = payload.get("traceEvents") if isinstance(payload, dict) else None
+    if not isinstance(events, list) or not events:
+        return f"{path}: 'traceEvents' must be a non-empty list"
+    if not any(e.get("cat") == "orchestration" for e in events):
+        return f"{path}: no orchestration events"
+    return None
+
+
+def check_report(report_dir: str) -> int:
+    paths = {
+        name: os.path.join(report_dir, name)
+        for name in (
+            "report.json", "report.html", "trace.json",
+            "merged.jsonl", "metrics.prom",
+        )
+    }
+    for name, path in paths.items():
+        if not os.path.exists(path):
+            return fail(f"missing artifact {path}")
+    err = (
+        check_report_json(paths["report.json"])
+        or check_html(paths["report.html"])
+        or check_trace(paths["trace.json"])
+    )
+    if err is not None:
+        return fail(err)
+    size = os.path.getsize(paths["report.html"])
+    print(
+        f"OK: {report_dir} — report.json schema-valid, report.html "
+        f"self-contained ({size} bytes), trace.json loadable"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "report_dir",
+        help="directory 'repro report' wrote into",
+    )
+    args = parser.parse_args()
+    if not os.path.isdir(args.report_dir):
+        raise usage_error(f"not a directory: {args.report_dir!r}")
+    return check_report(args.report_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,13 @@ Used by ``make perf-smoke``:
 ``--min-speedup 0`` skips the speedup gate but still validates the
 artifact's shape (useful on machines too noisy for a fair ratio).
 
+``--max-overhead`` additionally gates the payload's ``telemetry``
+block: the telemetry-on vs telemetry-off sweep wall-clock overhead
+must stay at or below the bound (default 0.05 — the ≤ 5% budget).  A
+negative value skips the overhead gate, and a payload produced with
+``--skip-overhead`` (``telemetry: null``) only passes when the gate
+is skipped.
+
 Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
 2 with a one-line message on usage errors.
 """
@@ -57,7 +64,48 @@ def check_runs(runs, where: str):
     return None
 
 
-def check_throughput(path: str, min_speedup: float, tolerance: float) -> int:
+def check_telemetry_block(payload, max_overhead: float):
+    """Gate the telemetry-overhead block; error string or None."""
+    block = payload.get("telemetry")
+    if not isinstance(block, dict):
+        return (
+            "no 'telemetry' block to gate on (bench ran with "
+            "--skip-overhead?); pass a negative --max-overhead to skip"
+        )
+    missing = missing_keys(
+        block,
+        {"off_wall_seconds", "on_wall_seconds", "overhead",
+         "runtime_metrics"},
+    )
+    if missing:
+        return f"'telemetry' block missing keys {missing}"
+    if block["off_wall_seconds"] <= 0 or block["on_wall_seconds"] <= 0:
+        return "'telemetry' block has non-positive wall seconds"
+    overhead = block["overhead"]
+    derived = block["on_wall_seconds"] / block["off_wall_seconds"] - 1.0
+    if abs(overhead - derived) > 1e-6 * max(abs(derived), 1.0):
+        return (
+            f"recorded overhead {overhead!r} inconsistent with "
+            f"on/off wall ratio {derived!r}"
+        )
+    if not isinstance(block["runtime_metrics"], str) or not (
+        block["runtime_metrics"].strip()
+    ):
+        return "'telemetry' block has an empty runtime_metrics exposition"
+    if overhead > max_overhead:
+        return (
+            f"telemetry overhead {overhead * 100:.2f}% exceeds the "
+            f"{max_overhead * 100:.1f}% budget "
+            f"(off {block['off_wall_seconds']:.3f}s, "
+            f"on {block['on_wall_seconds']:.3f}s)"
+        )
+    return None
+
+
+def check_throughput(
+    path: str, min_speedup: float, tolerance: float,
+    max_overhead: float = -1.0,
+) -> int:
     payload, err = load_json(path)
     if err is None:
         err = check_envelope(payload, "repro.bench_throughput/")
@@ -95,10 +143,20 @@ def check_throughput(path: str, min_speedup: float, tolerance: float) -> int:
             f"current {current / 1e3:.1f}k events/s "
             f"[{payload.get('label', '?')}])"
         )
+    overhead_note = ""
+    if max_overhead >= 0:
+        err = check_telemetry_block(payload, max_overhead)
+        if err is not None:
+            return fail(err)
+        overhead_note = (
+            f", telemetry overhead "
+            f"{payload['telemetry']['overhead'] * 100:.2f}% "
+            f"<= {max_overhead * 100:.1f}%"
+        )
     print(
         f"OK: {path} — {current / 1e3:.1f}k events/s, "
         f"{speedup:.2f}x vs baseline {base_eps / 1e3:.1f}k events/s "
-        f"({len(payload['runs'])} runs)"
+        f"({len(payload['runs'])} runs){overhead_note}"
     )
     return 0
 
@@ -116,6 +174,11 @@ def main() -> int:
         help="absolute slack subtracted from --min-speedup "
              "(default %(default)s)",
     )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="telemetry-on vs -off wall-clock overhead budget "
+             "(negative disables the gate; default %(default)s)",
+    )
     args = parser.parse_args()
     if args.min_speedup < 0:
         raise usage_error(
@@ -123,7 +186,9 @@ def main() -> int:
         )
     if args.tolerance < 0:
         raise usage_error(f"--tolerance must be >= 0, got {args.tolerance}")
-    return check_throughput(args.path, args.min_speedup, args.tolerance)
+    return check_throughput(
+        args.path, args.min_speedup, args.tolerance, args.max_overhead
+    )
 
 
 if __name__ == "__main__":

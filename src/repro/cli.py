@@ -23,7 +23,17 @@ chaos      fault-injection sweep: arm fault plans, assert the
 cache      content-addressed run cache: stats | clear | verify |
            salt (trace/attribute/chaos cache by default; opt out
            with --no-cache)
+report     merge a telemetry run directory into a unified
+           timeline, a Perfetto trace, a Prometheus exposition,
+           and one self-contained HTML sweep report
 ========== =====================================================
+
+The deterministic commands accept ``--telemetry DIR``: orchestration
+spans, cache traffic, and chaos verdicts are emitted into that run
+directory (``repro.telemetry/1`` JSONL, one file per process — pool
+workers included), ready for ``repro report DIR``.  Telemetry watches
+the *runtime* only; simulated traces stay byte-identical with it on
+or off.
 
 Usage errors (unknown workload, bad thread count, unreadable fault
 plan) exit with code 2 and a one-line message on stderr — never a
@@ -451,6 +461,24 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_report(args) -> None:
+    """Render one telemetry run directory into the report artifacts."""
+    from repro.telemetry.report import write_report
+
+    try:
+        paths = write_report(
+            args.run_dir, args.out, machine=args.machine
+        )
+    except ValueError as exc:
+        _die(str(exc))
+    for key in ("merged", "trace", "metrics", "json", "html"):
+        print(f"wrote {paths[key]}")
+    print(
+        "open report.html in a browser; load trace.json at "
+        "https://ui.perfetto.dev"
+    )
+
+
 def cmd_cache(args) -> None:
     """Inspect/manage the content-addressed run cache."""
     from repro.runcache import RunCache, code_version_salt
@@ -509,6 +537,15 @@ def _add_cache_flags(p, jobs: bool = True) -> None:
             help="process-pool width for cache misses "
             "(default: os.cpu_count())",
         )
+
+
+def _add_telemetry_flag(p) -> None:
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="emit repro.telemetry/1 runtime telemetry (orchestration "
+        "spans, cache traffic) into this run directory; render it "
+        "with 'repro report DIR'",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -574,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output directory for trace.json / metrics.{json,csv}",
     )
     _add_cache_flags(p, jobs=False)
+    _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
@@ -615,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(directory created if missing)",
     )
     _add_cache_flags(p)
+    _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_attribute)
 
     p = sub.add_parser(
@@ -641,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(directory created if missing)",
     )
     _add_cache_flags(p)
+    _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
@@ -675,6 +715,28 @@ def build_parser() -> argparse.ArgumentParser:
         cp.set_defaults(fn=cmd_cache, cache_cmd=name)
     p.set_defaults(fn=cmd_cache, cache_cmd=None)
 
+    p = sub.add_parser(
+        "report",
+        help="render a telemetry run directory: unified timeline, "
+        "Perfetto trace, Prometheus metrics, self-contained HTML",
+    )
+    p.add_argument(
+        "run_dir",
+        help="telemetry run directory (the --telemetry DIR of a "
+        "previous command, or a bench script's sweep dir)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write the artifacts here instead of into the run "
+        "directory itself",
+    )
+    p.add_argument(
+        "--machine", default=None,
+        help="machine label for the report header (default: taken "
+        "from bench.json or the run manifest)",
+    )
+    p.set_defaults(fn=cmd_report)
+
     p = sub.add_parser("run", help="run a workload's physics")
     p.add_argument("workload", choices=sorted(BUILDERS))
     p.add_argument("--steps", type=int, default=200)
@@ -693,11 +755,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         # no subcommand: print full help (not a traceback), exit code 2
         parser.print_help()
         return 2
+    from repro.telemetry import runtime as telemetry_runtime
+
+    if getattr(args, "telemetry", None):
+        telemetry_runtime.activate(
+            args.telemetry, label=getattr(args, "command", "") or ""
+        )
     try:
         args.fn(args)
     except BrokenPipeError:
         # stdout closed early (e.g. piping into `head`) — not an error
         return 0
+    finally:
+        telemetry_runtime.deactivate()
     return 0
 
 

@@ -36,6 +36,7 @@ from repro.jvm.gc import AllocationRecorder, GcModel
 from repro.machine.machine import SimMachine
 from repro.machine.topology import CORE_I7_920, MachineSpec
 from repro.obs.tracer import Tracer
+from repro.telemetry import runtime as telemetry_runtime
 from repro.workloads import BUILDERS, resolve_workload
 
 CHAOS_SCHEMA = "repro.chaos/1"
@@ -212,7 +213,7 @@ def run_chaos_case(
             phase_timeout=phase_timeout, queue_mode=queue_mode,
         )
     except Exception as exc:  # a hung/aborted replay is a failed case
-        return {
+        return _observed_case({
             "workload": wl.name,
             "plan": plan.name if plan is not None else "none",
             "threads": n_threads,
@@ -221,7 +222,7 @@ def run_chaos_case(
             "completed": False,
             "error": f"{type(exc).__name__}: {exc}",
             "physics": physics,
-        }
+        })
 
     spans = tracer.task_spans()
     n_enqueued = len(spans)
@@ -242,7 +243,7 @@ def run_chaos_case(
         and deterministic
         and same_duration
     )
-    return {
+    return _observed_case({
         "workload": wl.name,
         "plan": plan.name if plan is not None else "none",
         "threads": n_threads,
@@ -269,7 +270,20 @@ def run_chaos_case(
             if ref.sim_seconds
             else 0.0
         ),
-    }
+    })
+
+
+def _observed_case(case: dict) -> dict:
+    """Mirror one case verdict into the active telemetry run."""
+    telemetry_runtime.current().event(
+        "chaos.case",
+        workload=case["workload"],
+        plan=case["plan"],
+        ok=case["ok"],
+        completed=case["completed"],
+        slowdown=case.get("slowdown", 0.0),
+    )
+    return case
 
 
 def chaos_sweep(
@@ -297,11 +311,32 @@ def chaos_sweep(
 
         spec = MACHINES[spec]
     names = [resolve_workload(w) for w in workloads]
-    if cache is not None:
-        return _chaos_sweep_cached(
+    with telemetry_runtime.current().span(
+        "chaos.sweep",
+        workloads=",".join(names),
+        threads=n_threads,
+        cached=cache is not None,
+    ):
+        if cache is not None:
+            return _chaos_sweep_cached(
+                names, n_threads, plans=plans, spec=spec, steps=steps,
+                seed=seed, cache=cache, jobs=jobs,
+            )
+        return _chaos_sweep_serial(
             names, n_threads, plans=plans, spec=spec, steps=steps,
-            seed=seed, cache=cache, jobs=jobs,
+            seed=seed,
         )
+
+
+def _chaos_sweep_serial(
+    names: Sequence[str],
+    n_threads: int,
+    *,
+    plans: Optional[Dict[str, FaultPlan]],
+    spec: MachineSpec,
+    steps: int,
+    seed: int,
+) -> dict:
     runs: List[dict] = []
     for wname in names:
         wl = BUILDERS[wname]()
@@ -327,7 +362,7 @@ def chaos_sweep(
             )
             case["plan"] = pname
             runs.append(case)
-    return _chaos_payload(spec, steps, seed, n_threads, names, runs)
+    return _chaos_payload(spec, steps, seed, n_threads, list(names), runs)
 
 
 def _chaos_payload(spec, steps, seed, n_threads, names, runs) -> dict:

@@ -40,6 +40,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.runcache.key import RunSpec, code_version_salt, spec_digest
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.schema import CACHE_STATS_SCHEMA
 
 #: pinned so one store never mixes pickle encodings across interpreters
 PICKLE_PROTOCOL = 4
@@ -95,6 +97,7 @@ class CacheStats:
 
     def to_dict(self) -> dict:
         return {
+            "schema": CACHE_STATS_SCHEMA,
             "root": self.root,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
@@ -185,6 +188,7 @@ class RunCache:
         """Raw artifact bytes for a spec, or None on miss."""
         data = self._read(spec)
         self._count(hit=data is not None)
+        self._observe_lookup(spec, hit=data is not None)
         return data
 
     def get(self, spec: RunSpec) -> Optional[Any]:
@@ -197,7 +201,16 @@ class RunCache:
             except Exception:
                 self._drop(self.digest(spec))
         self._count(hit=artifact is not None)
+        self._observe_lookup(spec, hit=artifact is not None)
         return artifact
+
+    def _observe_lookup(self, spec: RunSpec, hit: bool) -> None:
+        telemetry_runtime.current().event(
+            "cache.lookup",
+            hit=hit,
+            kind=spec.kind,
+            digest=self.digest(spec)[:12],
+        )
 
     def contains(self, spec: RunSpec) -> bool:
         pkl, _meta = self._paths(self.digest(spec))
@@ -221,6 +234,12 @@ class RunCache:
         self._atomic_write(pkl, data)
         self._atomic_write(
             meta, (json.dumps(meta_doc, indent=1) + "\n").encode()
+        )
+        telemetry_runtime.current().event(
+            "cache.put",
+            kind=spec.kind,
+            digest=digest[:12],
+            bytes=len(data),
         )
         self._enforce_cap()
         return digest
@@ -289,6 +308,12 @@ class RunCache:
             if total <= self.max_bytes:
                 break
             self._drop(entry["digest"])
+            telemetry_runtime.current().event(
+                "cache.evict",
+                digest=entry["digest"][:12],
+                bytes=entry["bytes"],
+                kind=entry["kind"],
+            )
             total -= entry["bytes"]
             evicted += 1
         return evicted
@@ -407,6 +432,12 @@ class RunCache:
                 continue
             fresh = dumps_artifact(execute_spec(spec, cache=self))
             ok = fresh == cached
+            telemetry_runtime.current().event(
+                "cache.verify",
+                digest=entry["digest"][:12],
+                ok=ok,
+                label=spec.label(),
+            )
             reports.append(
                 VerifyReport(
                     entry["digest"],

@@ -18,12 +18,16 @@ wall-clock, never results.
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runcache.key import RunSpec, _as_params
 from repro.runcache.store import RunCache
+from repro.telemetry import runtime as telemetry_runtime
+from repro.telemetry.emit import new_trace_id
+from repro.telemetry.merge import load_records, worker_cache_counts
 
 #: artifact schema stamp stored alongside trace-kind artifacts
 TRACE_ARTIFACT_KEYS = ("files", "summary", "n_trace_events")
@@ -362,6 +366,11 @@ class SweepResult:
     jobs: int
     #: distinct digests actually executed (cache misses after dedup)
     executed: List[str] = field(default_factory=list)
+    #: True when the misses actually ran across the process pool
+    fanout: bool = False
+    #: per pool worker: ``{"hits": n, "misses": n}`` against the shared
+    #: store, folded out of the workers' telemetry by the merge step
+    worker_cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -370,6 +379,14 @@ class SweepResult:
     @property
     def misses(self) -> int:
         return len(self.hit_flags) - self.hits
+
+    @property
+    def worker_hits(self) -> int:
+        return sum(c["hits"] for c in self.worker_cache.values())
+
+    @property
+    def worker_misses(self) -> int:
+        return sum(c["misses"] for c in self.worker_cache.values())
 
     @property
     def hit_rate(self) -> float:
@@ -385,10 +402,34 @@ class SweepResult:
 
 def _pool_worker(args) -> str:
     """Execute one spec in a subprocess, publishing into the shared
-    on-disk cache; returns the digest the parent reloads."""
-    spec, root, max_bytes = args
+    on-disk cache; returns the digest the parent reloads.
+
+    The payload carries the parent's telemetry run directory and
+    fan-out span id, so the worker joins the parent's trace: it opens
+    its own JSONL file in the run, wraps the execution in a ``shard``
+    span parented to the fan-out, and publishes its cache hit/miss
+    counts as sweep-labeled counter samples the parent folds back into
+    :attr:`SweepResult.worker_cache`.
+    """
+    spec, root, max_bytes, tel_root, sweep_id = args
     cache = RunCache(root, max_bytes=max_bytes)
-    run_and_store(cache, spec)
+    emitter = telemetry_runtime.activate(tel_root, parent_id=sweep_id)
+    try:
+        with emitter.span(
+            "shard", label=spec.label(), kind=spec.kind, sweep=sweep_id
+        ):
+            run_and_store(cache, spec)
+        worker = str(os.getpid())
+        emitter.counter(
+            "worker_cache_hits", cache.session_hits,
+            sweep=sweep_id, worker=worker,
+        )
+        emitter.counter(
+            "worker_cache_misses", cache.session_misses,
+            sweep=sweep_id, worker=worker,
+        )
+    finally:
+        telemetry_runtime.deactivate()
     return cache.digest(spec)
 
 
@@ -411,47 +452,62 @@ def sweep(
     the serial path.
     """
     jobs = default_jobs() if jobs is None else max(1, jobs)
-    unique: Dict[str, RunSpec] = {}
-    keys: List[str] = []
-    for spec in specs:
-        key = (
-            cache.digest(spec) if cache is not None else spec.encode()
-        )
-        keys.append(key)
-        unique.setdefault(key, spec)
-
-    artifacts: Dict[str, Any] = {}
-    hit_by_key: Dict[str, bool] = {}
-    misses: List[Tuple[str, RunSpec]] = []
-    for key, spec in unique.items():
-        if cache is None:
-            hit_by_key[key] = False
-            misses.append((key, spec))
-            continue
-        artifact = cache.get(spec)
-        if artifact is not None:
-            artifacts[key] = artifact
-            hit_by_key[key] = True
-        else:
-            hit_by_key[key] = False
-            misses.append((key, spec))
-
-    executed: List[str] = []
-    if misses:
-        ran_parallel = False
-        if cache is not None and jobs > 1 and len(misses) > 1:
-            ran_parallel = _sweep_parallel(
-                misses, cache, jobs, artifacts, executed
+    emitter = telemetry_runtime.current()
+    with emitter.span(
+        "sweep", n_specs=len(specs), jobs=jobs
+    ) as sweep_span:
+        unique: Dict[str, RunSpec] = {}
+        keys: List[str] = []
+        for spec in specs:
+            key = (
+                cache.digest(spec) if cache is not None else spec.encode()
             )
-        if not ran_parallel:
-            for key, spec in misses:
-                if key in artifacts:
-                    continue
-                if cache is None:
-                    artifacts[key] = execute_spec(spec)
-                else:
-                    artifacts[key], _ = run_and_store(cache, spec)
-                executed.append(key)
+            keys.append(key)
+            unique.setdefault(key, spec)
+
+        artifacts: Dict[str, Any] = {}
+        hit_by_key: Dict[str, bool] = {}
+        misses: List[Tuple[str, RunSpec]] = []
+        for key, spec in unique.items():
+            if cache is None:
+                hit_by_key[key] = False
+                misses.append((key, spec))
+                continue
+            artifact = cache.get(spec)
+            if artifact is not None:
+                artifacts[key] = artifact
+                hit_by_key[key] = True
+            else:
+                hit_by_key[key] = False
+                misses.append((key, spec))
+
+        executed: List[str] = []
+        worker_cache: Dict[str, Dict[str, int]] = {}
+        fanout = False
+        if misses:
+            pool_counts = None
+            if cache is not None and jobs > 1 and len(misses) > 1:
+                pool_counts = _sweep_parallel(
+                    misses, cache, jobs, artifacts, executed
+                )
+            if pool_counts is None:
+                for key, spec in misses:
+                    if key in artifacts:
+                        continue
+                    if cache is None:
+                        artifacts[key] = execute_spec(spec)
+                    else:
+                        artifacts[key], _ = run_and_store(cache, spec)
+                    executed.append(key)
+            else:
+                fanout = True
+                worker_cache = pool_counts
+        if sweep_span.span_id is not None:
+            sweep_span.attrs.update(
+                unique=len(unique),
+                misses=len(misses),
+                fanout=fanout,
+            )
 
     return SweepResult(
         specs=list(specs),
@@ -459,6 +515,8 @@ def sweep(
         hit_flags=[hit_by_key[k] for k in keys],
         jobs=jobs if len(misses) > 1 else 1,
         executed=executed,
+        fanout=fanout,
+        worker_cache=worker_cache,
     )
 
 
@@ -468,32 +526,59 @@ def _sweep_parallel(
     jobs: int,
     artifacts: Dict[str, Any],
     executed: List[str],
-) -> bool:
-    """Fan cache misses out over a process pool; False = fall back."""
+) -> Optional[Dict[str, Dict[str, int]]]:
+    """Fan cache misses out over a process pool.
+
+    Returns the per-worker cache hit/miss counts folded out of the
+    workers' telemetry, or ``None`` when the pool could not run (the
+    caller falls back to the serial path).  With a telemetry run active
+    the workers emit straight into it; otherwise they emit into an
+    ephemeral directory that exists only long enough to fold the
+    counts, so :attr:`SweepResult.worker_cache` is populated either
+    way.
+    """
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:  # pragma: no cover - stdlib always has it
-        return False
-    payload = [
-        (spec, str(cache.root), cache.max_bytes) for _key, spec in misses
-    ]
+        return None
+    emitter = telemetry_runtime.current()
+    ephemeral: Optional[str] = None
+    if telemetry_runtime.active():
+        tel_root = str(emitter.run.root)
+    else:
+        ephemeral = tempfile.mkdtemp(prefix="repro-telemetry-")
+        tel_root = ephemeral
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(misses))
-        ) as pool:
-            list(pool.map(_pool_worker, payload))
-    except (BrokenProcessPool, OSError, PermissionError, ValueError):
-        # sandboxes without /dev/shm, 1-CPU boxes mid-fork, etc. —
-        # the sweep still completes, just serially
-        return False
+        with emitter.span(
+            "fanout", n_misses=len(misses), jobs=min(jobs, len(misses))
+        ) as fanout_span:
+            sweep_id = fanout_span.span_id or new_trace_id()[:12]
+            payload = [
+                (spec, str(cache.root), cache.max_bytes, tel_root, sweep_id)
+                for _key, spec in misses
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(misses))
+                ) as pool:
+                    list(pool.map(_pool_worker, payload))
+            except (BrokenProcessPool, OSError, PermissionError, ValueError):
+                # sandboxes without /dev/shm, 1-CPU boxes mid-fork,
+                # etc. — the sweep still completes, just serially
+                return None
+        records, _skipped = load_records(tel_root)
+        counts = worker_cache_counts(records, sweep_id)
+    finally:
+        if ephemeral is not None:
+            shutil.rmtree(ephemeral, ignore_errors=True)
     for key, spec in misses:
         artifact = cache.get(spec)
         if artifact is None:  # worker died before publishing
             artifact, _ = run_and_store(cache, spec)
         artifacts[key] = artifact
         executed.append(key)
-    return True
+    return counts
 
 
 # -- sweep assemblers --------------------------------------------------------

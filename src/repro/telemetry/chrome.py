@@ -1,0 +1,101 @@
+"""Chrome trace-event export of the merged *orchestration* timeline.
+
+``repro.obs.export`` renders the simulated machine; this module
+renders the real runtime around it — sweep fan-outs, shard executions,
+cache lookups, chaos cases — as a Perfetto/``chrome://tracing``
+loadable file.  Each real process becomes one trace pid with its own
+lane, so a process-pool sweep shows one span tree per shard worker
+next to the parent's sweep/fan-out spans; opening it alongside a
+simulated ``trace.json`` gives both layers of the system in the same
+viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.telemetry.merge import events, spans
+
+#: microseconds per second (trace-event ``ts`` unit)
+_US = 1e6
+
+
+def orchestration_trace_events(records: List[dict]) -> List[dict]:
+    """Build the trace-event list from merged telemetry records.
+
+    Spans become complete events (``ph: "X"``) on their process's
+    lane; point events become process-scoped instants (``ph: "i"``).
+    Timestamps are rebased to the earliest record so the trace starts
+    at zero.
+    """
+    span_records = spans(records)
+    event_records = events(records)
+    starts = [r["start"] for r in span_records] + [
+        r["ts"] for r in event_records
+    ]
+    t0 = min(starts) if starts else 0.0
+
+    out: List[dict] = []
+    roles: Dict[int, str] = {}
+    for record in span_records:
+        if record["name"] == "shard":
+            roles[record["pid"]] = "worker"
+        elif record["parent_id"] is None and record["pid"] not in roles:
+            roles[record["pid"]] = record["name"]
+    for record in records:
+        roles.setdefault(record["pid"], "process")
+    for pid in sorted(roles):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{roles[pid]} (pid {pid})"},
+            }
+        )
+    for record in span_records:
+        out.append(
+            {
+                "name": record["name"],
+                "cat": "orchestration",
+                "ph": "X",
+                "ts": (record["start"] - t0) * _US,
+                "dur": max(record["end"] - record["start"], 0.0) * _US,
+                "pid": record["pid"],
+                "tid": 0,
+                "args": dict(
+                    record["attrs"],
+                    span_id=record["span_id"],
+                    parent_id=record["parent_id"],
+                ),
+            }
+        )
+    for record in event_records:
+        out.append(
+            {
+                "name": record["name"],
+                "cat": "orchestration",
+                "ph": "i",
+                "s": "p",
+                "ts": (record["ts"] - t0) * _US,
+                "pid": record["pid"],
+                "tid": 0,
+                "args": dict(record["attrs"]),
+            }
+        )
+    return out
+
+
+def write_orchestration_trace(path, records: List[dict]) -> int:
+    """Write the merged timeline as Perfetto-loadable JSON.
+
+    Returns the number of trace events written.
+    """
+    trace_events = orchestration_trace_events(records)
+    payload = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    return len(trace_events)

@@ -1,0 +1,97 @@
+"""Structured stderr logging for the driver scripts.
+
+The ``scripts/bench_*.py`` drivers used to narrate progress with
+ad-hoc prints; this gives them one consistent idiom: a named logger
+writing single-line ``name level message key=value`` records to
+stderr, levels selected by the shared ``--quiet`` / ``--verbose`` flag
+pair (:func:`add_verbosity_flags` / :func:`from_args`).  Machine
+consumers keep reading the JSON artifacts — the log stream is for
+humans and CI logs only, so stdout stays clean.
+
+When a telemetry run is active, every log call is mirrored as a
+``log.<level>`` event into the run's JSONL stream, so the rendered
+report can show the driver's narration on the same timeline as the
+spans it narrates.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class StructuredLogger:
+    """Leveled single-line key=value logger (stderr by default)."""
+
+    def __init__(
+        self, name: str, level: str = "info", stream=None
+    ):
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; choose from {sorted(LEVELS)}"
+            )
+        self.name = name
+        self.level = level
+        self.stream = stream
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS[level] >= LEVELS[self.level]
+
+    def log(self, level: str, message: str, **fields: Any) -> None:
+        if not self.enabled(level):
+            return
+        from repro.telemetry import runtime
+
+        runtime.current().event(
+            f"log.{level}", logger=self.name, message=message, **fields
+        )
+        parts = [f"{self.name}: {level}: {message}"]
+        parts.extend(f"{k}={_render(v)}" for k, v in fields.items())
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(" ".join(parts), file=stream)
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self.log("error", message, **fields)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def add_verbosity_flags(parser) -> None:
+    """Install the shared ``--quiet`` / ``--verbose`` flag pair."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="log warnings and errors only",
+    )
+    group.add_argument(
+        "--verbose", action="store_true",
+        help="log debug detail",
+    )
+
+
+def from_args(
+    name: str, args, stream=None
+) -> StructuredLogger:
+    """Logger at the level the ``--quiet``/``--verbose`` pair selects."""
+    level = "info"
+    if getattr(args, "verbose", False):
+        level = "debug"
+    elif getattr(args, "quiet", False):
+        level = "warning"
+    return StructuredLogger(name, level=level, stream=stream)

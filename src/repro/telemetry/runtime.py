@@ -1,0 +1,58 @@
+"""The process-global telemetry switchboard.
+
+Library code (the run-cache store, the sweep orchestrator, the chaos
+harness) never threads an emitter through its signatures — it asks
+:func:`current` for the process's active emitter and calls it.  When
+nothing is active that is the :data:`~repro.telemetry.emit.NULL_EMITTER`
+and every call is a constant-time no-op, which is what keeps telemetry
+overhead gated at ≤ 5% by construction.
+
+:func:`activate` opens (or joins) a :class:`TelemetryRun` directory and
+makes its emitter current; :func:`deactivate` closes it and restores
+the null sink.  Process-pool workers activate with the parent's run
+directory plus the parent span id carried in their task payload, which
+is how trace context crosses the ``ProcessPoolExecutor`` boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.telemetry.emit import NULL_EMITTER, TelemetryEmitter, TelemetryRun
+
+_current: object = NULL_EMITTER
+
+
+def current():
+    """The process's active emitter (the null sink when inactive)."""
+    return _current
+
+
+def active() -> bool:
+    """True when an emitter (not the null sink) is current."""
+    return _current is not NULL_EMITTER
+
+
+def activate(
+    run: Union[TelemetryRun, str, os.PathLike],
+    *,
+    parent_id: Optional[str] = None,
+    label: str = "",
+) -> TelemetryEmitter:
+    """Open ``run`` and make its emitter this process's current one.
+
+    Re-activating replaces (and closes) any previously active emitter.
+    """
+    global _current
+    deactivate()
+    _current = TelemetryEmitter(run, parent_id=parent_id, label=label)
+    return _current
+
+
+def deactivate() -> None:
+    """Close the active emitter (if any) and restore the null sink."""
+    global _current
+    if _current is not NULL_EMITTER:
+        _current.close()
+        _current = NULL_EMITTER

@@ -147,3 +147,37 @@ def test_machine_key_rejects_unknown_machine():
 
     with pytest.raises(ValueError, match="unknown machine"):
         machine_key("cray-1")
+
+
+# -------------------------------------------- worker cache accounting
+
+
+def test_serial_sweep_has_no_worker_cache(cache):
+    result = sweep([capture_spec("salt", 1)], cache, jobs=1)
+    assert result.fanout is False
+    assert result.worker_cache == {}
+    assert result.worker_hits == 0 and result.worker_misses == 0
+
+
+def test_parallel_sweep_reports_per_worker_cache_counts(cache):
+    specs = [
+        observe_spec("salt", 1, n, "i7-920", seed=0) for n in (1, 2, 3, 4)
+    ]
+    result = sweep(specs, cache, jobs=2)
+    assert result.hits == 0
+    assert len(result.executed) == len(specs)
+    if not result.fanout:  # pragma: no cover - single-CPU / no-pool box
+        pytest.skip("process pool unavailable; sweep fell back to serial")
+    # the telemetry merge recovered per-worker tallies: every top-level
+    # shard was a cold miss at its worker, so misses cover at least the
+    # executed specs (nested capture dependencies add lookups on top —
+    # one worker's publication can even be another's hit)
+    assert result.worker_cache
+    for counts in result.worker_cache.values():
+        assert set(counts) == {"hits", "misses"}
+    assert result.worker_misses >= len(specs)
+    # a warm re-sweep is served from the parent's cache: no fan-out
+    warm = sweep(specs, cache, jobs=2)
+    assert warm.hit_rate == 1.0
+    assert warm.fanout is False
+    assert warm.worker_cache == {}

@@ -1,0 +1,162 @@
+"""The JSONL emitter: span trees, null sink, concurrent writers."""
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.telemetry import runtime
+from repro.telemetry.emit import (
+    NULL_EMITTER,
+    TelemetryEmitter,
+    TelemetryRun,
+)
+from repro.telemetry.merge import load_records, merge_key
+
+
+@pytest.fixture()
+def emitter(tmp_path):
+    em = TelemetryEmitter(tmp_path / "run", label="test")
+    yield em
+    em.close()
+
+
+def test_manifest_is_idempotent(tmp_path):
+    first = TelemetryRun(tmp_path / "run", label="alpha")
+    second = TelemetryRun(tmp_path / "run", label="ignored")
+    assert second.trace_id == first.trace_id
+    assert second.label == "alpha"
+
+
+def test_records_are_schema_valid_with_monotone_seq(emitter):
+    with emitter.span("outer", n=3):
+        emitter.event("tick", phase="warm")
+        emitter.counter("widgets", 2, worker="a")
+        emitter.gauge("depth", 1.5)
+    records, skipped = load_records(emitter.run.root)
+    assert skipped == 0
+    assert [r["kind"] for r in records] == ["event", "metric", "metric", "span"]
+    assert [r["seq"] for r in records] == [0, 1, 2, 3]
+    assert all(r["pid"] == os.getpid() for r in records)
+
+
+def test_span_nesting_builds_parent_chain(emitter):
+    with emitter.span("outer") as outer:
+        emitter.event("at-outer")
+        with emitter.span("inner") as inner:
+            emitter.event("at-inner")
+        assert inner.parent_id == outer.span_id
+    records, _ = load_records(emitter.run.root)
+    by_name = {r["name"]: r for r in records}
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["at-outer"]["span_id"] == by_name["outer"]["span_id"]
+    assert by_name["at-inner"]["span_id"] == by_name["inner"]["span_id"]
+
+
+def test_exception_inside_span_is_recorded_and_propagates(emitter):
+    with pytest.raises(RuntimeError):
+        with emitter.span("doomed"):
+            raise RuntimeError("boom")
+    records, _ = load_records(emitter.run.root)
+    (span,) = records
+    assert span["attrs"]["error"] == "RuntimeError"
+
+
+def test_non_scalar_attrs_are_reprd(emitter):
+    emitter.event("shapes", path=[1, 2], ok=True, label=None)
+    records, _ = load_records(emitter.run.root)
+    assert records[0]["attrs"] == {
+        "path": "[1, 2]", "ok": True, "label": None,
+    }
+
+
+def test_closed_emitter_drops_silently(emitter):
+    emitter.event("before")
+    emitter.close()
+    emitter.event("after")  # must not raise
+    with emitter.span("late"):
+        pass
+    records, _ = load_records(emitter.run.root)
+    assert [r["name"] for r in records] == ["before"]
+
+
+def test_null_emitter_absorbs_everything(tmp_path):
+    assert not runtime.active()
+    sink = runtime.current()
+    assert sink is NULL_EMITTER
+    with sink.span("anything", n=1) as handle:
+        sink.event("tick")
+        sink.counter("c")
+        sink.gauge("g", 2.0)
+    assert handle.span_id is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_concurrent_threads_never_tear_lines(emitter):
+    n_threads, per_thread = 8, 200
+
+    def hammer(tid):
+        for i in range(per_thread):
+            emitter.event("hammer", tid=tid, i=i)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,))
+        for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    records, skipped = load_records(emitter.run.root)
+    assert skipped == 0
+    assert len(records) == n_threads * per_thread
+    # every record survived the lock intact and seq is a permutation
+    assert sorted(r["seq"] for r in records) == list(
+        range(n_threads * per_thread)
+    )
+
+
+def _pool_writer(args):
+    """Top-level so the pool can pickle it; emits into a shared run."""
+    run_dir, task, count = args
+    emitter = TelemetryEmitter(run_dir)
+    try:
+        with emitter.span("task", task=task):
+            for i in range(count):
+                emitter.event("work", task=task, i=i)
+                emitter.counter("done", 1, task=str(task))
+    finally:
+        emitter.close()
+    return os.getpid()
+
+
+def test_concurrent_processes_share_one_coherent_run(tmp_path):
+    run_dir = tmp_path / "run"
+    TelemetryRun(run_dir, label="fanout")
+    n_tasks, count = 4, 50
+    try:
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            pids = list(
+                pool.map(
+                    _pool_writer,
+                    [(str(run_dir), t, count) for t in range(n_tasks)],
+                )
+            )
+    except (OSError, PermissionError) as exc:  # pragma: no cover
+        pytest.skip(f"process pool unavailable: {exc}")
+    records, skipped = load_records(run_dir)
+    assert skipped == 0
+    # every record from every task arrived whole: spans + events + metrics
+    assert len(records) == n_tasks * (1 + 2 * count)
+    # all emitters joined the manifest's trace
+    trace_ids = {
+        r["trace_id"] for r in records if r["kind"] != "metric"
+    }
+    assert trace_ids == {TelemetryRun(run_dir).trace_id}
+    assert {r["pid"] for r in records} == set(pids)
+    # the merge order is the documented total order, deterministically
+    again, _ = load_records(run_dir)
+    assert again == records
+    assert records == sorted(records, key=merge_key)

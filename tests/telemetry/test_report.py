@@ -1,0 +1,184 @@
+"""``repro report``: the repro.report/1 document and its HTML/trace."""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry.emit import FILE_PREFIX, TelemetryRun
+from repro.telemetry.report import build_report, render_html, write_report
+from repro.telemetry.schema import REPORT_SCHEMA, TELEMETRY_SCHEMA, encode_line
+
+TRACE_ID = "f" * 32
+
+
+def _span(pid, seq, name, start, end, span_id, parent_id=None, **attrs):
+    return {
+        "schema": TELEMETRY_SCHEMA, "kind": "span", "name": name,
+        "pid": pid, "seq": seq, "ts": end, "trace_id": TRACE_ID,
+        "span_id": span_id, "parent_id": parent_id,
+        "start": start, "end": end, "attrs": attrs,
+    }
+
+
+def _event(pid, seq, ts, name, **attrs):
+    return {
+        "schema": TELEMETRY_SCHEMA, "kind": "event", "name": name,
+        "pid": pid, "seq": seq, "ts": ts, "trace_id": TRACE_ID,
+        "span_id": None, "attrs": attrs,
+    }
+
+
+def _metric(pid, seq, ts, name, value, **labels):
+    return {
+        "schema": TELEMETRY_SCHEMA, "kind": "metric", "name": name,
+        "pid": pid, "seq": seq, "ts": ts, "metric_type": "counter",
+        "value": float(value),
+        "labels": {k: str(v) for k, v in labels.items()},
+    }
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    """A hand-built two-process run: one parent, one shard worker."""
+    root = tmp_path / "run"
+    TelemetryRun(root, label="synthetic", trace_id=TRACE_ID)
+    parent = [
+        _span(100, 0, "sweep", 1.0, 9.0, "64.1", None, n_specs=2),
+        _event(100, 1, 2.0, "cache.lookup", hit=True, kind="trace"),
+        _event(100, 2, 3.0, "cache.lookup", hit=False, kind="trace"),
+        _event(100, 3, 4.0, "cache.put", bytes=128),
+        _event(100, 4, 5.0, "chaos.case", workload="lj", ok=True),
+        _event(100, 5, 6.0, "chaos.case", workload="al1000", ok=False),
+    ]
+    worker = [
+        _span(200, 0, "shard", 2.0, 7.5, "c8.1", "64.1", label="lj-4"),
+        _event(200, 1, 3.0, "cache.lookup", hit=False, kind="trace"),
+        _metric(200, 2, 7.0, "worker_cache_hits", 0, sweep="64.1",
+                worker="200"),
+        _metric(200, 3, 7.1, "worker_cache_misses", 1, sweep="64.1",
+                worker="200"),
+    ]
+    (root / f"{FILE_PREFIX}100.jsonl").write_text(
+        "".join(encode_line(r) for r in parent)
+    )
+    (root / f"{FILE_PREFIX}200.jsonl").write_text(
+        "".join(encode_line(r) for r in worker)
+    )
+    (root / "bench.json").write_text(json.dumps({
+        "machine": "paper-8core",
+        "workloads": ["lj", "al1000"],
+        "threads": [1, 4],
+        "buckets": ["work_inflation", "lock_contention", "scheduling"],
+        "runs": [
+            {"workload": "lj", "threads": 1, "speedup": 1.0,
+             "buckets": {"work_inflation": 0.0, "lock_contention": 0.0,
+                         "scheduling": 0.0}},
+            {"workload": "lj", "threads": 4, "speedup": 3.1,
+             "buckets": {"work_inflation": 0.004, "lock_contention": 0.001,
+                         "scheduling": 0.002}},
+            {"workload": "al1000", "threads": 1, "speedup": 1.0,
+             "buckets": {"work_inflation": 0.0, "lock_contention": 0.0,
+                         "scheduling": 0.0}},
+            {"workload": "al1000", "threads": 4, "speedup": 1.9,
+             "buckets": {"work_inflation": 0.02, "lock_contention": 0.003,
+                         "scheduling": 0.001}},
+        ],
+    }))
+    (root / "al1000.folded").write_text("main;force 10\n")
+    return root
+
+
+def test_build_report_document(run_dir):
+    report = build_report(run_dir)
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["machine"] == "paper-8core"  # bench wins over label
+    assert report["trace_id"] == TRACE_ID
+
+    roles = {r["pid"]: r["role"] for r in report["runs"]}
+    assert roles == {100: "parent", 200: "worker"}
+    worker = next(r for r in report["runs"] if r["pid"] == 200)
+    assert worker["hits"] == 0 and worker["misses"] == 1
+    assert worker["seconds"] > 0
+
+    cache = report["cache"]
+    assert cache["lookups"] == 3
+    assert cache["hits"] + cache["misses"] == cache["lookups"]
+    assert cache["hit_rate"] == pytest.approx(1 / 3)
+    assert cache["puts"] == 1
+    assert cache["worker_hits"] == 0 and cache["worker_misses"] == 1
+
+    trace = report["trace"]
+    assert trace["n_records"] == 10
+    assert trace["n_shards"] == 1
+    assert trace["skipped_lines"] == 0
+    assert trace["span_names"] == {"sweep": 1, "shard": 1}
+
+    assert report["speedup"]["threads"] == [1, 4]
+    assert report["speedup"]["curves"]["lj"] == [1.0, 3.1]
+    attribution = report["attribution"]
+    assert attribution["threads"] == {"lj": 4, "al1000": 4}
+    assert attribution["by_workload"]["al1000"]["work_inflation"] == 0.02
+    assert report["chaos"] == {"cases": 2, "ok": 1, "failed": 1}
+    assert report["flamegraphs"] == ["al1000.folded"]
+
+
+def test_build_report_machine_fallbacks(run_dir):
+    assert build_report(run_dir, machine="override")["machine"] == "override"
+    (run_dir / "bench.json").unlink()
+    assert build_report(run_dir)["machine"] == "synthetic"  # run label
+
+
+def test_build_report_empty_run_raises(tmp_path):
+    with pytest.raises(ValueError, match="no telemetry records"):
+        build_report(tmp_path)
+
+
+def test_html_is_self_contained(run_dir):
+    page = render_html(build_report(run_dir))
+    assert "<svg" in page and "<style>" in page
+    assert "<script" not in page
+    # the only absolute URL is the Perfetto hyperlink (an anchor, not a
+    # loaded resource)
+    for url in re.findall(r"https?://[^\"'\s<]+", page):
+        assert url.startswith("https://ui.perfetto.dev")
+    # identity is never color-alone: legend for the multi-series chart,
+    # table view for the processes
+    assert '<div class="legend">' in page
+    assert "<table>" in page
+    # both color-scheme variants ship from the same palette
+    assert "prefers-color-scheme: dark" in page
+    assert 'data-theme="dark"' in page
+
+
+def test_write_report_artifact_set(run_dir, tmp_path):
+    out = tmp_path / "out"
+    paths = write_report(run_dir, out)
+    assert set(paths) == {"merged", "trace", "metrics", "json", "html"}
+    report = json.loads((out / "report.json").read_text())
+    assert report["schema"] == REPORT_SCHEMA
+
+    trace = json.loads((out / "trace.json").read_text())
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 2  # sweep + shard spans
+    assert all(e["cat"] == "orchestration" for e in complete)
+    shard = next(e for e in complete if e["name"] == "shard")
+    assert shard["args"]["parent_id"] == "64.1"
+    assert shard["dur"] > 0
+    # one lane per process, named by role
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert len(meta) == 2
+    assert meta[100] == "sweep (pid 100)"
+    assert meta[200] == "worker (pid 200)"
+
+    prom = (out / "metrics.prom").read_text()
+    assert "# TYPE worker_cache_misses counter" in prom
+    assert 'worker_cache_misses{sweep="64.1",worker="200"} 1' in prom
+
+    merged = (out / "merged.jsonl").read_text().splitlines()
+    assert len(merged) == 10

@@ -1,0 +1,56 @@
+"""The process-global switchboard and the zero-interference guarantee."""
+
+import pytest
+
+from repro.telemetry import runtime
+from repro.telemetry.emit import NULL_EMITTER
+from repro.telemetry.merge import load_records
+
+
+@pytest.fixture(autouse=True)
+def _restore_runtime():
+    yield
+    runtime.deactivate()
+
+
+def test_activate_then_deactivate_round_trip(tmp_path):
+    assert runtime.current() is NULL_EMITTER
+    assert not runtime.active()
+    emitter = runtime.activate(tmp_path / "run", label="t")
+    assert runtime.active()
+    assert runtime.current() is emitter
+    emitter.event("alive")
+    runtime.deactivate()
+    assert runtime.current() is NULL_EMITTER
+    records, _ = load_records(tmp_path / "run")
+    assert [r["name"] for r in records] == ["alive"]
+
+
+def test_reactivation_closes_the_previous_emitter(tmp_path):
+    first = runtime.activate(tmp_path / "a")
+    second = runtime.activate(tmp_path / "b")
+    assert runtime.current() is second
+    first.event("dropped")  # closed: silently discarded
+    second.event("kept")
+    runtime.deactivate()
+    assert load_records(tmp_path / "a")[0] == []
+    assert [r["name"] for r in load_records(tmp_path / "b")[0]] == ["kept"]
+
+
+def test_simulated_artifacts_byte_identical_with_telemetry_on(tmp_path):
+    """Telemetry observes the orchestrator, never the simulated machine:
+    the ground-truth artifact bundle must be byte-for-byte identical
+    whether a run is active or not."""
+    from repro.runcache import execute_spec, trace_spec
+
+    spec = trace_spec("salt", 2, 2, "i7-920", 42)
+    off = execute_spec(spec)
+
+    runtime.activate(tmp_path / "run", label="on")
+    on = execute_spec(spec)
+    runtime.deactivate()
+
+    assert off["files"].keys() == on["files"].keys()
+    for name in off["files"]:
+        assert off["files"][name] == on["files"][name], name
+    assert off["summary"] == on["summary"]

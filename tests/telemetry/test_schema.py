@@ -1,0 +1,151 @@
+"""The ``repro.telemetry/1`` record schema and its canonical codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.schema import (
+    TELEMETRY_SCHEMA,
+    decode_line,
+    encode_line,
+    validate_record,
+)
+
+
+def make_span(**over):
+    record = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": "span",
+        "name": "sweep",
+        "pid": 42,
+        "seq": 0,
+        "ts": 2.0,
+        "trace_id": "t" * 32,
+        "span_id": "2a.1",
+        "parent_id": None,
+        "start": 1.0,
+        "end": 2.0,
+        "attrs": {"n_specs": 3},
+    }
+    record.update(over)
+    return record
+
+
+def test_valid_span_passes():
+    assert validate_record(make_span()) == make_span()
+
+
+@pytest.mark.parametrize(
+    "over, fragment",
+    [
+        ({"schema": "repro.telemetry/0"}, "schema"),
+        ({"kind": "nope"}, "kind"),
+        ({"name": ""}, "name"),
+        ({"pid": -1}, "pid"),
+        ({"seq": "x"}, "seq"),
+        ({"span_id": ""}, "span_id"),
+        ({"parent_id": 7}, "parent_id"),
+        ({"end": 0.5}, "ends before"),
+        ({"attrs": "not-a-dict"}, "attrs"),
+    ],
+)
+def test_invalid_span_rejected(over, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        validate_record(make_span(**over))
+
+
+def test_metric_labels_must_be_strings():
+    record = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": "metric",
+        "name": "hits",
+        "pid": 1,
+        "seq": 0,
+        "ts": 1.0,
+        "metric_type": "counter",
+        "value": 2.0,
+        "labels": {"worker": 7},
+    }
+    with pytest.raises(ValueError, match="labels"):
+        validate_record(record)
+    record["labels"] = {"worker": "7"}
+    assert validate_record(record) is record
+
+
+def test_decode_line_rejects_junk():
+    with pytest.raises(ValueError):
+        decode_line("{not json")
+    with pytest.raises(ValueError):
+        decode_line('{"schema": "other/1"}')
+
+
+# ------------------------------------------------- round-trip property
+
+_attr_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz._-", min_size=1, max_size=24
+)
+_ts = st.floats(
+    min_value=0.0, max_value=2e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def telemetry_records(draw):
+    kind = draw(st.sampled_from(["span", "event", "metric"]))
+    record = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": kind,
+        "name": draw(_names),
+        "pid": draw(st.integers(0, 2**22)),
+        "seq": draw(st.integers(0, 2**31)),
+        "ts": draw(_ts),
+    }
+    if kind == "span":
+        start = draw(_ts)
+        record.update(
+            trace_id=draw(_names),
+            span_id=draw(_names),
+            parent_id=draw(st.one_of(st.none(), _names)),
+            start=start,
+            end=start + draw(st.floats(
+                min_value=0.0, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            )),
+            attrs=draw(st.dictionaries(_names, _attr_values, max_size=4)),
+        )
+    elif kind == "event":
+        record.update(
+            trace_id=draw(_names),
+            span_id=draw(st.one_of(st.none(), _names)),
+            attrs=draw(st.dictionaries(_names, _attr_values, max_size=4)),
+        )
+    else:
+        record.update(
+            metric_type=draw(st.sampled_from(["counter", "gauge"])),
+            value=draw(st.floats(
+                allow_nan=False, allow_infinity=False, width=32
+            )),
+            labels=draw(st.dictionaries(
+                _names, st.text(max_size=16), max_size=4
+            )),
+        )
+    return record
+
+
+@settings(max_examples=60, deadline=None)
+@given(record=telemetry_records())
+def test_property_encode_decode_round_trips(record):
+    """Any schema-valid record survives the canonical line codec
+    exactly, and the encoding is deterministic (sorted keys)."""
+    line = encode_line(record)
+    assert line.endswith("\n") and "\n" not in line[:-1]
+    decoded = decode_line(line)
+    assert decoded == record
+    assert encode_line(decoded) == line

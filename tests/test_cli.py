@@ -233,3 +233,51 @@ def test_cache_without_subcommand_exits_2(capsys):
     assert exc.value.code == 2
     err = capsys.readouterr().err
     assert err.startswith("repro: error:") and "stats" in err
+
+
+def test_cache_stats_json_is_schema_stamped(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "store")
+    run_cli(
+        capsys, "trace", "salt", "--steps", "1",
+        "--out", str(tmp_path / "t"), "--cache-dir", store,
+    )
+    out = run_cli(capsys, "cache", "stats", "--json", "--cache-dir", store)
+    payload = json.loads(out)
+    assert payload["schema"] == "repro.cache_stats/1"
+    assert payload["entries"] >= 1
+    assert payload["by_kind"].get("trace", 0) >= 1
+    assert 0.0 <= payload["hit_rate"] <= 1.0
+
+
+def test_report_command_end_to_end(capsys, tmp_path):
+    import json
+    import os
+
+    tel = str(tmp_path / "tel")
+    run_cli(
+        capsys, "attribute", "--workload", "salt", "--threads", "2",
+        "--steps", "2", "--out", str(tmp_path / "attr"),
+        "--telemetry", tel,
+    )
+    assert os.path.exists(os.path.join(tel, "run.json"))
+    out = run_cli(capsys, "report", tel)
+    assert "report.html" in out and "ui.perfetto.dev" in out
+    for name in (
+        "merged.jsonl", "trace.json", "metrics.prom",
+        "report.json", "report.html",
+    ):
+        assert os.path.exists(os.path.join(tel, name)), name
+    report = json.loads(open(os.path.join(tel, "report.json")).read())
+    assert report["schema"].startswith("repro.report/")
+    assert report["cache"]["lookups"] >= 1
+    html = open(os.path.join(tel, "report.html")).read()
+    assert "<svg" in html and "<script" not in html
+
+
+def test_report_on_empty_dir_exits_2(capsys, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["report", str(tmp_path)])
+    assert exc.value.code == 2
+    assert "no telemetry records" in capsys.readouterr().err
