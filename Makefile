@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -76,6 +76,19 @@ report-smoke:
 		--out benchmarks/out/report-smoke/BENCH_attribution.json
 	PYTHONPATH=src $(PYTHON) -m repro report benchmarks/out/report-smoke
 	$(PYTHON) scripts/check_report.py benchmarks/out/report-smoke
+
+# tool-accuracy leaderboard gate: score every modeled profiler against
+# ground truth over the 3x3 workload x machine grid (cold + warm cached
+# sweeps), render the telemetry run, and require >= 8 ranked tools,
+# JXPerf's top wasteful site on the Vector3 temp churn, a measurable
+# timer-placement distortion gap, and a warm hit rate >= 0.9
+leaderboard-smoke:
+	rm -rf benchmarks/out/leaderboard-smoke
+	PYTHONPATH=src $(PYTHON) scripts/bench_toolerror.py \
+		--telemetry benchmarks/out/leaderboard-smoke \
+		--out BENCH_toolerror.json
+	PYTHONPATH=src $(PYTHON) -m repro report benchmarks/out/leaderboard-smoke
+	$(PYTHON) scripts/check_toolerror.py BENCH_toolerror.json
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Run the tool-accuracy leaderboard and write BENCH_toolerror.json.
+
+Executes the full tool-error grid (every modeled profiler scored
+against ground truth on ``--workloads`` x ``--machines``) twice
+through a content-addressed run cache:
+
+* **cold** — every ``toolerror`` cell is a miss and executes (fanned
+  out over ``--jobs`` workers);
+* **warm** — the identical grid again; every cell must hit.
+
+The payload (schema ``repro.toolerror/1``) records the ranked
+leaderboard, every per-cell tool error, the JXPerf wasteful-op
+headline (the ``Vector3`` temp-churn site must top the Al-1000
+ranking), the timer-ablation distortions, and the warm hit rate.
+``scripts/check_toolerror.py`` (``make leaderboard-smoke``) gates all
+of it.
+
+With ``--telemetry DIR`` the sweep emits runtime telemetry
+(``repro.telemetry/1``) into that run directory and drops the payload
+there as ``leaderboard.json``, which ``repro report DIR`` renders into
+the leaderboard section of the HTML sweep report.
+
+Exits 0 on success; usage errors print one line and exit 2 like the
+other scripts.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"bench_toolerror: {msg}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_toolerror.json",
+        help="output JSON path (default: repo-root artifact name)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workloads to grid over (default: salt nanocar Al-1000)",
+    )
+    parser.add_argument(
+        "--machines", nargs="*", default=None,
+        help="machines to grid over (default: i7-920 e5450x2 x7560x4)",
+    )
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool width for the cold sweep "
+        "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="sweep against this cache directory instead of a fresh "
+        "temporary one",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="emit runtime telemetry into this run directory and also "
+        "write the payload there as leaderboard.json (for "
+        "'repro report')",
+    )
+    from repro.telemetry.log import add_verbosity_flags, from_args
+
+    add_verbosity_flags(parser)
+    args = parser.parse_args()
+    log = from_args("bench_toolerror", args)
+
+    if args.threads < 1:
+        raise usage_error(f"--threads must be >= 1, got {args.threads}")
+    if args.steps < 1:
+        raise usage_error(f"--steps must be >= 1, got {args.steps}")
+
+    from repro.machine import MACHINES
+    from repro.obs.leaderboard import (
+        DEFAULT_MACHINES,
+        DEFAULT_WORKLOADS,
+        leaderboard,
+        leaderboard_payload,
+    )
+    from repro.runcache import RunCache
+    from repro.telemetry import runtime as telemetry_runtime
+    from repro.workloads import resolve_workload
+
+    machines = list(args.machines or DEFAULT_MACHINES)
+    for name in machines:
+        if name not in MACHINES:
+            raise usage_error(
+                f"unknown machine {name!r} "
+                f"(choose from {', '.join(sorted(MACHINES))})"
+            )
+    try:
+        workloads = [
+            resolve_workload(w)
+            for w in (args.workloads or DEFAULT_WORKLOADS)
+        ]
+    except KeyError as exc:
+        raise usage_error(f"unknown workload {exc.args[0]!r}")
+
+    if args.telemetry:
+        telemetry_runtime.activate(args.telemetry, label="bench_toolerror")
+
+    tmp_root = None
+    if args.cache_dir is None:
+        tmp_root = tempfile.mkdtemp(prefix="repro-toolerror-bench-")
+        cache_dir = tmp_root
+    else:
+        cache_dir = args.cache_dir
+    try:
+        cache = RunCache(cache_dir)
+        t0 = time.perf_counter()
+        leaderboard(
+            workloads, machines,
+            threads=args.threads, steps=args.steps, seed=args.seed,
+            cache=cache, jobs=args.jobs,
+        )
+        t1 = time.perf_counter()
+        warm = leaderboard(
+            workloads, machines,
+            threads=args.threads, steps=args.steps, seed=args.seed,
+            cache=cache, jobs=args.jobs,
+        )
+        t2 = time.perf_counter()
+    finally:
+        if args.telemetry:
+            telemetry_runtime.deactivate()
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+    payload = leaderboard_payload(warm)
+    payload["machine"] = MACHINES[machines[0]].name
+    payload["cache"]["cold_seconds"] = t1 - t0
+    payload["cache"]["warm_seconds"] = max(t2 - t1, 1e-9)
+
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    if args.telemetry:
+        board_copy = os.path.join(args.telemetry, "leaderboard.json")
+        shutil.copyfile(args.out, board_copy)
+        log.info("telemetry run ready", dir=args.telemetry)
+
+    best = payload["leaderboard"][0] if payload["leaderboard"] else {}
+    log.info(
+        "leaderboard",
+        tools=len(payload["tools"]),
+        cells=len(warm.cells),
+        best=best.get("tool"),
+        warm_hit_rate=payload["cache"]["hit_rate"],
+        out=args.out,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

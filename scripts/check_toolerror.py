@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Validate BENCH_toolerror.json and gate the tool-accuracy leaderboard.
+
+Used by ``make leaderboard-smoke``:
+
+* the file is loadable JSON with the ``repro.toolerror/...`` schema
+  tag, a machine name, and a non-empty ``runs`` list (one entry per
+  tool x grid cell) whose entries carry
+  ``tool``/``workload``/``machine``/``error``/``metric``;
+* the grid spans at least ``--min-workloads`` workloads and
+  ``--min-machines`` machines, and the leaderboard ranks at least
+  ``--min-tools`` tools with finite, non-negative, rank-ordered mean
+  errors consistent with the per-cell entries;
+* JXPerf attributes the top wasteful-op site to the ``Vector3``
+  temp-churn allocation site (the paper's §V-B object-churn finding);
+* the timer ablation shows measurable distortion: ``timer-outside``
+  must distort phase times by at least ``--min-timer-gap`` more than
+  ``timer-sync``;
+* the warm sweep hit rate clears ``--min-hit-rate`` — the leaderboard
+  grid must be served from the content-addressed cache on repeat runs.
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
+2 with a one-line message on usage errors.
+"""
+
+import argparse
+import math
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+REQUIRED_RUN_KEYS = {"tool", "workload", "machine", "error", "metric"}
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"check_toolerror: {msg}")
+    return SystemExit(2)
+
+
+def check_toolerror(
+    path: str,
+    min_tools: int,
+    min_workloads: int,
+    min_machines: int,
+    min_timer_gap: float,
+    min_hit_rate: float,
+) -> int:
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(payload, "repro.toolerror/")
+    if err is not None:
+        return fail(err)
+
+    runs = payload["runs"]
+    for i, run in enumerate(runs):
+        missing = missing_keys(run, REQUIRED_RUN_KEYS)
+        if missing:
+            return fail(f"run {i} missing keys {missing}")
+        error = run["error"]
+        if (
+            not isinstance(error, (int, float))
+            or not math.isfinite(error)
+            or error < 0
+        ):
+            return fail(
+                f"run {i} ({run['tool']}) has bad error {error!r}"
+            )
+
+    workloads = payload.get("workloads") or []
+    machines = payload.get("machines") or []
+    if len(workloads) < min_workloads:
+        return fail(
+            f"grid covers {len(workloads)} workloads, "
+            f"need >= {min_workloads}"
+        )
+    if len(machines) < min_machines:
+        return fail(
+            f"grid covers {len(machines)} machines, "
+            f"need >= {min_machines}"
+        )
+    cells = {(r["workload"], r["machine"]) for r in runs}
+    want_cells = len(workloads) * len(machines)
+    if len(cells) != want_cells:
+        return fail(
+            f"runs cover {len(cells)} grid cells, expected {want_cells}"
+        )
+
+    board = payload.get("leaderboard")
+    if not isinstance(board, list) or len(board) < min_tools:
+        n = len(board) if isinstance(board, list) else 0
+        return fail(f"leaderboard ranks {n} tools, need >= {min_tools}")
+    prev = -1.0
+    for row in board:
+        missing = missing_keys(
+            row, {"rank", "tool", "mean_error", "worst_error", "metric"}
+        )
+        if missing:
+            return fail(f"leaderboard row missing keys {missing}")
+        mean = row["mean_error"]
+        if not math.isfinite(mean) or mean < 0:
+            return fail(f"{row['tool']} has bad mean_error {mean!r}")
+        if mean < prev - 1e-12:
+            return fail(
+                f"leaderboard not sorted by mean_error at {row['tool']}"
+            )
+        prev = mean
+        per_cell = [
+            r["error"] for r in runs if r["tool"] == row["tool"]
+        ]
+        if not per_cell:
+            return fail(f"{row['tool']} ranked but has no run entries")
+        derived = sum(per_cell) / len(per_cell)
+        if abs(derived - mean) > 1e-9 + 1e-6 * abs(derived):
+            return fail(
+                f"{row['tool']} mean_error {mean!r} inconsistent with "
+                f"its {len(per_cell)} run entries ({derived!r})"
+            )
+    tools = {row["tool"] for row in board}
+    if set(payload.get("tools") or []) != tools:
+        return fail("'tools' list inconsistent with the leaderboard")
+
+    jxperf = payload.get("jxperf")
+    if not isinstance(jxperf, dict) or not jxperf.get("top_site"):
+        return fail("missing jxperf block with a top wasteful-op site")
+    if jxperf.get("top_class") != "org.mw.math.Vector3":
+        return fail(
+            f"JXPerf top wasteful class is {jxperf.get('top_class')!r}, "
+            "expected the Vector3 temp-churn site (paper §V-B)"
+        )
+    if "temp" not in str(jxperf["top_site"]):
+        return fail(
+            f"JXPerf top site {jxperf['top_site']!r} is not the "
+            "temporary-object churn site"
+        )
+
+    timers = payload.get("timers")
+    if not isinstance(timers, dict):
+        return fail("missing 'timers' distortion block")
+    for variant in ("timer-outside", "timer-sync"):
+        value = timers.get(variant)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            return fail(f"timers block missing {variant!r}")
+    gap = timers["timer-outside"] - timers["timer-sync"]
+    if gap < min_timer_gap:
+        return fail(
+            f"timer ablation gap {gap:.4f} below {min_timer_gap} — "
+            "timer placement should measurably distort phase times"
+        )
+
+    cache = payload.get("cache")
+    if not isinstance(cache, dict):
+        return fail("missing 'cache' block")
+    hit_rate = cache.get("hit_rate")
+    if not isinstance(hit_rate, (int, float)):
+        return fail(f"missing or non-numeric hit_rate: {hit_rate!r}")
+    if hit_rate < min_hit_rate:
+        return fail(
+            f"warm hit rate {hit_rate:.2f} below {min_hit_rate} — "
+            "the leaderboard grid must be cache-served on repeat runs"
+        )
+
+    print(
+        f"OK: {path} ranks {len(board)} tools over "
+        f"{len(workloads)}x{len(machines)} grid cells; best "
+        f"{board[0]['tool']} (mean {board[0]['mean_error']:.3f}), "
+        f"jxperf top site {jxperf['top_site']!r}, timer gap "
+        f"{gap:.3f}, warm hit rate {hit_rate:.2f}"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path", nargs="?", default="BENCH_toolerror.json",
+        help="payload to validate (default %(default)s)",
+    )
+    parser.add_argument("--min-tools", type=int, default=8)
+    parser.add_argument("--min-workloads", type=int, default=3)
+    parser.add_argument("--min-machines", type=int, default=3)
+    parser.add_argument(
+        "--min-timer-gap", type=float, default=0.005,
+        help="required distortion gap between timer-outside and "
+        "timer-sync (default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-hit-rate", type=float, default=0.9,
+        help="required warm-sweep cache hit rate (default %(default)s)",
+    )
+    args = parser.parse_args()
+    for name in ("min_tools", "min_workloads", "min_machines"):
+        if getattr(args, name) < 1:
+            raise usage_error(f"--{name.replace('_', '-')} must be >= 1")
+    if args.min_hit_rate < 0 or args.min_hit_rate > 1:
+        raise usage_error("--min-hit-rate must be within [0, 1]")
+    return check_toolerror(
+        args.path,
+        args.min_tools,
+        args.min_workloads,
+        args.min_machines,
+        args.min_timer_gap,
+        args.min_hit_rate,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,12 @@ topology   §V-C      — hwloc-style topology report
 run        plain physics: run a workload, print energies,
            optionally write an XYZ trajectory
 trace      ground-truth trace + metrics of one simulated run
-compare    modeled perf-tool error vs the ground truth
+compare    modeled perf-tool error vs the ground truth (subset
+           selectable with --tools)
+leaderboard
+           tool-accuracy leaderboard: every modeled tool ranked
+           by displayed-vs-true error over a workload x machine
+           grid (cached sweep)
 attribute  speedup-loss decomposition (work inflation, idle,
            overhead, GC, injected faults) per phase + flamegraph
            export
@@ -354,14 +359,20 @@ def cmd_trace(args) -> None:
 
 def cmd_compare(args) -> None:
     """Quantify each modeled tool's error against the ground truth."""
-    report = compare_tools(
-        workload=_workload_name(args.workload),
-        steps=args.steps,
-        n_threads=args.threads,
-        machine=args.machine,
-        seed=args.seed,
-        include_observer_effects=not args.no_observer,
-    ).render()
+    _machine_spec(args.machine)
+    try:
+        report = compare_tools(
+            workload=_workload_name(args.workload),
+            steps=args.steps,
+            n_threads=args.threads,
+            machine=args.machine,
+            seed=args.seed,
+            include_observer_effects=not args.no_observer,
+            tools=args.tools,
+            cache=_run_cache(args),
+        ).render()
+    except ValueError as exc:
+        _die(str(exc))
     print(report)
     if args.out:
         _ensure_outdir(args.out)
@@ -369,6 +380,45 @@ def cmd_compare(args) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"wrote {path}")
+
+
+def cmd_leaderboard(args) -> None:
+    """Rank every modeled tool by displayed-vs-true error."""
+    from repro.obs.leaderboard import (
+        DEFAULT_MACHINES,
+        DEFAULT_WORKLOADS,
+        leaderboard,
+        leaderboard_payload,
+    )
+
+    workloads = (
+        [_workload_name(n) for n in args.workloads]
+        if args.workloads
+        else list(DEFAULT_WORKLOADS)
+    )
+    machines = args.machines or list(DEFAULT_MACHINES)
+    for name in machines:
+        _machine_spec(name)
+    try:
+        result = leaderboard(
+            workloads,
+            machines,
+            threads=args.threads,
+            steps=args.steps,
+            seed=args.seed,
+            cache=_run_cache(args),
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        _die(str(exc))
+    print(result.render())
+    if args.out:
+        _ensure_outdir(args.out)
+        path = os.path.join(args.out, "leaderboard.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(leaderboard_payload(result), fh, indent=1)
+            fh.write("\n")
+        print(f"\nwrote {path}")
 
 
 def cmd_attribute(args) -> None:
@@ -628,11 +678,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the intrusive-tool (JaMON/VisualVM) reruns",
     )
     p.add_argument(
+        "--tools", nargs="*", default=None, metavar="TOOL",
+        help="restrict the report to these tools (e.g. visualvm-1s "
+        "vtune-5ms jamon-monitors visualvm-instr); unknown names are "
+        "a usage error",
+    )
+    p.add_argument(
         "--out", default=None,
         help="also write the report into this directory (created if "
         "missing)",
     )
+    _add_cache_flags(p, jobs=False)
+    _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "leaderboard",
+        help="rank every modeled perf tool by displayed-vs-true error "
+        "over a workload x machine grid (cached sweep)",
+    )
+    p.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workloads to grid over (default: salt nanocar Al-1000)",
+    )
+    p.add_argument(
+        "--machines", nargs="*", default=None,
+        help="machines to grid over (default: i7-920 e5450x2 x7560x4)",
+    )
+    p.add_argument("--threads", type=_positive_int, default=4)
+    p.add_argument("--steps", type=_positive_int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default=None,
+        help="write the repro.toolerror/1 payload as leaderboard.json "
+        "here (directory created if missing)",
+    )
+    _add_cache_flags(p)
+    _add_telemetry_flag(p)
+    p.set_defaults(fn=cmd_leaderboard)
 
     p = sub.add_parser(
         "attribute",

@@ -19,6 +19,9 @@ that recorder plus its consumers:
 * :mod:`~repro.obs.compare` — replays the ground truth through the
   :mod:`repro.perftools` models and quantifies each tool's measurement
   error, the experiment the original authors could never run;
+* :mod:`~repro.obs.leaderboard` — aggregates those per-tool errors over
+  a workload x machine grid (cached ``toolerror`` sweep) into one
+  ranked tool-accuracy leaderboard (``repro leaderboard``);
 * :mod:`~repro.obs.attribution` — decomposes the gap between ideal and
   achieved speedup into conserved buckets (work inflation, latch idle,
   queue wait, scheduler/dispatch overhead, GC), per phase and per
@@ -52,6 +55,13 @@ from repro.obs.compare import (
     sampler_error_rows,
 )
 from repro.obs.critical_path import CriticalPath, critical_path, longest_path
+from repro.obs.leaderboard import (
+    LeaderboardResult,
+    LeaderboardRow,
+    leaderboard,
+    leaderboard_payload,
+    toolerror_cell,
+)
 from repro.obs.export import (
     chrome_trace_events,
     folded_stack_lines,
@@ -78,6 +88,8 @@ __all__ = [
     "CriticalPath",
     "Gauge",
     "Histogram",
+    "LeaderboardResult",
+    "LeaderboardRow",
     "MetricsRegistry",
     "ObserverEffectRow",
     "PhaseWindow",
@@ -98,6 +110,8 @@ __all__ = [
     "critical_path",
     "folded_stack_lines",
     "kernel_shares",
+    "leaderboard",
+    "leaderboard_payload",
     "longest_path",
     "metrics_csv",
     "metrics_json",
@@ -105,6 +119,7 @@ __all__ = [
     "render_attribution",
     "result_to_dict",
     "sampler_error_rows",
+    "toolerror_cell",
     "write_chrome_trace",
     "write_folded_stacks",
     "write_metrics",

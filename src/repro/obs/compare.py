@@ -38,6 +38,9 @@ from repro.workloads import BUILDERS
 #: VTune's thread-state sampling (5 ms)
 DEFAULT_PERIODS: Tuple[float, ...] = (1.0, 0.005)
 
+#: intrusive tools the observer-effect pass can re-run
+OBSERVER_TOOLS: Tuple[str, ...] = ("jamon-monitors", "visualvm-instr")
+
 
 def _tool_name(period: float) -> str:
     if period >= 1.0:
@@ -189,6 +192,8 @@ def compare_tools(
     periods: Sequence[float] = DEFAULT_PERIODS,
     include_observer_effects: bool = True,
     trace: Optional[Sequence] = None,
+    tools: Optional[Sequence[str]] = None,
+    cache=None,
 ) -> ToolErrorReport:
     """Run one benchmark and quantify every modeled tool's error.
 
@@ -198,16 +203,40 @@ def compare_tools(
     is re-simulated under JaMON monitors and VisualVM per-method
     instrumentation (fresh machines, same seed) and the runtime
     inflation is reported.  Pass a pre-captured ``trace`` to skip the
-    serial physics run.
+    serial physics run, or a :class:`~repro.runcache.RunCache` to pull
+    it through the content-addressed store.
+
+    ``tools`` restricts the report to a subset of tool names (sampler
+    names derive from ``periods``: ``visualvm-1s``, ``vtune-5ms``, ...,
+    plus :data:`OBSERVER_TOOLS`); unknown names raise ``ValueError``,
+    and intrusive tools left out of the subset are never re-run.
     """
     if workload not in BUILDERS:
         raise ValueError(
             f"unknown workload {workload!r}; choose from {sorted(BUILDERS)}"
         )
+    sampler_names = [_tool_name(p) for p in periods]
+    if tools is not None:
+        available = sorted(set(sampler_names) | set(OBSERVER_TOOLS))
+        unknown = sorted(set(tools) - set(available))
+        if unknown:
+            raise ValueError(
+                f"unknown tool(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(available)}"
+            )
+        wanted = set(tools)
+        periods = [
+            p for p, name in zip(periods, sampler_names)
+            if name in wanted
+        ]
+    else:
+        wanted = set(sampler_names) | set(OBSERVER_TOOLS)
     spec = MACHINES[machine]
     wl = BUILDERS[workload]()
     if trace is None:
-        trace = capture_trace(wl, steps)
+        from repro.runcache import cached_capture
+
+        trace = cached_capture(cache, workload, steps)
 
     def run(instrumentation_factory=None):
         m = SimMachine(spec, seed=seed)
@@ -233,7 +262,7 @@ def compare_tools(
         true_seconds=base_res.sim_seconds,
         sampler_rows=sampler_error_rows(truth, workers, periods),
     )
-    if include_observer_effects:
+    if include_observer_effects and "jamon-monitors" in wanted:
         _, jamon, jamon_res = run(lambda m: JaMonInstrumentation(m))
         report.observer_rows.append(
             ObserverEffectRow(
@@ -247,6 +276,7 @@ def compare_tools(
                 ),
             )
         )
+    if include_observer_effects and "visualvm-instr" in wanted:
         _, vvm, vvm_res = run(
             lambda m: VisualVmCpuInstrumentation(m, agent_duration=1.0)
         )

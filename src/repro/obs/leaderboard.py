@@ -1,0 +1,461 @@
+"""The tool-accuracy leaderboard: every modeled profiler, ranked.
+
+§IV–V's methodological finding is that every 2010 tool misled in its
+own way — but the paper could only describe the failures qualitatively.
+The simulated machine turns each failure into a number: every modeled
+tool runs against the same zero-observer-effect ground truth, and its
+*displayed-vs-true error* becomes one scalar per (workload, machine)
+cell.  Aggregated over the full grid, the tools rank:
+
+================== ====================================================
+tool               error metric
+================== ====================================================
+visualvm-1s        per-thread running-time relative error (1 s samples)
+vtune-5ms          same, at VTune's 5 ms period
+jamon-monitors     observer effect: |measured/true - 1| under monitors
+visualvm-instr     observer effect under 4x per-method instrumentation
+shark-onecore      TV distance of core-0-only vs all-core time profile
+sampling-yieldpt   TV distance of yield-point-biased vs true hot methods
+heapviewer         site-attribution mass the class histogram cannot place
+jxperf             TV distance of watchpoint-sampled vs exact wasteful ops
+timer-outside      per-phase distortion, timers outside the barrier
+timer-free         per-phase distortion, free-running timers
+timer-sync         per-phase distortion, barrier-synced timers
+================== ====================================================
+
+All metrics are dimensionless and 0-is-perfect, so one ranking is
+meaningful; each row still names its metric because they measure
+different failure modes.  Cells are content-addressed ``toolerror``
+specs executed through :func:`repro.runcache.sweep`, so a repeated
+leaderboard run is served warm from the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+
+#: the paper's tool sampling periods (VisualVM 1 s, VTune 5 ms)
+DEFAULT_PERIODS: Tuple[float, ...] = (1.0, 0.005)
+
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("salt", "nanocar", "Al-1000")
+DEFAULT_MACHINES: Tuple[str, ...] = ("i7-920", "e5450x2", "x7560x4")
+
+#: payload schema stamp for BENCH_toolerror.json
+TOOLERROR_SCHEMA = "repro.toolerror/1"
+
+
+def toolerror_cell(
+    workload: str,
+    steps: int,
+    threads: int,
+    machine: str,
+    *,
+    seed: int = 0,
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    trace: Optional[Sequence] = None,
+) -> dict:
+    """Score every modeled tool on one (workload, machine) cell.
+
+    Returns a JSON-able dict: per-tool ``{error, metric, detail}`` plus
+    the JXPerf wasteful-op ranking and the timer-ablation distortions.
+    The ground-truth replay runs traced (zero observer effect); the
+    intrusive tools re-run the same captured physics on fresh machines.
+    """
+    from repro.core.simulate import SimulatedParallelRun, capture_trace
+    from repro.jvm.gc import AllocationRecorder
+    from repro.jvm.layout import VECTOR3_LAYOUT, atom_object_graph
+    from repro.machine import MACHINES, SimMachine
+    from repro.obs.compare import sampler_error_rows
+    from repro.obs.tracer import Tracer
+    from repro.perftools import (
+        GroundTruthTimeline,
+        HeapViewer,
+        JaMonInstrumentation,
+        JxPerf,
+        VisualVmCpuInstrumentation,
+        YieldPointProfiler,
+        ablate_timers,
+        access_stream_for_trace,
+        class_blind_error,
+        distribution_error,
+        exact_classify,
+        profiler_disagreement,
+        true_hot_methods,
+    )
+    from repro.workloads import BUILDERS, resolve_workload
+
+    name = resolve_workload(workload)
+    spec = MACHINES[machine]
+    wl = BUILDERS[name]()
+    if trace is None:
+        trace = capture_trace(wl, steps)
+    n_atoms = wl.system.n_atoms
+
+    base = SimMachine(spec, seed=seed)
+    tracer = Tracer().attach(base.sim)
+    res = SimulatedParallelRun(
+        trace, n_atoms, base, threads, name="wl"
+    ).run()
+    tracer.detach()
+    spans = tracer.task_spans()
+    windows = [w for w in tracer.phase_windows() if w.complete]
+    truth = GroundTruthTimeline(base.scheduler.trace.events)
+    workers = [f"wl-pool-worker-{i}" for i in range(threads)]
+
+    tools: Dict[str, dict] = {}
+
+    # -- thread-state samplers (VisualVM 1 s / VTune 5 ms) ------------------
+    for row in sampler_error_rows(truth, workers, periods):
+        tools[row.tool] = {
+            "error": row.run_rel_error,
+            "metric": "running-time relative error",
+            "detail": (
+                f"missed {row.missed_changes * 100:.0f}% of state "
+                f"changes at {row.period:g}s"
+            ),
+        }
+
+    # -- intrusive tools: the observer effect is the error ------------------
+    def rerun(factory):
+        m = SimMachine(spec, seed=seed)
+        instr = factory(m)
+        rr = SimulatedParallelRun(
+            trace, n_atoms, m, threads, instrumentation=instr, name="wl"
+        ).run()
+        return instr, rr
+
+    jamon, jam_res = rerun(lambda m: JaMonInstrumentation(m))
+    tools["jamon-monitors"] = {
+        "error": abs(jam_res.sim_seconds / res.sim_seconds - 1.0),
+        "metric": "observer-effect |slowdown - 1|",
+        "detail": (
+            f"monitor contention {jamon.contention_ratio * 100:.0f}%"
+        ),
+    }
+    vvm, vvm_res = rerun(
+        lambda m: VisualVmCpuInstrumentation(m, agent_duration=1.0)
+    )
+    tools["visualvm-instr"] = {
+        "error": abs(vvm_res.sim_seconds / res.sim_seconds - 1.0),
+        "metric": "observer-effect |slowdown - 1|",
+        "detail": f"{vvm.inflation:g}x per-method inflation",
+    }
+
+    # -- shark: only one core's timeline at a time (§IV-C) ------------------
+    true_hot = _normalize(true_hot_methods(base))
+    per_core = _per_core_method_seconds(base)
+    busy_pu = max(
+        per_core, key=lambda pu: sum(per_core[pu].values()), default=0
+    ) if per_core else 0
+    shark_view = _normalize(per_core.get(busy_pu, {}))
+    tools["shark-onecore"] = {
+        "error": profiler_disagreement(shark_view, true_hot),
+        "metric": "one-core-only vs all-core profile TV distance",
+        "detail": (
+            f"{len(shark_view)} methods visible on PU {busy_pu} "
+            "(the busiest)"
+        ),
+    }
+
+    # -- yield-point sampling bias (§VI-B) ----------------------------------
+    ypp = YieldPointProfiler(seed=seed).profile(base)
+    tools["sampling-yieldpt"] = {
+        "error": profiler_disagreement(ypp, true_hot),
+        "metric": "yield-point vs true hot-method TV distance",
+        "detail": "hits ~ executions, not durations",
+    }
+
+    # -- wasteful memory ops: exact truth, heapviewer, JXPerf ---------------
+    stream = access_stream_for_trace(trace, n_atoms, seed=seed)
+    exact = exact_classify(stream)
+    jx = JxPerf(seed=seed)
+    estimate = jx.profile(stream)
+    tools["jxperf"] = {
+        "error": distribution_error(estimate, exact),
+        "metric": "sampled vs exact wasteful-op TV distance",
+        "detail": (
+            f"top site: {estimate.top_site() or '(none)'}; "
+            f"{jx.samples_taken} samples, {jx.traps} traps"
+        ),
+    }
+
+    recorder = AllocationRecorder()
+    for cls, size in atom_object_graph(n_atoms):
+        recorder.record(cls, size, tenured=True)
+    for n_terms in stream.emitted_terms:
+        recorder.record(
+            VECTOR3_LAYOUT.class_name,
+            VECTOR3_LAYOUT.instance_bytes,
+            count=2 * n_terms,
+        )
+    viewer = HeapViewer(recorder)
+    dom_class, dom_frac = viewer.dominant_class()
+    tools["heapviewer"] = {
+        "error": class_blind_error(exact),
+        "metric": "unattributable wasteful-op mass (TV distance)",
+        "detail": (
+            f"live view: {dom_frac * 100:.0f}% {dom_class}, "
+            "no site attribution"
+        ),
+    }
+
+    # -- timer-placement ablation -------------------------------------------
+    ablation = ablate_timers(spans, windows, threads)
+    timers = ablation.distortions()
+    for variant, distortion in timers.items():
+        row = ablation.row(variant)
+        tools[variant] = {
+            "error": distortion,
+            "metric": "per-phase time distortion",
+            "detail": f"worst phase: {row.worst_phase or '(none)'}",
+        }
+
+    return {
+        "workload": name,
+        "machine": machine,
+        "machine_name": spec.name,
+        "threads": threads,
+        "steps": len(trace),
+        "seed": seed,
+        "true_seconds": res.sim_seconds,
+        "tools": tools,
+        "jxperf": {
+            "top_site": exact.top_site(),
+            "top_class": stream.site_classes.get(
+                exact.top_site() or "", ""
+            ),
+            "sampled_top_site": estimate.top_site(),
+            "dead_store": exact.total("dead_store"),
+            "silent_store": exact.total("silent_store"),
+            "redundant_load": exact.total("redundant_load"),
+        },
+        "timers": timers,
+    }
+
+
+def _per_core_method_seconds(machine) -> Dict[int, Dict[str, float]]:
+    """Per-PU per-method executed seconds — what Shark shows one core
+    at a time.  An analyst points it at the busiest core and still only
+    sees that core's slice of the program."""
+    open_runs: Dict[str, Tuple[float, int, str]] = {}
+    totals: Dict[int, Dict[str, float]] = {}
+    for time, thread, ev_pu, what in machine.scheduler.trace.events:
+        if what.startswith("run"):
+            open_runs[thread] = (time, ev_pu, what.partition(":")[2])
+        elif what in ("done", "preempt") and thread in open_runs:
+            start, pu, label = open_runs.pop(thread)
+            key = label or "(unlabeled)"
+            per = totals.setdefault(pu, {})
+            per[key] = per.get(key, 0.0) + (time - start)
+    return totals
+
+
+def _normalize(dist: Dict[str, float]) -> Dict[str, float]:
+    total = sum(dist.values())
+    if total <= 0:
+        return {}
+    return {k: v / total for k, v in dist.items()}
+
+
+@dataclass
+class LeaderboardRow:
+    """One ranked tool, aggregated over every grid cell."""
+
+    rank: int
+    tool: str
+    mean_error: float
+    worst_error: float
+    metric: str
+    cells: int
+
+
+@dataclass
+class LeaderboardResult:
+    """The full ranking plus the per-cell raw data behind it."""
+
+    rows: List[LeaderboardRow]
+    cells: List[dict]
+    workloads: List[str]
+    machines: List[str]
+    threads: int
+    steps: int
+    seed: int
+    #: run-cache stats of the sweep that produced the cells
+    hit_rate: float = 0.0
+    jobs: int = 1
+    extras: Dict[str, dict] = field(default_factory=dict)
+
+    def row(self, tool: str) -> LeaderboardRow:
+        """The ranked row of one tool; KeyError if it never scored."""
+        for r in self.rows:
+            if r.tool == tool:
+                return r
+        raise KeyError(f"tool not on leaderboard: {tool!r}")
+
+    def render(self) -> str:
+        """ASCII standings plus the JXPerf headline line."""
+        header = (
+            f"Tool-accuracy leaderboard — "
+            f"{len(self.workloads)} workloads x "
+            f"{len(self.machines)} machines, {self.threads} threads, "
+            f"{self.steps} steps (error: 0 = perfect)"
+        )
+        table = format_table(
+            [
+                {
+                    "rank": r.rank,
+                    "tool": r.tool,
+                    "mean err": f"{r.mean_error:.3f}",
+                    "worst err": f"{r.worst_error:.3f}",
+                    "metric": r.metric,
+                }
+                for r in self.rows
+            ]
+        )
+        lines = [header, "", table]
+        jx = self.extras.get("jxperf")
+        if jx:
+            lines += [
+                "",
+                f"JXPerf wasteful-op ranking ({jx.get('workload')}): "
+                f"top site {jx.get('top_site')} "
+                f"[{jx.get('top_class')}] — "
+                f"{jx.get('dead_store', 0):.0f} dead, "
+                f"{jx.get('silent_store', 0):.0f} silent, "
+                f"{jx.get('redundant_load', 0):.0f} redundant",
+            ]
+        return "\n".join(lines)
+
+
+def leaderboard(
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    machines: Sequence[str] = DEFAULT_MACHINES,
+    *,
+    threads: int = 4,
+    steps: int = 4,
+    seed: int = 0,
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    cache=None,
+    jobs: Optional[int] = None,
+) -> LeaderboardResult:
+    """Run (or replay from cache) the full grid and rank the tools."""
+    from repro.runcache import sweep, toolerror_spec
+    from repro.workloads import resolve_workload
+
+    names = [resolve_workload(w) for w in workloads]
+    machine_keys = list(machines)
+    specs = [
+        toolerror_spec(
+            w, steps, threads, m, seed=seed, periods=periods
+        )
+        for w in names
+        for m in machine_keys
+    ]
+    result = sweep(specs, cache, jobs=jobs)
+    cells = list(result.artifacts)
+
+    per_tool: Dict[str, List[float]] = {}
+    metric: Dict[str, str] = {}
+    for cell in cells:
+        for tool, info in cell["tools"].items():
+            per_tool.setdefault(tool, []).append(float(info["error"]))
+            metric[tool] = info["metric"]
+    ranked = sorted(
+        per_tool.items(), key=lambda kv: (_mean(kv[1]), kv[0])
+    )
+    rows = [
+        LeaderboardRow(
+            rank=i + 1,
+            tool=tool,
+            mean_error=_mean(errors),
+            worst_error=max(errors),
+            metric=metric[tool],
+            cells=len(errors),
+        )
+        for i, (tool, errors) in enumerate(ranked)
+    ]
+
+    extras: Dict[str, dict] = {}
+    jx_cell = _jxperf_showcase(cells)
+    if jx_cell is not None:
+        extras["jxperf"] = {
+            "workload": jx_cell["workload"], **jx_cell["jxperf"]
+        }
+    timer_means: Dict[str, List[float]] = {}
+    for cell in cells:
+        for variant, distortion in cell["timers"].items():
+            timer_means.setdefault(variant, []).append(distortion)
+    extras["timers"] = {
+        v: _mean(d) for v, d in sorted(timer_means.items())
+    }
+
+    return LeaderboardResult(
+        rows=rows,
+        cells=cells,
+        workloads=names,
+        machines=machine_keys,
+        threads=threads,
+        steps=steps,
+        seed=seed,
+        hit_rate=result.hit_rate,
+        jobs=result.jobs,
+        extras=extras,
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _jxperf_showcase(cells: List[dict]) -> Optional[dict]:
+    """The Al-1000 cell (the paper's churn-dominated workload), else
+    the first cell — the one the headline JXPerf ranking quotes."""
+    for cell in cells:
+        if cell["workload"] == "Al-1000":
+            return cell
+    return cells[0] if cells else None
+
+
+def leaderboard_payload(result: LeaderboardResult) -> dict:
+    """The ``repro.toolerror/1`` JSON payload for one leaderboard."""
+    runs = [
+        {
+            "tool": tool,
+            "workload": cell["workload"],
+            "machine": cell["machine"],
+            "threads": cell["threads"],
+            "error": float(info["error"]),
+            "metric": info["metric"],
+            "detail": info.get("detail", ""),
+        }
+        for cell in result.cells
+        for tool, info in sorted(cell["tools"].items())
+    ]
+    return {
+        "schema": TOOLERROR_SCHEMA,
+        "machine": result.machines[0] if result.machines else "",
+        "machines": list(result.machines),
+        "workloads": list(result.workloads),
+        "threads": result.threads,
+        "steps": result.steps,
+        "seed": result.seed,
+        "tools": [r.tool for r in result.rows],
+        "leaderboard": [
+            {
+                "rank": r.rank,
+                "tool": r.tool,
+                "mean_error": r.mean_error,
+                "worst_error": r.worst_error,
+                "metric": r.metric,
+                "cells": r.cells,
+            }
+            for r in result.rows
+        ],
+        "runs": runs,
+        "jxperf": dict(result.extras.get("jxperf", {})),
+        "timers": dict(result.extras.get("timers", {})),
+        "cache": {"hit_rate": result.hit_rate, "jobs": result.jobs},
+    }

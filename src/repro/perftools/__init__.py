@@ -23,11 +23,33 @@ module           models
 ``shark``        timestamped call-stack profiles
 ``heapviewer``   class histograms (and the wished-for views)
 ``topoview``     the hwloc-like topology report (§V-C's wish)
+``memtrace``     address-accurate synthetic load/store streams
+``jxperf``       PMU-watchpoint wasteful-memory-op profiler
+``timers``       LAMMPS-style timer-placement ablation
 ===============  ===========================================
+
+The last three are the *next-generation* models: the tools the authors
+wished for, scored against the same ground truth as the 2010 ones (see
+``repro.obs.leaderboard``).
 """
 
 from repro.perftools.heapviewer import HeapViewer
 from repro.perftools.jamon import JaMonInstrumentation, MonitorStats
+from repro.perftools.jxperf import (
+    JxPerf,
+    WastefulReport,
+    class_blind_error,
+    distribution_error,
+    exact_classify,
+    pollution_report,
+)
+from repro.perftools.memtrace import (
+    Access,
+    AccessStream,
+    access_stream_for_trace,
+    synthesize_accesses,
+    terms_per_step,
+)
 from repro.perftools.profiler import (
     RandomSamplingProfiler,
     YieldPointProfiler,
@@ -42,14 +64,22 @@ from repro.perftools.sampling import (
 )
 from repro.perftools.shark import SharkProfile
 from repro.perftools.timeline import TimelineRenderer
+from repro.perftools.timers import (
+    TimerAblationReport,
+    TimerVariantRow,
+    ablate_timers,
+)
 from repro.perftools.visualvm import VisualVmCpuInstrumentation
 from repro.perftools.vtune import VTune
 from repro.perftools.topoview import topology_report
 
 __all__ = [
+    "Access",
+    "AccessStream",
     "GroundTruthTimeline",
     "HeapViewer",
     "JaMonInstrumentation",
+    "JxPerf",
     "MonitorStats",
     "RandomSamplingProfiler",
     "SampledTimeline",
@@ -57,10 +87,21 @@ __all__ = [
     "ThreadState",
     "ThreadStateSampler",
     "TimelineRenderer",
+    "TimerAblationReport",
+    "TimerVariantRow",
     "VTune",
     "VisualVmCpuInstrumentation",
+    "WastefulReport",
     "YieldPointProfiler",
+    "ablate_timers",
+    "access_stream_for_trace",
+    "class_blind_error",
+    "distribution_error",
+    "exact_classify",
+    "pollution_report",
     "profiler_disagreement",
+    "synthesize_accesses",
+    "terms_per_step",
     "topology_report",
     "true_hot_methods",
 ]

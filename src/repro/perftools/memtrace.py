@@ -1,0 +1,265 @@
+"""Synthetic per-access memory streams for the watchpoint profiler.
+
+The paper's wasteful-memory-op pathology (§V-B) lives *below* the
+granularity of every tool it evaluated: the ``Vector3`` convenience
+objects allocated inside the force loop are dead the moment they are
+consumed, and no 2010 profiler could attribute the resulting cache
+pollution to the allocation site.  A JXPerf-style profiler ("Pinpointing
+Performance Inefficiencies in Java", PAPERS.md) works on individual
+loads and stores, so to score one we need an address-accurate access
+stream — which the DES timing model deliberately does not produce (it
+tracks region traffic, not addresses).
+
+This module synthesizes that stream from the captured physics trace:
+object addresses come from the :class:`repro.jvm.heap.Heap` placement
+model (the same fragmented-TLAB layout §V-A observed), per-step term
+counts come from the engine's :class:`~repro.md.engine.StepReport`, and
+the per-access structure mirrors MW's six-phase timestep:
+
+* ``predict``   — load each atom's position ``Vector3``, store the
+  predicted value (anchored atoms are read but never written);
+* ``zeroFill``  — store zero into each force slot;
+* ``forces``    — per interaction term: gather the neighbour position,
+  allocate **two** temporary ``Vector3`` objects (displacement and
+  pairwise force — each a zero-init store immediately overwritten by
+  the constructor store: a *dead store*), then read-modify-write the
+  force accumulator;
+* ``reduce``    — load every force slot;
+* ``correct``   — load and store each position (anchored atoms are
+  blindly re-written with the same value: a *silent store*, the
+  movable-flag check MW skipped).
+
+``churn_free=True`` models the paper's hand-optimized rewrite
+(primitive arrays, no temporaries, movable-flag checks, clear-on-use
+zero fill): by construction it performs **zero** dead and silent
+stores, which is exactly the property the classifier tests assert.
+
+Values are symbolic tags, not floats — the stream is an address/value
+skeleton for classification, not a physics replay.  Term counts above
+``max_terms_per_step`` are stride-capped so Al-1000's ~10^5 pair terms
+stay tractable; the *relative* site ranking is unaffected because every
+per-term site scales down together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.jvm.heap import Heap, PlacementPolicy
+from repro.jvm.layout import VECTOR3_LAYOUT, atom_object_graph
+
+#: allocation/usage sites, named the way a Java profiler would show them
+SITE_PREDICT = "Predictor.predict [position]"
+SITE_ZEROFILL = "Forces.zeroFill [force array]"
+SITE_GATHER = "Forces.gather [neighbor position]"
+SITE_TEMP = "Vector3.<init> [forces temp]"
+SITE_ACCUM = "Forces.accumulate [force slot]"
+SITE_REDUCE = "Reduce.sum [force array]"
+SITE_CORRECT = "Corrector.update [position]"
+
+#: default cap on emitted force terms per step (stride sampling)
+DEFAULT_MAX_TERMS = 2048
+
+#: number of recycled temp slots — a scaled-down TLAB window; dead-store
+#: detection is adjacency-based, so the window size only spreads
+#: addresses, it never changes classification counts
+TEMP_RING_SLOTS = 256
+
+_UNWRITTEN = object()  # address never stored (fresh heap memory)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One load or store in the synthetic stream.
+
+    ``value`` is the symbolic content of the address *after* the access
+    (for loads: the value read).  ``prev_value`` is the content just
+    before a store — what a watchpoint trap handler would read back —
+    and ``None`` for loads.
+    """
+
+    kind: str  # "load" | "store"
+    address: int
+    site: str
+    class_name: str
+    value: Hashable
+    prev_value: Optional[Hashable] = None
+
+
+@dataclass
+class AccessStream:
+    """The synthesized stream plus the address map the scorers need."""
+
+    events: List[Access]
+    n_atoms: int
+    steps: int
+    #: emitted force terms per step (after the stride cap)
+    emitted_terms: List[int]
+    #: addresses of the long-lived atom object graph
+    atom_addresses: Set[int]
+    #: addresses of the recycled temp ``Vector3`` window
+    temp_addresses: Set[int]
+    #: site -> Java class its accesses touch (for class-blind tools)
+    site_classes: Dict[str, str]
+
+
+def terms_per_step(trace: Sequence) -> List[int]:
+    """Force-phase interaction terms per step of a captured trace."""
+    out = []
+    for report in trace:
+        work = report.phase_work.get("forces")
+        out.append(int(work.terms) if work is not None else 0)
+    return out
+
+
+def synthesize_accesses(
+    step_terms: Sequence[int],
+    n_atoms: int,
+    *,
+    churn_free: bool = False,
+    anchored_every: int = 16,
+    seed: int = 0,
+    max_terms_per_step: Optional[int] = DEFAULT_MAX_TERMS,
+    heap_policy: PlacementPolicy = PlacementPolicy.FRAGMENTED,
+) -> AccessStream:
+    """Synthesize the per-access stream for ``len(step_terms)`` steps.
+
+    ``churn_free`` switches to the optimized-rewrite model (no temp
+    objects, movable-flag checks, clear-on-use zero fill) whose streams
+    contain no dead or silent stores by construction.
+    """
+    if n_atoms < 1:
+        raise ValueError(f"need at least one atom: {n_atoms}")
+    if anchored_every < 0:
+        raise ValueError(f"negative anchored_every: {anchored_every}")
+    heap = Heap(policy=heap_policy, seed=seed)
+    objects = heap.allocate_all(atom_object_graph(n_atoms))
+    # graph layout: [array, (Atom, pos, vel, acc, force) * n_atoms]
+    pos_addr = [objects[1 + 5 * i + 1].address for i in range(n_atoms)]
+    force_addr = [objects[1 + 5 * i + 4].address for i in range(n_atoms)]
+    v3 = VECTOR3_LAYOUT.class_name
+    ring = [
+        heap.allocate(v3, VECTOR3_LAYOUT.instance_bytes)
+        for _ in range(TEMP_RING_SLOTS)
+    ]
+    ring_idx = 0
+
+    def anchored(i: int) -> bool:
+        return anchored_every > 0 and i % anchored_every == 0
+
+    shadow: Dict[int, Hashable] = {}
+    events: List[Access] = []
+
+    def load(addr: int, site: str, cls: str = v3) -> None:
+        events.append(
+            Access("load", addr, site, cls, shadow.get(addr, _UNWRITTEN))
+        )
+
+    def store(addr: int, value: Hashable, site: str, cls: str = v3) -> None:
+        events.append(
+            Access(
+                "store", addr, site, cls, value,
+                prev_value=shadow.get(addr, _UNWRITTEN),
+            )
+        )
+        shadow[addr] = value
+
+    emitted: List[int] = []
+    prev_touched: Set[int] = set()
+    for s, terms in enumerate(step_terms):
+        if terms < 0:
+            raise ValueError(f"negative term count at step {s}: {terms}")
+        n_emit = terms
+        if max_terms_per_step is not None:
+            n_emit = min(terms, max_terms_per_step)
+        emitted.append(n_emit)
+
+        # predict: read position, write the predicted one (movable only)
+        for i in range(n_atoms):
+            load(pos_addr[i], SITE_PREDICT)
+            if not anchored(i):
+                store(pos_addr[i], ("pred", i, s), SITE_PREDICT)
+
+        # zero-fill: MW clears the whole force array; the rewrite clears
+        # only the slots the previous step dirtied (clear-on-use)
+        zf = (
+            sorted(prev_touched) if churn_free else range(n_atoms)
+        )
+        for i in zf:
+            store(force_addr[i], 0, SITE_ZEROFILL)
+
+        touched: Set[int] = set()
+        for k in range(n_emit):
+            i = k % n_atoms
+            j = (i + 1 + k // n_atoms) % n_atoms
+            if j == i:
+                j = (j + 1) % n_atoms
+            load(pos_addr[j], SITE_GATHER)
+            if not churn_free:
+                # dr = new Vector3(); f = new Vector3() — the JIT does
+                # not scalarize them, so each is a zero-init store the
+                # constructor immediately kills (the dead store JXPerf's
+                # authors found dominating real Java workloads)
+                for part in ("dr", "f"):
+                    slot = ring[ring_idx]
+                    ring_idx = (ring_idx + 1) % len(ring)
+                    store(slot.address, 0, SITE_TEMP)
+                    store(slot.address, ("v3", part, s, k), SITE_TEMP)
+                    load(slot.address, SITE_ACCUM)
+            load(force_addr[i], SITE_ACCUM)
+            store(force_addr[i], ("f", i, s, k), SITE_ACCUM)
+            touched.add(i)
+
+        # reduce: read back what the force loop produced
+        red = sorted(touched) if churn_free else range(n_atoms)
+        for i in red:
+            load(force_addr[i], SITE_REDUCE)
+
+        # correct: read the position, write the corrected one; MW
+        # stores anchored atoms' unchanged positions (silent stores),
+        # the rewrite checks the movable flag first
+        for i in range(n_atoms):
+            load(pos_addr[i], SITE_CORRECT)
+            if anchored(i):
+                if not churn_free:
+                    store(pos_addr[i], ("pos", i, "anchored"), SITE_CORRECT)
+            else:
+                store(pos_addr[i], ("pos", i, s), SITE_CORRECT)
+        prev_touched = touched
+
+    return AccessStream(
+        events=events,
+        n_atoms=n_atoms,
+        steps=len(list(step_terms)),
+        emitted_terms=emitted,
+        atom_addresses=set(pos_addr) | set(force_addr),
+        temp_addresses={slot.address for slot in ring},
+        site_classes={
+            SITE_PREDICT: v3,
+            SITE_ZEROFILL: v3,
+            SITE_GATHER: v3,
+            SITE_TEMP: v3,
+            SITE_ACCUM: v3,
+            SITE_REDUCE: v3,
+            SITE_CORRECT: v3,
+        },
+    )
+
+
+def access_stream_for_trace(
+    trace: Sequence,
+    n_atoms: int,
+    *,
+    churn_free: bool = False,
+    seed: int = 0,
+    max_terms_per_step: Optional[int] = DEFAULT_MAX_TERMS,
+) -> AccessStream:
+    """The synthetic stream for a captured physics trace."""
+    return synthesize_accesses(
+        terms_per_step(trace),
+        n_atoms,
+        churn_free=churn_free,
+        seed=seed,
+        max_terms_per_step=max_terms_per_step,
+    )

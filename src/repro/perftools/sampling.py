@@ -132,17 +132,43 @@ class SampledTimeline:
         return sum(1 for a, b in zip(seq, seq[1:]) if a != b)
 
 
+#: one simulated microsecond, the unit conversions below pivot on
+MICROSECOND = 1e-6
+
+
 class ThreadStateSampler:
     """Sample a ground-truth timeline the way VisualVM/VTune did.
 
-    ``period`` = 1.0 reproduces VisualVM's thread view; 0.005-0.010
-    reproduces VTune's.
+    ``period`` is in **simulated seconds** (the unit every timeline and
+    trace timestamp in this repo uses): ``period=1.0`` reproduces
+    VisualVM's 1 s thread view, ``0.005``–``0.010`` reproduces VTune's
+    5–10 ms sampling.  The paper's work quanta are 80–5000 µs, so
+    µs-denominated periods are common in analysis code — use
+    :meth:`from_micros` / :attr:`period_us` instead of hand-converting.
+
+    Invalid periods (zero, negative, NaN, infinity) are rejected here,
+    at construction — previously a NaN period slipped through the
+    ``<= 0`` check and only exploded mid-run inside ``np.arange``.
     """
 
     def __init__(self, period: float):
-        if period <= 0:
-            raise ValueError(f"period must be positive: {period}")
+        period = float(period)
+        if not np.isfinite(period) or period <= 0:
+            raise ValueError(
+                f"period must be a finite positive number of simulated "
+                f"seconds: {period!r}"
+            )
         self.period = period
+
+    @classmethod
+    def from_micros(cls, period_us: float) -> "ThreadStateSampler":
+        """Build a sampler from a period in simulated microseconds."""
+        return cls(float(period_us) * MICROSECOND)
+
+    @property
+    def period_us(self) -> float:
+        """The sampling period in simulated microseconds."""
+        return self.period / MICROSECOND
 
     def sample(self, truth: GroundTruthTimeline) -> SampledTimeline:
         """Take periodic samples of every thread's state."""

@@ -41,6 +41,7 @@ from repro.runcache.sweep import (
     observe_spec,
     run_and_store,
     sweep,
+    toolerror_spec,
     trace_spec,
 )
 
@@ -64,5 +65,6 @@ __all__ = [
     "run_and_store",
     "spec_digest",
     "sweep",
+    "toolerror_spec",
     "trace_spec",
 ]

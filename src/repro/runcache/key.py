@@ -31,7 +31,9 @@ from typing import Any, Dict, Optional, Sequence
 from repro.core.costmodel import DEFAULT_COST_PARAMS, CostParams
 
 #: spec kinds the executor knows how to (re-)run
-KINDS = ("capture", "observe", "trace", "chaos_ref", "chaos_case")
+KINDS = (
+    "capture", "observe", "trace", "chaos_ref", "chaos_case", "toolerror"
+)
 
 #: execution options a spec may carry, with their canonical defaults —
 #: an omitted option and an explicitly-passed default hash identically

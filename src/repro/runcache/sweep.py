@@ -91,6 +91,30 @@ def trace_spec(
     )
 
 
+def toolerror_spec(
+    workload: str,
+    steps: int,
+    threads: int,
+    machine: str,
+    *,
+    seed: int = 0,
+    periods: Sequence[float] = (1.0, 0.005),
+) -> RunSpec:
+    """Spec for one tool-accuracy leaderboard cell (all modeled tools
+    scored against ground truth on one workload x machine point)."""
+    from repro.workloads import resolve_workload
+
+    return RunSpec(
+        kind="toolerror",
+        workload=resolve_workload(workload),
+        steps=steps,
+        seed=seed,
+        threads=threads,
+        machine=machine,
+        options={"periods": [float(p) for p in periods]},
+    )
+
+
 # -- executing one spec ------------------------------------------------------
 
 
@@ -321,12 +345,33 @@ def _execute_chaos_case(spec: RunSpec, cache: Optional[RunCache]) -> dict:
     )
 
 
+def _execute_toolerror(spec: RunSpec, cache: Optional[RunCache]) -> dict:
+    """One leaderboard cell: every modeled tool's displayed-vs-true
+    error on this (workload, machine) point.  The physics capture is
+    the only nested dependency, so it routes through the cache."""
+    from repro.obs.leaderboard import toolerror_cell
+
+    _machine_spec(spec.machine)  # validate before the expensive part
+    trace = cached_capture(cache, spec.workload, spec.steps)
+    periods = tuple(spec.options.get("periods") or (1.0, 0.005))
+    return toolerror_cell(
+        spec.workload,
+        spec.steps,
+        spec.threads,
+        spec.machine,
+        seed=spec.seed,
+        periods=periods,
+        trace=trace,
+    )
+
+
 _EXECUTORS = {
     "capture": lambda spec, cache: _execute_capture(spec),
     "observe": _execute_observe,
     "trace": _execute_trace,
     "chaos_ref": _execute_chaos_ref,
     "chaos_case": _execute_chaos_case,
+    "toolerror": _execute_toolerror,
 }
 
 

@@ -45,6 +45,7 @@ from repro.telemetry.prom import write_prometheus
 from repro.telemetry.schema import REPORT_SCHEMA
 
 BENCH_NAME = "bench.json"
+LEADERBOARD_NAME = "leaderboard.json"
 
 #: fixed categorical slot order (light, dark) — validated palette
 _SERIES = (
@@ -67,6 +68,26 @@ def _load_bench(run_dir: Path) -> Optional[dict]:
     except (OSError, ValueError):
         return None
     return payload if isinstance(payload, dict) else None
+
+
+def _leaderboard_block(run_dir: Path) -> Optional[dict]:
+    """The ``repro.toolerror/1`` leaderboard, when the bench driver
+    dropped a ``leaderboard.json`` next to the telemetry."""
+    path = run_dir / LEADERBOARD_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or not payload.get("leaderboard"):
+        return None
+    return {
+        "rows": payload["leaderboard"],
+        "workloads": payload.get("workloads", []),
+        "machines": payload.get("machines", []),
+        "threads": payload.get("threads"),
+        "jxperf": payload.get("jxperf") or {},
+        "timers": payload.get("timers") or {},
+    }
 
 
 def _process_runs(records: List[dict]) -> List[dict]:
@@ -230,6 +251,7 @@ def build_report(
         "speedup": _speedup_block(bench),
         "attribution": _attribution_block(bench),
         "chaos": _chaos_block(records),
+        "leaderboard": _leaderboard_block(root),
         "flamegraphs": flamegraphs,
     }
 
@@ -368,6 +390,40 @@ def _attribution_svg(block: dict) -> str:
         parts.append(
             f'<text x="{x + 8:.1f}" y="{y + row_h / 2 + 4:.1f}" '
             f'class="tick">{totals[name] * 1e3:.2f} ms</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _leaderboard_svg(block: dict) -> str:
+    """Horizontal bars: mean displayed-vs-true error per tool, ranked
+    best (smallest) first.  One series, so a single hue; exact values
+    live in the tooltips and the table below."""
+    rows = block["rows"]
+    if not rows:
+        return ""
+    row_h, gap, left, right = 22, 8, 150, 90
+    width = 640
+    height = len(rows) * (row_h + gap) + 10
+    plot_w = width - left - right
+    vmax = max([r["mean_error"] for r in rows] + [1e-12])
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="Mean displayed-vs-true error per tool">'
+    ]
+    for row_i, r in enumerate(rows):
+        y = row_i * (row_h + gap) + 4
+        w = max(r["mean_error"] / vmax * plot_w, 2.0)
+        parts.append(
+            f'<text x="{left - 10}" y="{y + row_h / 2 + 4:.1f}" '
+            f'class="tick" text-anchor="end">{_esc(r["tool"])}</text>'
+            f'<rect x="{left}" y="{y}" width="{w:.1f}" '
+            f'height="{row_h}" rx="2" fill="var(--series-1)">'
+            f"<title>#{r['rank']} {_esc(r['tool'])}: mean error "
+            f"{r['mean_error']:.3f}, worst {r['worst_error']:.3f} "
+            f"({_esc(r['metric'])})</title></rect>"
+            f'<text x="{left + w + 8:.1f}" y="{y + row_h / 2 + 4:.1f}" '
+            f'class="tick">{r["mean_error"]:.3f}</text>'
         )
     parts.append("</svg>")
     return "".join(parts)
@@ -552,6 +608,41 @@ def render_html(report: dict) -> str:
             "<h2>Speedup-loss attribution (peak threads)</h2>"
             + _legend(attribution["buckets"])
             + _attribution_svg(attribution)
+        )
+    board = report.get("leaderboard")
+    if board:
+        grid = ""
+        if board.get("workloads") and board.get("machines"):
+            grid = (
+                f" ({len(board['workloads'])} workloads x "
+                f"{len(board['machines'])} machines)"
+            )
+        board_rows = "".join(
+            f'<tr><td class="num">{r["rank"]}</td>'
+            f"<td>{_esc(r['tool'])}</td>"
+            f'<td class="num">{r["mean_error"]:.3f}</td>'
+            f'<td class="num">{r["worst_error"]:.3f}</td>'
+            f"<td>{_esc(r['metric'])}</td></tr>"
+            for r in board["rows"]
+        )
+        jx = board.get("jxperf") or {}
+        jx_note = ""
+        if jx.get("top_site"):
+            jx_note = (
+                f"<p class=\"sub\">JXPerf top wasteful site on "
+                f"{_esc(jx.get('workload', '?'))}: "
+                f"<code>{_esc(jx['top_site'])}</code> "
+                f"[{_esc(jx.get('top_class', ''))}]</p>"
+            )
+        sections.append(
+            f"<h2>Tool-accuracy leaderboard{_esc(grid)}</h2>"
+            + _leaderboard_svg(board)
+            + "<table><tr><th class=\"num\">rank</th><th>tool</th>"
+            + '<th class="num">mean err</th><th class="num">worst err'
+            + "</th><th>metric</th></tr>"
+            + board_rows
+            + "</table>"
+            + jx_note
         )
     sections.append(
         "<h2>Per-process timeline</h2>" + _timeline_svg(runs)

@@ -72,3 +72,30 @@ def test_render_mentions_every_tool(report):
 def test_unknown_workload_rejected():
     with pytest.raises(ValueError):
         compare_tools(workload="nope")
+
+
+def test_tools_filter_restricts_sampler_rows():
+    trace = capture_trace(BUILDERS["salt"](), 1)
+    report = compare_tools(
+        steps=1, n_threads=2, trace=trace, tools=["vtune-5ms"],
+    )
+    assert [r.tool for r in report.sampler_rows] == ["vtune-5ms"]
+    # intrusive tools outside the subset are never re-run
+    assert report.observer_rows == []
+
+
+def test_tools_filter_observer_only():
+    trace = capture_trace(BUILDERS["salt"](), 1)
+    report = compare_tools(
+        steps=1, n_threads=2, trace=trace, tools=["jamon-monitors"],
+    )
+    assert report.sampler_rows == []
+    assert [r.tool for r in report.observer_rows] == ["jamon-monitors"]
+
+
+def test_unknown_tool_rejected_with_choices():
+    with pytest.raises(ValueError) as exc:
+        compare_tools(steps=1, n_threads=2, tools=["perf-stat"])
+    msg = str(exc.value)
+    assert "perf-stat" in msg
+    assert "visualvm-1s" in msg  # the error names the valid choices

@@ -1,0 +1,149 @@
+"""JXPerf model (§V-B): wasteful-op classification, sampling fidelity,
+and the no-false-positive property of the churn-free rewrite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import capture_trace
+from repro.perftools import (
+    JxPerf,
+    WastefulReport,
+    access_stream_for_trace,
+    class_blind_error,
+    distribution_error,
+    exact_classify,
+    pollution_report,
+    synthesize_accesses,
+)
+from repro.perftools.memtrace import SITE_CORRECT, SITE_TEMP
+from repro.workloads import build_al1000
+
+VECTOR3 = "org.mw.math.Vector3"
+
+
+@pytest.fixture(scope="module")
+def al_stream():
+    """Address-accurate stream for a short seeded Al-1000 run."""
+    wl = build_al1000(seed=1)
+    trace = capture_trace(wl, 2)
+    return access_stream_for_trace(trace, wl.system.n_atoms, seed=0)
+
+
+@pytest.fixture(scope="module")
+def al_exact(al_stream):
+    return exact_classify(al_stream)
+
+
+# ------------------------------------ the paper's §V-B churn regression
+
+
+def test_al1000_vector3_temp_site_tops_exact_ranking(al_stream, al_exact):
+    """The force-loop Vector3 temporaries dominate the wasteful-op
+    ranking — the attribution no 2010 tool could produce."""
+    assert al_exact.top_site() == SITE_TEMP
+    assert al_stream.site_classes[SITE_TEMP] == VECTOR3
+    site, total, breakdown = al_exact.ranking()[0]
+    assert site == SITE_TEMP
+    assert breakdown["dead_store"] > 0
+    assert total == pytest.approx(sum(breakdown.values()))
+    # the skipped movable-flag check shows up as silent stores
+    assert al_exact.site(SITE_CORRECT).silent_store > 0
+    assert al_exact.total("redundant_load") > 0
+
+
+def test_al1000_sampled_profile_agrees_with_truth(al_stream, al_exact):
+    jx = JxPerf(seed=0)
+    estimate = jx.profile(al_stream)
+    assert estimate.top_site() == SITE_TEMP
+    assert jx.samples_taken > 0
+    assert jx.traps > 0
+    # period-extrapolated counts land near the exact totals
+    assert estimate.total("dead_store") == pytest.approx(
+        al_exact.total("dead_store"), rel=0.5
+    )
+    err = distribution_error(estimate, al_exact)
+    assert 0.0 <= err < 0.5
+    # site attribution beats the class-blind 2010 heap viewer
+    assert err < class_blind_error(al_exact)
+
+
+# ------------------------------- churn-free rewrite: no false positives
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    step_terms=st.lists(st.integers(0, 200), min_size=1, max_size=3),
+    n_atoms=st.integers(2, 48),
+    seed=st.integers(0, 7),
+    period=st.integers(1, 64),
+)
+def test_churn_free_stream_never_reports_dead_or_silent(
+    step_terms, n_atoms, seed, period
+):
+    """The optimized rewrite performs zero dead/silent stores by
+    construction, and neither the exact classifier nor the sampled
+    profiler may invent any (zero false positives at every period)."""
+    stream = synthesize_accesses(
+        step_terms, n_atoms, churn_free=True, seed=seed
+    )
+    exact = exact_classify(stream)
+    assert exact.total("dead_store") == 0
+    assert exact.total("silent_store") == 0
+    sampled = JxPerf(sample_period=period, seed=seed).profile(stream)
+    assert sampled.total("dead_store") == 0
+    assert sampled.total("silent_store") == 0
+
+
+def test_churn_stream_reports_all_three_categories():
+    stream = synthesize_accesses([150, 150], 32, seed=1)
+    exact = exact_classify(stream)
+    assert exact.total("dead_store") > 0
+    assert exact.total("silent_store") > 0
+    assert exact.total("redundant_load") > 0
+
+
+# --------------------------------------- the four-debug-register budget
+
+
+def test_watchpoint_scarcity_evicts_and_loses_traps():
+    stream = synthesize_accesses([300], 64, seed=2)
+    scarce = JxPerf(sample_period=7, max_watchpoints=1)
+    scarce.profile(stream)
+    roomy = JxPerf(sample_period=7, max_watchpoints=256)
+    roomy.profile(stream)
+    assert scarce.evictions > 0
+    assert scarce.samples_taken == roomy.samples_taken
+    assert scarce.traps < roomy.traps
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        JxPerf(sample_period=0)
+    with pytest.raises(ValueError):
+        JxPerf(max_watchpoints=0)
+
+
+# ------------------------------------------------- error-metric bounds
+
+
+def test_distribution_error_bounds(al_exact):
+    assert distribution_error(al_exact, al_exact) == 0.0
+    empty = WastefulReport()
+    assert distribution_error(empty, empty) == 0.0
+    # finding nothing while the truth is non-empty is maximally wrong
+    assert distribution_error(empty, al_exact) == 1.0
+    assert class_blind_error(empty) == 0.0
+    assert 0.0 < class_blind_error(al_exact) <= 1.0
+
+
+# ----------------------------------------------- LLC pollution headline
+
+
+def test_pollution_report_blames_temp_churn():
+    churn = synthesize_accesses([200, 200], 64, seed=3)
+    clean = synthesize_accesses([200, 200], 64, churn_free=True, seed=3)
+    rep = pollution_report(churn, clean, capacity_bytes=16 * 1024)
+    assert rep["temp_miss_bytes"] > 0
+    assert rep["pollution_bytes"] >= 0
+    assert rep["atom_miss_bytes"] >= rep["atom_miss_bytes_clean"] - 1e-9

@@ -111,3 +111,22 @@ def test_sample_and_hold_false_positive():
 def test_sampler_validation():
     with pytest.raises(ValueError):
         ThreadStateSampler(period=0.0)
+
+
+def test_sampler_rejects_non_finite_periods():
+    """NaN/inf used to pass the <= 0 check and explode inside
+    np.arange mid-run; they must be rejected at construction."""
+    for bad in (float("nan"), float("inf"), float("-inf"), -0.005):
+        with pytest.raises(ValueError):
+            ThreadStateSampler(period=bad)
+
+
+def test_sampler_period_unit_helpers():
+    """Periods are simulated seconds; the µs helpers round-trip the
+    paper's 80-5000 µs work-quanta scale without hand conversion."""
+    sampler = ThreadStateSampler.from_micros(5000)
+    assert sampler.period == pytest.approx(0.005)
+    assert sampler.period_us == pytest.approx(5000)
+    assert ThreadStateSampler(period=1.0).period_us == pytest.approx(1e6)
+    with pytest.raises(ValueError):
+        ThreadStateSampler.from_micros(0)

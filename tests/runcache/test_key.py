@@ -142,3 +142,25 @@ def test_label_is_human_readable():
     assert obs().label() == "observe:salt:s3:x2:i7-920"
     cap = RunSpec(kind="capture", workload="salt", steps=3)
     assert cap.label() == "capture:salt:s3"
+
+
+# ------------------------------------------------------ toolerror kind
+
+
+def test_toolerror_is_a_cacheable_kind():
+    from repro.runcache.key import KINDS
+
+    assert "toolerror" in KINDS
+
+
+def test_toolerror_spec_canonicalizes_periods():
+    from repro.runcache import toolerror_spec
+
+    a = toolerror_spec("al1000", 2, 2, "i7-920")
+    b = toolerror_spec("Al-1000", 2, 2, "i7-920", periods=(1, 0.005))
+    assert a.workload == "Al-1000"  # alias resolved into the key
+    assert a.encode() == b.encode()  # default periods, int-vs-float
+    c = toolerror_spec("Al-1000", 2, 2, "i7-920", periods=(0.5,))
+    assert c.encode() != a.encode()
+    d = toolerror_spec("Al-1000", 2, 2, "e5450x2")
+    assert d.encode() != a.encode()

@@ -118,6 +118,57 @@ def test_compare_command_reports_tools(capsys):
     assert "ground-truth runtime" in out
 
 
+def test_compare_tools_subset(capsys):
+    out = run_cli(
+        capsys,
+        "compare", "--steps", "1", "--threads", "2", "--no-observer",
+        "--tools", "vtune-5ms",
+    )
+    assert "vtune-5ms" in out
+    assert "visualvm-1s" not in out
+
+
+def test_compare_unknown_tool_is_one_line_exit_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["compare", "--steps", "1", "--tools", "perf-stat"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "perf-stat" in err
+    assert err.count("\n") == 1
+
+
+def test_leaderboard_command_writes_payload(capsys, tmp_path):
+    import json
+
+    out = run_cli(
+        capsys,
+        "leaderboard",
+        "--workloads", "salt",
+        "--machines", "i7-920",
+        "--threads", "2",
+        "--steps", "2",
+        "--out", str(tmp_path),
+    )
+    assert "Tool-accuracy leaderboard" in out
+    assert "jxperf" in out and "timer-sync" in out
+    payload = json.loads(
+        (tmp_path / "leaderboard.json").read_text(encoding="utf-8")
+    )
+    assert payload["schema"].startswith("repro.toolerror/")
+    assert len(payload["tools"]) >= 8
+
+
+def test_leaderboard_unknown_machine_is_one_line_exit_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["leaderboard", "--machines", "cray-1"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "cray-1" in err
+    assert err.count("\n") == 1
+
+
 def test_chaos_unknown_workload_is_one_line_exit_2(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["chaos", "--workloads", "fusion-reactor"])
