@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -89,6 +89,17 @@ leaderboard-smoke:
 		--out BENCH_toolerror.json
 	PYTHONPATH=src $(PYTHON) -m repro report benchmarks/out/leaderboard-smoke
 	$(PYTHON) scripts/check_toolerror.py BENCH_toolerror.json
+
+# crash-safety gate: real-process chaos against the sweep orchestrator
+# (SIGKILLed pool workers, ENOSPC'd + truncated cache writes, a hung
+# shard killed on timeout, a mid-campaign SIGKILL of a journaled
+# `repro sweep` subprocess).  Requires byte-identical recovery, zero
+# re-execution of journaled-complete specs on --resume, and CLI exit
+# codes that distinguish partial success (3) from full success (0)
+resilience-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/bench_resilience.py \
+		--out BENCH_resilience.json
+	$(PYTHON) scripts/check_resilience.py BENCH_resilience.json
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,478 @@
+#!/usr/bin/env python
+"""Real-process chaos harness for the crash-safe sweep orchestrator.
+
+Four scenarios against the same 12-config grid (3 workloads x threads
+1/2/4/8, ``--steps`` simulation steps), producing
+``BENCH_resilience.json`` (schema ``repro.resilience_bench/1``):
+
+* **baseline** — a fault-free pooled sweep into a fresh cache; its
+  per-spec artifact hashes are the byte-identity reference every other
+  scenario is compared against.
+* **chaos** — the same grid with real faults armed: two pool workers
+  SIGKILLed as they start, two transient execution failures, one
+  ENOSPC'd and one silently truncated cache write.  The supervised
+  sweep must complete with artifacts byte-identical to baseline and
+  show retries + pool restarts.
+* **timeout** — one shard hangs for 60 s; the per-attempt timeout
+  kills it and the retry completes byte-identically.
+* **interrupt/resume** — a ``repro sweep --journal`` subprocess is
+  SIGKILLed (whole process group) mid-campaign; ``--resume`` then
+  replays the journal, re-executing *only* the tail: zero ``started``
+  records are added for digests the journal already marked finished.
+* **exit codes** — a poisoned spec drives the CLI to exit 3 (partial
+  success, quarantined specs reported); a clean sweep exits 0.
+
+``scripts/check_resilience.py`` (``make resilience-smoke``) gates on
+all of the above.  Exits 0 on success; usage errors print one line and
+exit 2 like the other scripts.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+SCHEMA = "repro.resilience_bench/1"
+
+WORKLOADS = ["salt", "nanocar", "Al-1000"]
+THREADS = [1, 2, 4, 8]
+
+
+def usage_error(msg: str) -> "SystemExit":
+    print(f"bench_resilience: {msg}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def grid_specs(steps: int, seed: int, machine: str):
+    from repro.runcache import observe_spec
+
+    return [
+        observe_spec(w, steps, t, machine, seed=seed)
+        for w in WORKLOADS
+        for t in THREADS
+    ]
+
+
+def artifact_hashes(specs, result, cache):
+    """digest -> sha256 of the canonical artifact serialization."""
+    from repro.runcache import dumps_artifact
+
+    hashes = {}
+    for spec, artifact in zip(specs, result.artifacts):
+        if artifact is None:
+            continue
+        hashes[cache.digest(spec)] = hashlib.sha256(
+            dumps_artifact(artifact)
+        ).hexdigest()
+    return hashes
+
+
+def compare(reference, hashes):
+    """(byte_identical, n_compared) against the baseline hashes."""
+    mismatched = [
+        d for d, v in hashes.items() if reference.get(d) != v
+    ]
+    return not mismatched and len(hashes) > 0, len(hashes)
+
+
+def scenario_baseline(work, steps, seed, machine, jobs, log):
+    from repro.runcache import RunCache, sweep
+
+    cache = RunCache(os.path.join(work, "cache-baseline"))
+    specs = grid_specs(steps, seed, machine)
+    t0 = time.perf_counter()
+    result = sweep(specs, cache, jobs=jobs)
+    seconds = time.perf_counter() - t0
+    hashes = artifact_hashes(specs, result, cache)
+    log.info(
+        "baseline", n_specs=len(specs), executed=len(result.executed),
+        seconds=seconds, fanout=result.fanout,
+    )
+    block = {
+        "n_specs": len(specs),
+        "executed": len(result.executed),
+        "fanout": result.fanout,
+        "seconds": seconds,
+        "ok": result.ok and len(hashes) == len(specs),
+    }
+    return block, hashes
+
+
+def scenario_chaos(work, steps, seed, machine, jobs, reference, log):
+    from repro.faults.process import ProcessFaultPlan, activate, deactivate
+    from repro.runcache import RunCache, load_journal, sweep
+
+    state_dir = os.path.join(work, "chaos-state")
+    journal_dir = os.path.join(work, "chaos-journal")
+    cache = RunCache(os.path.join(work, "cache-chaos"))
+    specs = grid_specs(steps, seed, machine)
+    plan = ProcessFaultPlan(
+        state_dir=state_dir,
+        kill_labels=("observe:salt*",),
+        kill_starts=2,
+        flaky_labels=("observe:nanocar*",),
+        flaky_failures=2,
+        enospc_kinds=("observe",),
+        enospc_puts=1,
+        truncate_kinds=("observe",),
+        truncate_puts=1,
+    )
+    activate(plan)
+    try:
+        t0 = time.perf_counter()
+        result = sweep(specs, cache, jobs=jobs, journal=journal_dir)
+        seconds = time.perf_counter() - t0
+    finally:
+        deactivate()
+    byte_identical, compared = compare(
+        reference, artifact_hashes(specs, result, cache)
+    )
+    state = load_journal(journal_dir)
+    kills_fired = sum(
+        1 for name in os.listdir(state_dir) if name.startswith("kill-")
+    )
+    faults_recovered = result.retries + result.pool_restarts + (
+        1 if result.degraded else 0
+    )
+    log.info(
+        "chaos", seconds=seconds, retries=result.retries,
+        pool_restarts=result.pool_restarts, degraded=result.degraded,
+        kills_fired=kills_fired, byte_identical=byte_identical,
+    )
+    return {
+        "completed": result.ok,
+        "byte_identical": byte_identical,
+        "compared": compared,
+        "retries": result.retries,
+        "timeouts": result.timeouts,
+        "pool_restarts": result.pool_restarts,
+        "degraded": result.degraded,
+        "kills_fired": kills_fired,
+        "journal_started": sum((state.started or {}).values()),
+        "journal_finished": len(state.completed),
+        "seconds": seconds,
+        "ok": (
+            result.ok
+            and byte_identical
+            and compared == len(specs)
+            and kills_fired >= 1
+            and faults_recovered >= 1
+        ),
+    }
+
+
+def scenario_timeout(work, steps, seed, machine, reference, log):
+    from repro.faults.process import ProcessFaultPlan, activate, deactivate
+    from repro.runcache import RunCache, SupervisionPolicy, sweep
+
+    state_dir = os.path.join(work, "timeout-state")
+    cache = RunCache(os.path.join(work, "cache-timeout"))
+    from repro.runcache import observe_spec
+
+    specs = [
+        observe_spec("salt", steps, t, machine, seed=seed) for t in (1, 2, 4)
+    ]
+    plan = ProcessFaultPlan(
+        state_dir=state_dir,
+        hang_labels=("observe:salt*",),
+        hang_starts=1,
+        hang_seconds=60.0,
+    )
+    activate(plan)
+    try:
+        t0 = time.perf_counter()
+        result = sweep(
+            specs, cache, jobs=2,
+            journal=os.path.join(work, "timeout-journal"),
+            policy=SupervisionPolicy(timeout=6.0),
+        )
+        seconds = time.perf_counter() - t0
+    finally:
+        deactivate()
+    byte_identical, compared = compare(
+        reference, artifact_hashes(specs, result, cache)
+    )
+    log.info(
+        "timeout", seconds=seconds, timeouts=result.timeouts,
+        byte_identical=byte_identical,
+    )
+    return {
+        "completed": result.ok,
+        "byte_identical": byte_identical,
+        "compared": compared,
+        "timeouts": result.timeouts,
+        "retries": result.retries,
+        "seconds": seconds,
+        "ok": (
+            result.ok
+            and byte_identical
+            and compared == len(specs)
+            and result.timeouts >= 1
+        ),
+    }
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    env.pop("REPRO_PROCESS_FAULTS", None)
+    return env
+
+
+def scenario_resume(work, steps, seed, machine, jobs, reference, log):
+    from repro.runcache import RunCache, journal_specs, load_journal, sweep
+    from repro.runcache.resilience import JOURNAL_NAME
+
+    journal_dir = os.path.join(work, "resume-journal")
+    cache_dir = os.path.join(work, "cache-resume")
+    journal_path = os.path.join(journal_dir, JOURNAL_NAME)
+    argv = [
+        sys.executable, "-m", "repro", "sweep",
+        "--workloads", *WORKLOADS,
+        "--threads", ",".join(str(t) for t in THREADS),
+        "--steps", str(steps), "--seed", str(seed),
+        "--machine", machine, "--jobs", str(jobs),
+        "--journal", journal_dir, "--cache-dir", cache_dir,
+    ]
+    proc = subprocess.Popen(
+        argv, env=_cli_env(), start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+    def finished_count():
+        try:
+            with open(journal_path, "rb") as fh:
+                return fh.read().count(b'"kind":"finished"')
+        except OSError:
+            return 0
+
+    interrupted = False
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break  # completed before we could interrupt it
+        if finished_count() >= 3:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+                interrupted = True
+            except OSError:
+                pass
+            break
+        time.sleep(0.005)
+    proc.wait()
+
+    state = load_journal(journal_dir)
+    if state is None or not state.entries:
+        return {"ok": False, "error": "no journal produced"}
+    completed_before = set(state.completed)
+    started_before = dict(state.started)
+
+    specs = journal_specs(state)
+    cache = RunCache(cache_dir)
+    t0 = time.perf_counter()
+    result = sweep(specs, cache, jobs=jobs, resume=journal_dir)
+    seconds = time.perf_counter() - t0
+
+    after = load_journal(journal_dir)
+    reexecuted = sum(
+        1
+        for digest in completed_before
+        if after.started.get(digest, 0) > started_before.get(digest, 0)
+    )
+    byte_identical, compared = compare(
+        reference, artifact_hashes(specs, result, cache)
+    )
+    log.info(
+        "resume", interrupted=interrupted,
+        completed_before=len(completed_before),
+        resumed=result.resumed, reexecuted_completed=reexecuted,
+        byte_identical=byte_identical, seconds=seconds,
+    )
+    return {
+        "interrupted": interrupted,
+        "completed_before": len(completed_before),
+        "resumed": result.resumed,
+        "reexecuted_completed": reexecuted,
+        "tail_executed": len(result.executed),
+        "byte_identical": byte_identical,
+        "compared": compared,
+        "seconds": seconds,
+        "ok": (
+            result.ok
+            and byte_identical
+            and compared == len(specs)
+            and reexecuted == 0
+            and result.resumed == len(completed_before)
+        ),
+    }
+
+
+def scenario_exit_codes(work, steps, seed, machine, log):
+    from repro.faults.process import PLAN_FILE, ProcessFaultPlan
+
+    state_dir = os.path.join(work, "poison-state")
+    plan = ProcessFaultPlan(
+        state_dir=state_dir, poison_labels=("observe:Al-1000*",)
+    )
+    os.makedirs(state_dir, exist_ok=True)
+    plan_path = plan.save(os.path.join(state_dir, PLAN_FILE))
+    env = _cli_env()
+    env["REPRO_PROCESS_FAULTS"] = str(plan_path)
+    out_dir = os.path.join(work, "poison-out")
+    partial = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "sweep",
+            "--workloads", "salt", "Al-1000", "--threads", "1,2",
+            "--steps", str(steps), "--seed", str(seed),
+            "--machine", machine, "--jobs", "2",
+            "--journal", os.path.join(work, "poison-journal"),
+            "--cache-dir", os.path.join(work, "cache-poison"),
+            "--out", out_dir,
+        ],
+        env=env, capture_output=True, text=True,
+    )
+    quarantined = []
+    try:
+        with open(os.path.join(out_dir, "sweep.json")) as fh:
+            quarantined = [
+                q["label"] for q in json.load(fh)["quarantined"]
+            ]
+    except (OSError, ValueError, KeyError):
+        pass
+    clean = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "sweep",
+            "--workloads", "salt", "--threads", "1,2",
+            "--steps", str(steps), "--seed", str(seed),
+            "--machine", machine, "--jobs", "2",
+            "--cache-dir", os.path.join(work, "cache-poison"),
+        ],
+        env=_cli_env(), capture_output=True, text=True,
+    )
+    log.info(
+        "exit_codes", partial=partial.returncode, full=clean.returncode,
+        quarantined=len(quarantined),
+    )
+    return {
+        "partial": partial.returncode,
+        "full": clean.returncode,
+        "quarantined_labels": quarantined,
+        "reported_on_stdout": "quarantined" in partial.stdout,
+        "ok": (
+            partial.returncode == 3
+            and clean.returncode == 0
+            and len(quarantined) == 2
+            and "quarantined" in partial.stdout
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_resilience.json",
+        help="output JSON path (default: repo-root artifact name)",
+    )
+    parser.add_argument("--machine", default="i7-920")
+    parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="pool width for the grid sweeps (default %(default)s; "
+        "must be >= 2 so faults hit real pool workers)",
+    )
+    from repro.telemetry.log import add_verbosity_flags, from_args
+
+    add_verbosity_flags(parser)
+    args = parser.parse_args()
+    log = from_args("bench_resilience", args)
+
+    if args.steps < 1:
+        raise usage_error(f"--steps must be >= 1, got {args.steps}")
+    if args.jobs < 2:
+        raise usage_error(
+            f"--jobs must be >= 2 (pool faults need workers), "
+            f"got {args.jobs}"
+        )
+    from repro.machine import MACHINES
+    from repro.runcache import code_version_salt
+
+    if args.machine not in MACHINES:
+        raise usage_error(
+            f"unknown machine {args.machine!r} "
+            f"(choose from {', '.join(sorted(MACHINES))})"
+        )
+
+    work = tempfile.mkdtemp(prefix="repro-resilience-bench-")
+    try:
+        baseline, reference = scenario_baseline(
+            work, args.steps, args.seed, args.machine, args.jobs, log
+        )
+        chaos = scenario_chaos(
+            work, args.steps, args.seed, args.machine, args.jobs,
+            reference, log,
+        )
+        timeout = scenario_timeout(
+            work, args.steps, args.seed, args.machine, reference, log
+        )
+        resume = scenario_resume(
+            work, args.steps, args.seed, args.machine, args.jobs,
+            reference, log,
+        )
+        exit_codes = scenario_exit_codes(
+            work, args.steps, args.seed, args.machine, log
+        )
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    scenarios = {
+        "baseline": baseline,
+        "chaos": chaos,
+        "timeout": timeout,
+        "resume": resume,
+        "exit_codes": exit_codes,
+    }
+    failures = [name for name, s in scenarios.items() if not s.get("ok")]
+    payload = {
+        "schema": SCHEMA,
+        "machine": MACHINES[args.machine].name,
+        "steps": args.steps,
+        "seed": args.seed,
+        "workloads": WORKLOADS,
+        "threads": THREADS,
+        "jobs": args.jobs,
+        "salt": code_version_salt(),
+        "ok": not failures,
+        "failures": failures,
+        **scenarios,
+    }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    log.info("summary", ok=payload["ok"], failures=failures, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

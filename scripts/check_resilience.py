@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Validate BENCH_resilience.json and gate on crash-safe recovery.
+
+Used by ``make resilience-smoke``:
+
+* the file is loadable JSON with the ``repro.resilience_bench/...``
+  schema tag and a machine name;
+* the fault-free **baseline** executed the full grid;
+* the **chaos** scenario (worker SIGKILLs + ENOSPC + truncated cache
+  writes + transient failures) completed with every artifact
+  byte-identical to baseline, at least one kill actually fired, and
+  supervision visibly recovered (retries / pool restarts / serial
+  degradation);
+* the **timeout** scenario killed at least one hung attempt and still
+  converged byte-identically;
+* the **resume** scenario re-executed zero journaled-complete specs
+  and served them as resumed cache hits, byte-identical to baseline;
+* the CLI **exit codes** distinguish partial success: 3 with the
+  quarantined specs reported, 0 on full success.
+
+Stdlib only; exits 0 on success, 1 with a diagnostic on failure, and
+2 with a one-line message on usage errors.
+"""
+
+import argparse
+import sys
+
+from schema_utils import check_envelope, fail, load_json
+
+SCENARIOS = ("baseline", "chaos", "timeout", "resume", "exit_codes")
+
+
+def check_resilience(path: str) -> int:
+    payload, err = load_json(path)
+    if err is None:
+        err = check_envelope(
+            payload, "repro.resilience_bench/", runs_key=None
+        )
+    if err is not None:
+        return fail(err)
+
+    for name in SCENARIOS:
+        block = payload.get(name)
+        if not isinstance(block, dict):
+            return fail(f"missing scenario block {name!r}")
+        if not block.get("ok"):
+            return fail(f"scenario {name!r} failed: {block}")
+
+    baseline = payload["baseline"]
+    if baseline.get("executed", 0) < baseline.get("n_specs", 1):
+        return fail(
+            f"baseline executed {baseline.get('executed')} of "
+            f"{baseline.get('n_specs')} specs"
+        )
+
+    chaos = payload["chaos"]
+    if not chaos.get("byte_identical"):
+        return fail("chaos artifacts not byte-identical to baseline")
+    if chaos.get("kills_fired", 0) < 1:
+        return fail("chaos scenario never SIGKILLed a worker")
+    recovered = (
+        chaos.get("retries", 0)
+        + chaos.get("pool_restarts", 0)
+        + (1 if chaos.get("degraded") else 0)
+    )
+    if recovered < 1:
+        return fail(
+            "chaos scenario shows no supervision activity "
+            "(no retries, restarts, or degradation)"
+        )
+
+    timeout = payload["timeout"]
+    if timeout.get("timeouts", 0) < 1:
+        return fail("timeout scenario never timed an attempt out")
+    if not timeout.get("byte_identical"):
+        return fail("timeout artifacts not byte-identical to baseline")
+
+    resume = payload["resume"]
+    if resume.get("reexecuted_completed", -1) != 0:
+        return fail(
+            f"resume re-executed {resume.get('reexecuted_completed')} "
+            "journaled-complete specs (must be 0)"
+        )
+    if resume.get("resumed", 0) != resume.get("completed_before", -1):
+        return fail(
+            f"resume served {resume.get('resumed')} resumed hits for "
+            f"{resume.get('completed_before')} journaled-complete specs"
+        )
+    if not resume.get("byte_identical"):
+        return fail("resumed artifacts not byte-identical to baseline")
+
+    exit_codes = payload["exit_codes"]
+    if exit_codes.get("partial") != 3:
+        return fail(
+            f"partial-success exit code {exit_codes.get('partial')!r}, "
+            "expected 3"
+        )
+    if exit_codes.get("full") != 0:
+        return fail(
+            f"full-success exit code {exit_codes.get('full')!r}, "
+            "expected 0"
+        )
+    if not exit_codes.get("quarantined_labels"):
+        return fail("partial run reported no quarantined specs")
+
+    if payload.get("failures"):
+        return fail(f"bench recorded failures: {payload['failures']}")
+    if not payload.get("ok"):
+        return fail("bench payload not ok")
+
+    print(
+        f"OK: {path} — chaos recovered byte-identically "
+        f"({chaos.get('kills_fired')} kills, {chaos.get('retries')} "
+        f"retries, {chaos.get('pool_restarts')} pool restarts), "
+        f"resume replayed {resume.get('resumed')} specs with zero "
+        f"re-execution, exit codes 3/0"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="BENCH_resilience.json to validate")
+    args = parser.parse_args()
+    return check_resilience(args.path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,13 +27,14 @@ def load_json(path: str):
         return None, f"cannot load {path}: {exc}"
 
 
-def check_envelope(payload, schema_prefix: str):
+def check_envelope(payload, schema_prefix: str, runs_key="runs"):
     """Validate the common artifact envelope.
 
     Checks the top level is an object whose ``schema`` tag starts with
     ``schema_prefix``, with a truthy ``machine`` and a non-empty
-    ``runs`` list of objects.  Returns an error string, or None if the
-    envelope is sound.
+    ``runs`` list of objects (pass ``runs_key=None`` for scenario-keyed
+    payloads like BENCH_resilience.json that have no run list).
+    Returns an error string, or None if the envelope is sound.
     """
     if not isinstance(payload, dict):
         return "top level must be an object"
@@ -45,9 +46,11 @@ def check_envelope(payload, schema_prefix: str):
         )
     if not payload.get("machine"):
         return "missing 'machine'"
-    runs = payload.get("runs")
+    if runs_key is None:
+        return None
+    runs = payload.get(runs_key)
     if not isinstance(runs, list) or not runs:
-        return "'runs' must be a non-empty list"
+        return f"'{runs_key}' must be a non-empty list"
     for i, run in enumerate(runs):
         if not isinstance(run, dict):
             return f"run {i} is not an object"

@@ -19,7 +19,14 @@ compare    modeled perf-tool error vs the ground truth (subset
 leaderboard
            tool-accuracy leaderboard: every modeled tool ranked
            by displayed-vs-true error over a workload x machine
-           grid (cached sweep)
+           grid (cached sweep); ``--faults`` reruns one cell under
+           an injected straggler and reports which tools change
+           rank
+sweep      journaled, supervised grid sweep: checkpoint every
+           spec to an append-only journal (``--journal DIR``),
+           resume an interrupted campaign with zero re-execution
+           of completed specs (``--resume DIR``); exit 3 when
+           specs were quarantined (partial success)
 attribute  speedup-loss decomposition (work inflation, idle,
            overhead, GC, injected faults) per phase + flamegraph
            export
@@ -387,9 +394,40 @@ def cmd_leaderboard(args) -> None:
     from repro.obs.leaderboard import (
         DEFAULT_MACHINES,
         DEFAULT_WORKLOADS,
+        fault_leaderboard,
+        fault_leaderboard_payload,
         leaderboard,
         leaderboard_payload,
     )
+
+    if args.faults:
+        if args.workloads and len(args.workloads) > 1:
+            _die("--faults scores one cell; pass at most one workload")
+        if args.machines and len(args.machines) > 1:
+            _die("--faults scores one cell; pass at most one machine")
+        workload = _workload_name(
+            args.workloads[0] if args.workloads else "Al-1000"
+        )
+        machine = args.machines[0] if args.machines else "i7-920"
+        _machine_spec(machine)
+        result = fault_leaderboard(
+            workload,
+            machine,
+            threads=args.threads,
+            steps=args.steps,
+            seed=args.seed,
+            cache=_run_cache(args),
+            jobs=args.jobs,
+        )
+        print(result.render())
+        if args.out:
+            _ensure_outdir(args.out)
+            path = os.path.join(args.out, "leaderboard_faults.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(fault_leaderboard_payload(result), fh, indent=1)
+                fh.write("\n")
+            print(f"\nwrote {path}")
+        return
 
     workloads = (
         [_workload_name(n) for n in args.workloads]
@@ -419,6 +457,151 @@ def cmd_leaderboard(args) -> None:
             json.dump(leaderboard_payload(result), fh, indent=1)
             fh.write("\n")
         print(f"\nwrote {path}")
+
+
+def _thread_list(text: str) -> List[int]:
+    """Parse a ``1,2,4,8``-style thread list (usage error on junk)."""
+    try:
+        values = [int(t) for t in text.split(",") if t.strip()]
+    except ValueError:
+        _die(f"bad --threads {text!r}; expected comma-separated integers")
+    if not values or any(v < 1 for v in values):
+        _die(f"bad --threads {text!r}; every count must be >= 1")
+    return values
+
+
+def cmd_sweep(args) -> None:
+    """Journaled, supervised grid sweep with checkpoint/resume.
+
+    Exit codes: 0 every spec produced an artifact; 3 the sweep
+    completed but quarantined permanent failures (partial success);
+    2 usage error.
+    """
+    from repro.runcache import (
+        SupervisionPolicy,
+        journal_specs,
+        load_journal,
+        observe_spec,
+        sweep,
+    )
+    from repro.runcache.resilience import JOURNAL_NAME
+
+    if args.resume and args.journal:
+        _die("pass --journal DIR or --resume DIR, not both")
+    if args.resume:
+        grid_flags = [
+            name
+            for name, value in (
+                ("--workloads", args.workloads),
+                ("--machine", args.machine),
+                ("--threads", args.threads),
+                ("--steps", args.steps),
+                ("--seed", args.seed),
+            )
+            if value is not None
+        ]
+        if grid_flags:
+            _die(
+                "--resume rebuilds the grid from the journal; drop "
+                + " ".join(grid_flags)
+            )
+        if args.no_cache:
+            _die("--resume replays through the run cache; drop --no-cache")
+        state = load_journal(args.resume)
+        if state is None:
+            _die(
+                f"no {JOURNAL_NAME} in {args.resume!r}; "
+                "start a campaign with --journal first"
+            )
+        specs = journal_specs(state)
+        if not specs:
+            _die(f"journal in {args.resume!r} records no specs")
+    else:
+        machine = args.machine or "i7-920"
+        _machine_spec(machine)
+        workloads = [
+            _workload_name(n)
+            for n in (args.workloads or ["salt", "nanocar", "Al-1000"])
+        ]
+        threads = _thread_list(args.threads or "1,2,4,8")
+        steps = 2 if args.steps is None else args.steps
+        seed = 0 if args.seed is None else args.seed
+        specs = [
+            observe_spec(w, steps, t, machine, seed=seed)
+            for w in workloads
+            for t in threads
+        ]
+
+    if args.retries < 0:
+        _die(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        _die(f"--timeout must be > 0 seconds, got {args.timeout}")
+    policy = SupervisionPolicy(
+        max_attempts=args.retries + 1, timeout=args.timeout
+    )
+    result = sweep(
+        specs,
+        _run_cache(args),
+        jobs=args.jobs,
+        journal=args.journal,
+        resume=args.resume,
+        policy=policy,
+    )
+
+    n_unique = len({s.encode() for s in specs})
+    print(
+        f"swept {len(specs)} specs ({n_unique} unique): "
+        f"{result.hits} cache hits, {len(result.executed)} executed"
+    )
+    if result.resumed:
+        print(
+            f"  resumed: {result.resumed} specs journaled complete by "
+            "the interrupted run, served with zero re-execution"
+        )
+    if result.fanout:
+        print(f"  fan-out: {result.jobs} jobs"
+              + (" (degraded to serial)" if result.degraded else ""))
+    if result.retries or result.timeouts or result.pool_restarts:
+        print(
+            f"  supervision: {result.retries} retries, "
+            f"{result.timeouts} timeouts, "
+            f"{result.pool_restarts} pool restarts"
+        )
+    if args.out:
+        _ensure_outdir(args.out)
+        path = os.path.join(args.out, "sweep.json")
+        payload = {
+            "schema": "repro.sweepcli/1",
+            "n_specs": len(specs),
+            "labels": [s.label() for s in specs],
+            "hits": result.hits,
+            "executed": list(result.executed),
+            "resumed": result.resumed,
+            "retries": result.retries,
+            "timeouts": result.timeouts,
+            "pool_restarts": result.pool_restarts,
+            "degraded": result.degraded,
+            "fanout": result.fanout,
+            "jobs": result.jobs,
+            "quarantined": [q.to_dict() for q in result.quarantined],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}")
+    if not result.ok:
+        n = len(result.quarantined)
+        print(
+            f"quarantined {n} spec{'s' if n != 1 else ''} "
+            "(permanent failures; artifacts withheld):"
+        )
+        for q in result.quarantined:
+            carried = " [carried from previous run]" if q.carried else ""
+            print(
+                f"  {q.label}  attempts={q.attempts}{carried}\n"
+                f"    {q.error.splitlines()[0] if q.error else ''}"
+            )
+        raise SystemExit(3)
 
 
 def cmd_attribute(args) -> None:
@@ -709,13 +892,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=_positive_int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--faults", action="store_true",
+        help="score one cell twice — fault-free and under an injected "
+        "straggler scaled to the measured runtime — and report which "
+        "tools change rank (default cell: Al-1000 on i7-920)",
+    )
+    p.add_argument(
         "--out", default=None,
         help="write the repro.toolerror/1 payload as leaderboard.json "
-        "here (directory created if missing)",
+        "(or leaderboard_faults.json under --faults) here (directory "
+        "created if missing)",
     )
     _add_cache_flags(p)
     _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_leaderboard)
+
+    p = sub.add_parser(
+        "sweep",
+        help="journaled, supervised grid sweep with crash-safe "
+        "checkpoint/resume (exit 3 = completed with quarantined specs)",
+    )
+    p.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="workloads to grid over (default: salt nanocar Al-1000)",
+    )
+    p.add_argument(
+        "--machine", default=None,
+        help="machine to sweep on (default: i7-920)",
+    )
+    p.add_argument(
+        "--threads", default=None,
+        help="comma-separated thread counts (default: 1,2,4,8)",
+    )
+    p.add_argument("--steps", type=_positive_int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="append every submission/start/finish/failure to "
+        "DIR/sweep-journal.jsonl (repro.sweepjournal/1) so an "
+        "interrupted sweep can be resumed",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume the campaign journaled in DIR: the grid is "
+        "rebuilt from the journal, completed specs are served from "
+        "the cache with zero re-execution, and journaling continues "
+        "into the same file (grid flags conflict with --resume)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="retry attempts per spec after the first failure, with "
+        "decorrelated-jitter backoff (default 2)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit; expired pool attempts are "
+        "killed and retried (default: unlimited)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="write a repro.sweepcli/1 summary as sweep.json here "
+        "(directory created if missing)",
+    )
+    _add_cache_flags(p)
+    _add_telemetry_flag(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
         "attribute",

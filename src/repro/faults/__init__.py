@@ -16,6 +16,12 @@ from repro.faults.chaos import (
     run_chaos_case,
 )
 from repro.faults.injector import ActiveFaults, FaultInjector, FaultWindow
+from repro.faults.process import (
+    PROCESS_PLAN_SCHEMA,
+    InjectedFault,
+    PoisonedSpec,
+    ProcessFaultPlan,
+)
 from repro.faults.plan import (
     FAULT_TYPES,
     PLAN_SCHEMA,
@@ -33,12 +39,16 @@ from repro.faults.plan import (
 __all__ = [
     "CHAOS_SCHEMA",
     "PLAN_SCHEMA",
+    "PROCESS_PLAN_SCHEMA",
     "FAULT_TYPES",
     "ActiveFaults",
     "FaultInjector",
     "FaultPlan",
     "FaultWindow",
     "GcAmplify",
+    "InjectedFault",
+    "PoisonedSpec",
+    "ProcessFaultPlan",
     "LockStall",
     "PreemptStorm",
     "Straggler",

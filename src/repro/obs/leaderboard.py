@@ -56,6 +56,7 @@ def toolerror_cell(
     seed: int = 0,
     periods: Sequence[float] = DEFAULT_PERIODS,
     trace: Optional[Sequence] = None,
+    fault_plan=None,
 ) -> dict:
     """Score every modeled tool on one (workload, machine) cell.
 
@@ -63,6 +64,9 @@ def toolerror_cell(
     the JXPerf wasteful-op ranking and the timer-ablation distortions.
     The ground-truth replay runs traced (zero observer effect); the
     intrusive tools re-run the same captured physics on fresh machines.
+    ``fault_plan`` injects the same simulated faults into every run of
+    the cell — ground truth and tools alike — so the errors measure how
+    each tool copes with a *perturbed* execution, not a different one.
     """
     from repro.core.simulate import SimulatedParallelRun, capture_trace
     from repro.jvm.gc import AllocationRecorder
@@ -94,10 +98,13 @@ def toolerror_cell(
         trace = capture_trace(wl, steps)
     n_atoms = wl.system.n_atoms
 
+    fault_kwargs = (
+        {} if fault_plan is None else {"fault_plan": fault_plan}
+    )
     base = SimMachine(spec, seed=seed)
     tracer = Tracer().attach(base.sim)
     res = SimulatedParallelRun(
-        trace, n_atoms, base, threads, name="wl"
+        trace, n_atoms, base, threads, name="wl", **fault_kwargs
     ).run()
     tracer.detach()
     spans = tracer.task_spans()
@@ -123,7 +130,8 @@ def toolerror_cell(
         m = SimMachine(spec, seed=seed)
         instr = factory(m)
         rr = SimulatedParallelRun(
-            trace, n_atoms, m, threads, instrumentation=instr, name="wl"
+            trace, n_atoms, m, threads, instrumentation=instr,
+            name="wl", **fault_kwargs
         ).run()
         return instr, rr
 
@@ -417,6 +425,227 @@ def _jxperf_showcase(cells: List[dict]) -> Optional[dict]:
         if cell["workload"] == "Al-1000":
             return cell
     return cells[0] if cells else None
+
+
+# -- fault-aware leaderboard (does a straggler fool each profiler?) ----------
+
+#: payload schema stamp for the faulted-cell comparison
+FAULT_TOOLERROR_SCHEMA = "repro.toolerror_faults/1"
+
+
+@dataclass
+class FaultImpactRow:
+    """One tool's rank under faults vs fault-free."""
+
+    tool: str
+    clean_rank: int
+    fault_rank: int
+    clean_error: float
+    fault_error: float
+    metric: str
+
+    @property
+    def rank_shift(self) -> int:
+        """Positive = the tool *looks better* under faults (it climbed
+        the standings while the execution got worse — fooled)."""
+        return self.clean_rank - self.fault_rank
+
+    @property
+    def error_delta(self) -> float:
+        return self.fault_error - self.clean_error
+
+    @property
+    def fooled(self) -> bool:
+        return self.rank_shift != 0
+
+
+@dataclass
+class FaultLeaderboardResult:
+    """Clean-vs-faulted tool ranking on one cell."""
+
+    rows: List[FaultImpactRow]
+    workload: str
+    machine: str
+    threads: int
+    steps: int
+    seed: int
+    plan: dict
+    true_seconds: float
+    faulted_seconds: float
+    hit_rate: float = 0.0
+    jobs: int = 1
+
+    @property
+    def fooled(self) -> List[str]:
+        return [r.tool for r in self.rows if r.fooled]
+
+    def row(self, tool: str) -> FaultImpactRow:
+        for r in self.rows:
+            if r.tool == tool:
+                return r
+        raise KeyError(f"tool not on fault leaderboard: {tool!r}")
+
+    def render(self) -> str:
+        slowdown = (
+            self.faulted_seconds / self.true_seconds
+            if self.true_seconds
+            else 0.0
+        )
+        header = (
+            f"Fault-aware leaderboard — {self.workload} x "
+            f"{self.threads} threads on {self.machine}, "
+            f"plan '{self.plan.get('name', '?')}' "
+            f"(true runtime {slowdown:.2f}x fault-free)"
+        )
+        table = format_table(
+            [
+                {
+                    "tool": r.tool,
+                    "clean rank": r.clean_rank,
+                    "fault rank": r.fault_rank,
+                    "shift": f"{r.rank_shift:+d}" if r.rank_shift else "0",
+                    "clean err": f"{r.clean_error:.3f}",
+                    "fault err": f"{r.fault_error:.3f}",
+                    "fooled": "YES" if r.fooled else "",
+                }
+                for r in sorted(self.rows, key=lambda r: r.fault_rank)
+            ]
+        )
+        fooled = self.fooled
+        summary = (
+            f"{len(fooled)}/{len(self.rows)} tools change rank under "
+            f"the injected straggler: {', '.join(sorted(fooled))}"
+            if fooled
+            else "no tool changes rank under the injected straggler"
+        )
+        return "\n".join([header, "", table, "", summary])
+
+
+def straggler_plan(true_seconds: float):
+    """The chaos harness's straggler shape, scaled to one cell's
+    fault-free runtime: PU 1 runs at 40% speed for 2x the run."""
+    from repro.faults.plan import FaultPlan, Straggler
+
+    return FaultPlan(
+        name="straggler",
+        faults=(
+            Straggler(
+                start=0.05 * true_seconds,
+                duration=2.0 * true_seconds,
+                pu=1,
+                factor=0.4,
+            ),
+        ),
+    )
+
+
+def _cell_ranks(cell: dict) -> Dict[str, int]:
+    ranked = sorted(
+        cell["tools"].items(),
+        key=lambda kv: (float(kv[1]["error"]), kv[0]),
+    )
+    return {tool: i + 1 for i, (tool, _info) in enumerate(ranked)}
+
+
+def fault_leaderboard(
+    workload: str = "Al-1000",
+    machine: str = "i7-920",
+    *,
+    threads: int = 4,
+    steps: int = 4,
+    seed: int = 0,
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    cache=None,
+    jobs: Optional[int] = None,
+) -> FaultLeaderboardResult:
+    """Score every tool on one cell twice — fault-free and with an
+    injected straggler scaled to the measured runtime — and report the
+    rank shifts.  A tool whose standing *improves* while the execution
+    degrades is being fooled by the fault (ROADMAP item 5).
+
+    Two sweeps because the plan depends on the fault-free
+    ``true_seconds``; both cells are content-addressed, so repeats are
+    served warm.
+    """
+    from repro.runcache import sweep, toolerror_spec
+    from repro.workloads import resolve_workload
+
+    name = resolve_workload(workload)
+    clean_spec = toolerror_spec(
+        name, steps, threads, machine, seed=seed, periods=periods
+    )
+    clean_result = sweep([clean_spec], cache, jobs=jobs)
+    clean_cell = clean_result.artifacts[0]
+
+    plan = straggler_plan(clean_cell["true_seconds"])
+    fault_spec = toolerror_spec(
+        name, steps, threads, machine, seed=seed, periods=periods,
+        fault_plan=plan,
+    )
+    fault_result = sweep([fault_spec], cache, jobs=jobs)
+    fault_cell = fault_result.artifacts[0]
+
+    clean_ranks = _cell_ranks(clean_cell)
+    fault_ranks = _cell_ranks(fault_cell)
+    rows = [
+        FaultImpactRow(
+            tool=tool,
+            clean_rank=clean_ranks[tool],
+            fault_rank=fault_ranks.get(tool, len(fault_ranks) + 1),
+            clean_error=float(clean_cell["tools"][tool]["error"]),
+            fault_error=float(
+                fault_cell["tools"].get(tool, {}).get("error", 0.0)
+            ),
+            metric=clean_cell["tools"][tool]["metric"],
+        )
+        for tool in sorted(clean_ranks)
+    ]
+    lookups = len(clean_result.hit_flags) + len(fault_result.hit_flags)
+    hits = clean_result.hits + fault_result.hits
+    return FaultLeaderboardResult(
+        rows=rows,
+        workload=name,
+        machine=machine,
+        threads=threads,
+        steps=steps,
+        seed=seed,
+        plan=plan.to_dict(),
+        true_seconds=float(clean_cell["true_seconds"]),
+        faulted_seconds=float(fault_cell["true_seconds"]),
+        hit_rate=hits / lookups if lookups else 0.0,
+        jobs=max(clean_result.jobs, fault_result.jobs),
+    )
+
+
+def fault_leaderboard_payload(result: FaultLeaderboardResult) -> dict:
+    """The ``repro.toolerror_faults/1`` JSON payload."""
+    return {
+        "schema": FAULT_TOOLERROR_SCHEMA,
+        "workload": result.workload,
+        "machine": result.machine,
+        "threads": result.threads,
+        "steps": result.steps,
+        "seed": result.seed,
+        "plan": dict(result.plan),
+        "true_seconds": result.true_seconds,
+        "faulted_seconds": result.faulted_seconds,
+        "fooled": sorted(result.fooled),
+        "rows": [
+            {
+                "tool": r.tool,
+                "clean_rank": r.clean_rank,
+                "fault_rank": r.fault_rank,
+                "rank_shift": r.rank_shift,
+                "clean_error": r.clean_error,
+                "fault_error": r.fault_error,
+                "error_delta": r.error_delta,
+                "fooled": r.fooled,
+                "metric": r.metric,
+            }
+            for r in sorted(result.rows, key=lambda r: r.fault_rank)
+        ],
+        "cache": {"hit_rate": result.hit_rate, "jobs": result.jobs},
+    }
 
 
 def leaderboard_payload(result: LeaderboardResult) -> dict:

@@ -23,6 +23,16 @@ from repro.runcache.key import (
     code_version_salt,
     spec_digest,
 )
+from repro.runcache.resilience import (
+    JOURNAL_SCHEMA,
+    JournalState,
+    Quarantined,
+    SupervisionPolicy,
+    SweepJournal,
+    journal_specs,
+    load_journal,
+    spec_from_canonical,
+)
 from repro.runcache.store import (
     CacheStats,
     RunCache,
@@ -47,9 +57,14 @@ from repro.runcache.sweep import (
 
 __all__ = [
     "CacheStats",
+    "JOURNAL_SCHEMA",
+    "JournalState",
     "OPTION_DEFAULTS",
+    "Quarantined",
     "RunCache",
     "RunSpec",
+    "SupervisionPolicy",
+    "SweepJournal",
     "SweepResult",
     "VerifyReport",
     "attribute_cached",
@@ -61,9 +76,12 @@ __all__ = [
     "default_jobs",
     "dumps_artifact",
     "execute_spec",
+    "journal_specs",
+    "load_journal",
     "observe_spec",
     "run_and_store",
     "spec_digest",
+    "spec_from_canonical",
     "sweep",
     "toolerror_spec",
     "trace_spec",

@@ -1,0 +1,713 @@
+"""Crash-safe sweep execution: journal, supervision, degradation.
+
+Three pieces turn :func:`repro.runcache.sweep` from fail-open into
+crash-safe:
+
+* :class:`SweepJournal` — a per-sweep append-only JSONL journal
+  (``repro.sweepjournal/1``, one ``O_APPEND`` ``os.write`` per record,
+  the :mod:`repro.telemetry` idiom) recording every spec's submission,
+  start, finish, failure, and quarantine.  ``sweep(..., resume=dir)``
+  replays it: digests journaled *finished* and still present in the
+  cache are served without re-execution, so an interrupted campaign
+  re-runs only its tail.  A torn final line (the writer died mid-
+  record) is skipped, never fatal.
+
+* :class:`SupervisionPolicy` — per-spec wall-clock timeouts, bounded
+  retries with decorrelated-jitter exponential backoff, and permanent-
+  failure quarantine: a poisoned spec is reported in
+  :attr:`SweepResult.quarantined` instead of being retried forever or
+  killing the sweep.
+
+* graceful degradation — each pool break (worker SIGKILL, timeout
+  kill) shrinks the pool by half and restarts it; past
+  ``pool_restart_limit`` the remaining misses run supervised in-process
+  serially.  The sweep *completes* unless the caller asked for
+  propagate semantics.
+
+Worker deaths are infrastructure failures: they are always retried
+(or degraded to serial), never quarantined — only exceptions raised by
+the spec's own execution can poison it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.runcache.key import RunSpec
+
+JOURNAL_SCHEMA = "repro.sweepjournal/1"
+JOURNAL_NAME = "sweep-journal.jsonl"
+
+#: journal record kinds, in lifecycle order
+JOURNAL_KINDS = (
+    "begin", "submitted", "started", "finished", "failed",
+    "quarantined", "end",
+)
+
+
+# -- the journal -------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL journal of one sweep's execution lifecycle.
+
+    Every process of the sweep (parent and pool workers) appends to
+    the *same* file with one ``os.write`` to an ``O_APPEND``
+    descriptor per record, so records are never torn by concurrency —
+    only by the writer itself dying mid-``write``, which the loader
+    tolerates by skipping undecodable lines.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / JOURNAL_NAME
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        self._lock = threading.Lock()
+
+    active = True
+
+    def _write(self, kind: str, **fields_) -> None:
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "kind": kind,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        record.update(fields_)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fd is None:
+                return
+            os.write(self._fd, line.encode("utf-8"))
+
+    def begin(self, entries: List[dict], *, jobs: int, resumed: bool):
+        """``entries``: ``[{digest, label, spec}]`` with canonical spec
+        dicts, which is what lets ``--resume`` rebuild the spec list."""
+        self._write("begin", entries=entries, jobs=jobs, resumed=resumed)
+
+    def submitted(self, digest: str, *, label: str, attempt: int):
+        self._write("submitted", digest=digest, label=label, attempt=attempt)
+
+    def started(self, digest: str, *, attempt: int):
+        self._write("started", digest=digest, attempt=attempt)
+
+    def finished(self, digest: str, *, attempt: int):
+        self._write("finished", digest=digest, attempt=attempt)
+
+    def failed(
+        self, digest: str, *, attempt: int, error: str, retryable: bool
+    ):
+        self._write(
+            "failed", digest=digest, attempt=attempt,
+            error=error[:500], retryable=retryable,
+        )
+
+    def quarantined(
+        self, digest: str, *, label: str, attempts: int, error: str
+    ):
+        self._write(
+            "quarantined", digest=digest, label=label,
+            attempts=attempts, error=error[:500],
+        )
+
+    def end(self, *, executed: int, quarantined: int, resumed: int):
+        self._write(
+            "end", executed=executed, quarantined=quarantined,
+            resumed=resumed,
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+
+class NullJournal:
+    """Journal sink for unjournaled sweeps: every call is a no-op."""
+
+    root = None
+    path = None
+    active = False
+
+    def begin(self, entries, *, jobs, resumed):
+        pass
+
+    def submitted(self, digest, *, label, attempt):
+        pass
+
+    def started(self, digest, *, attempt):
+        pass
+
+    def finished(self, digest, *, attempt):
+        pass
+
+    def failed(self, digest, *, attempt, error, retryable):
+        pass
+
+    def quarantined(self, digest, *, label, attempts, error):
+        pass
+
+    def end(self, *, executed, quarantined, resumed):
+        pass
+
+    def close(self):
+        pass
+
+
+NULL_JOURNAL = NullJournal()
+
+
+@dataclass
+class JournalState:
+    """What a journal says happened (the ``--resume`` input)."""
+
+    #: spec entries of the most recent ``begin`` record
+    entries: List[dict] = field(default_factory=list)
+    #: digests with a ``finished`` record
+    completed: Set[str] = field(default_factory=set)
+    #: digest -> latest ``quarantined`` record
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    #: digest -> number of ``started`` records (re-execution counter)
+    started: Dict[str, int] = field(default_factory=dict)
+    #: undecodable lines skipped by the loader (torn final write)
+    skipped: int = 0
+    records: List[dict] = field(default_factory=list)
+
+
+def load_journal(root: os.PathLike) -> Optional[JournalState]:
+    """Parse a sweep journal, tolerating a torn trailing line.
+
+    Returns None when the directory has no journal file.  A digest
+    that was quarantined and *later* finished counts as completed.
+    """
+    path = Path(root) / JOURNAL_NAME
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return None
+    state = JournalState()
+    for line in raw.decode("utf-8", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind = record["kind"]
+        except (ValueError, KeyError, TypeError):
+            state.skipped += 1
+            continue
+        state.records.append(record)
+        if kind == "begin":
+            state.entries = list(record.get("entries") or [])
+        elif kind == "started":
+            digest = record.get("digest", "")
+            state.started[digest] = state.started.get(digest, 0) + 1
+        elif kind == "finished":
+            digest = record.get("digest", "")
+            state.completed.add(digest)
+            state.quarantined.pop(digest, None)
+        elif kind == "quarantined":
+            digest = record.get("digest", "")
+            if digest not in state.completed:
+                state.quarantined[digest] = record
+    return state
+
+
+def spec_from_canonical(doc: Dict[str, Any]) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from its canonical dict (the form
+    journals and cache meta files store)."""
+    return RunSpec(
+        kind=doc["kind"],
+        workload=doc["workload"],
+        steps=doc["steps"],
+        seed=doc["seed"],
+        threads=doc["threads"],
+        machine=doc["machine"],
+        params=doc["params"],
+        fault_plan=doc["fault_plan"],
+        affinities=doc["affinities"],
+        master_affinity=doc["master_affinity"],
+        options=doc["options"],
+    )
+
+
+def journal_specs(state: JournalState) -> List[RunSpec]:
+    """The sweep's spec list, rebuilt from the ``begin`` entries."""
+    return [spec_from_canonical(e["spec"]) for e in state.entries]
+
+
+# -- supervision -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How hard the sweep fights before giving up on a spec."""
+
+    #: total tries per spec (1 = no retry)
+    max_attempts: int = 3
+    #: per-attempt wall-clock limit in seconds; None = unlimited
+    timeout: Optional[float] = None
+    #: decorrelated-jitter backoff: sleep ~ U(base, 3*prev), capped
+    base_backoff: float = 0.05
+    max_backoff: float = 2.0
+    backoff_seed: int = 0
+    #: pool rebuilds (each halving the worker count) before the
+    #: remaining misses degrade to supervised in-process serial
+    pool_restart_limit: int = 3
+    #: True: exhausted/poisoned specs land in SweepResult.quarantined;
+    #: False: the final error propagates (the historical semantics)
+    quarantine: bool = True
+    #: on resume, re-attempt previously quarantined digests
+    retry_quarantined: bool = False
+    #: injection point for tests; production is time.sleep
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
+
+
+#: the policy plain ``sweep()`` calls get: exactly the historical
+#: behavior — no retries, first execution error propagates
+PROPAGATE_POLICY = SupervisionPolicy(max_attempts=1, quarantine=False)
+
+
+def retryable(exc: BaseException) -> bool:
+    """Poisoned specs never retry; everything else may."""
+    try:
+        from repro.faults.process import retryable as _retryable
+
+        return _retryable(exc)
+    except ImportError:  # pragma: no cover
+        return True
+
+
+class Backoff:
+    """Decorrelated-jitter exponential backoff (seeded, so chaos runs
+    sleep the same schedule every time)."""
+
+    def __init__(self, policy: SupervisionPolicy):
+        self._rng = random.Random(policy.backoff_seed)
+        self._base = max(policy.base_backoff, 0.0)
+        self._cap = max(policy.max_backoff, self._base)
+        self._prev = self._base
+
+    def next(self) -> float:
+        self._prev = min(
+            self._cap,
+            self._rng.uniform(self._base, max(self._prev * 3, self._base)),
+        )
+        return self._prev
+
+
+@dataclass
+class Quarantined:
+    """One spec the sweep gave up on (reported, not retried forever)."""
+
+    digest: str
+    label: str
+    attempts: int
+    error: str
+    #: True when carried forward from a previous (resumed) run
+    carried: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "digest": self.digest,
+            "label": self.label,
+            "attempts": self.attempts,
+            "error": self.error,
+            "carried": self.carried,
+        }
+
+
+@dataclass
+class SupervisionStats:
+    """Counters the supervised executors fold into the SweepResult."""
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    degraded: bool = False
+
+
+# -- supervised executors ----------------------------------------------------
+
+
+def _error_text(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def run_serial_supervised(
+    misses: List[Tuple[str, RunSpec]],
+    cache,
+    *,
+    policy: SupervisionPolicy,
+    journal,
+    stats: SupervisionStats,
+    artifacts: Dict[str, Any],
+    executed: List[str],
+    quarantined: List[Quarantined],
+    emitter,
+    sweep_id: Optional[str] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Execute misses in-process under supervision (the serial path and
+    the post-degradation fallback).  Emits the same per-spec ``shard``
+    spans as pool workers; returns this process's cache hit/miss delta
+    keyed by pid, shaped like :attr:`SweepResult.worker_cache`."""
+    from repro.runcache.sweep import execute_spec, run_and_store
+
+    backoff = Backoff(policy)
+    hits0 = cache.session_hits if cache is not None else 0
+    misses0 = cache.session_misses if cache is not None else 0
+    for key, spec in misses:
+        if key in artifacts:
+            continue
+        attempts = 0
+        while True:
+            attempts += 1
+            journal.submitted(key, label=spec.label(), attempt=attempts)
+            journal.started(key, attempt=attempts)
+            try:
+                with emitter.span(
+                    "shard", label=spec.label(), kind=spec.kind,
+                    sweep=sweep_id, serial=True, attempt=attempts,
+                ):
+                    if cache is None:
+                        artifact = execute_spec(spec)
+                    else:
+                        artifact, _ = run_and_store(cache, spec)
+            except Exception as exc:
+                message = _error_text(exc)
+                can_retry = retryable(exc)
+                journal.failed(
+                    key, attempt=attempts, error=message,
+                    retryable=can_retry,
+                )
+                if can_retry and attempts < policy.max_attempts:
+                    stats.retries += 1
+                    emitter.event(
+                        "sweep.retry", digest=key[:12],
+                        label=spec.label(), attempt=attempts,
+                        error=message[:200],
+                    )
+                    policy.sleep(backoff.next())
+                    continue
+                if policy.quarantine:
+                    _quarantine(
+                        key, spec, attempts, message,
+                        journal, quarantined, emitter,
+                    )
+                    break
+                raise
+            else:
+                artifacts[key] = artifact
+                executed.append(key)
+                journal.finished(key, attempt=attempts)
+                break
+    if cache is None:
+        return {}
+    delta_h = cache.session_hits - hits0
+    delta_m = cache.session_misses - misses0
+    if delta_h == 0 and delta_m == 0:
+        return {}
+    return {str(os.getpid()): {"hits": delta_h, "misses": delta_m}}
+
+
+def _quarantine(
+    key: str,
+    spec: RunSpec,
+    attempts: int,
+    error: str,
+    journal,
+    quarantined: List[Quarantined],
+    emitter,
+) -> None:
+    record = Quarantined(
+        digest=key, label=spec.label(), attempts=attempts, error=error
+    )
+    quarantined.append(record)
+    journal.quarantined(
+        key, label=record.label, attempts=attempts, error=error
+    )
+    emitter.event(
+        "sweep.quarantine", digest=key[:12], label=record.label,
+        attempts=attempts, error=error[:200],
+    )
+
+
+def _kill_pool_processes(pool) -> None:
+    """SIGKILL every live worker of a ProcessPoolExecutor (the only way
+    to interrupt a hung task; the pool is rebuilt afterwards)."""
+    import signal
+
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (OSError, AttributeError):
+            pass
+
+
+def run_pool_supervised(
+    misses: List[Tuple[str, RunSpec]],
+    cache,
+    jobs: int,
+    *,
+    tel_root: str,
+    sweep_id: str,
+    policy: SupervisionPolicy,
+    journal,
+    stats: SupervisionStats,
+    artifacts: Dict[str, Any],
+    executed: List[str],
+    quarantined: List[Quarantined],
+    emitter,
+) -> Optional[bool]:
+    """Fan misses over a supervised ProcessPoolExecutor.
+
+    Returns True when the pool executed (possibly degrading to serial
+    for a tail of misses after repeated pool breaks), or None when a
+    pool could not be created at all (the caller runs the serial path).
+    Artifacts are *not* loaded here — the caller reloads them from the
+    cache, which also covers workers that published before dying.
+    """
+    try:
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            ProcessPoolExecutor,
+            wait,
+        )
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return None
+    from repro.runcache.sweep import _pool_worker
+
+    state: Dict[str, dict] = {
+        key: {"spec": spec, "attempts": 0, "done": False}
+        for key, spec in misses
+    }
+    backoff = Backoff(policy)
+    workers = min(jobs, len(misses))
+    restarts = 0
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, PermissionError, ValueError):
+        return None
+
+    pending: Dict[Any, str] = {}
+    deadlines: Dict[Any, float] = {}
+    timed_out: Set[Any] = set()
+
+    def submit(key: str) -> bool:
+        """Submit one attempt; False when the pool refused (it broke
+        or shut down underneath us) — the key stays unsubmitted and is
+        either resubmitted after the restart or executed serially as
+        leftover."""
+        info = state[key]
+        spec = info["spec"]
+        attempt = info["attempts"] + 1
+        payload = (
+            spec, str(cache.root), cache.max_bytes, tel_root, sweep_id,
+            str(journal.root) if journal.active else None,
+            attempt,
+        )
+        try:
+            fut = pool.submit(_pool_worker, payload)
+        except Exception:  # BrokenProcessPool / shut-down RuntimeError
+            return False
+        info["attempts"] = attempt
+        journal.submitted(key, label=spec.label(), attempt=attempt)
+        pending[fut] = key
+        if policy.timeout is not None:
+            deadlines[fut] = time.monotonic() + policy.timeout
+        return True
+
+    def record_death(key: str, message: str) -> bool:
+        """Journal a worker death; True when the key should resubmit.
+        Deaths never quarantine: past max attempts the key joins the
+        degraded-serial leftover instead."""
+        info = state[key]
+        journal.failed(
+            key, attempt=info["attempts"], error=message, retryable=True
+        )
+        if info["attempts"] >= policy.max_attempts:
+            return False
+        stats.retries += 1
+        emitter.event(
+            "sweep.retry", digest=key[:12],
+            label=info["spec"].label(), attempt=info["attempts"],
+            error=message[:200],
+        )
+        return True
+
+    try:
+        for key in state:
+            submit(key)
+        while pending:
+            timeout = None
+            if deadlines:
+                timeout = max(
+                    0.0, min(deadlines.values()) - time.monotonic()
+                )
+            done, _ = wait(
+                set(pending), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                now = time.monotonic()
+                expired = [
+                    fut for fut, dl in deadlines.items()
+                    if fut in pending and now >= dl
+                ]
+                if not expired:
+                    continue
+                # a running future cannot be cancelled: kill the
+                # workers, let the broken pool surface on the next wait
+                # (dropping the deadline so one hang counts one timeout)
+                for fut in expired:
+                    key = pending[fut]
+                    deadlines.pop(fut, None)
+                    stats.timeouts += 1
+                    timed_out.add(fut)
+                    emitter.event(
+                        "sweep.timeout", digest=key[:12],
+                        label=state[key]["spec"].label(),
+                        attempt=state[key]["attempts"],
+                        timeout=policy.timeout,
+                    )
+                _kill_pool_processes(pool)
+                continue
+            broken = False
+            resubmit: List[str] = []
+            for fut in done:
+                key = pending.pop(fut)
+                deadlines.pop(fut, None)
+                info = state[key]
+                try:
+                    fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    message = (
+                        f"timeout after {policy.timeout}s (worker killed)"
+                        if fut in timed_out
+                        else "worker process died before completing"
+                    )
+                    if record_death(key, message):
+                        resubmit.append(key)
+                except Exception as exc:
+                    message = _error_text(exc)
+                    can_retry = retryable(exc)
+                    journal.failed(
+                        key, attempt=info["attempts"], error=message,
+                        retryable=can_retry,
+                    )
+                    if can_retry and info["attempts"] < policy.max_attempts:
+                        stats.retries += 1
+                        emitter.event(
+                            "sweep.retry", digest=key[:12],
+                            label=info["spec"].label(),
+                            attempt=info["attempts"],
+                            error=message[:200],
+                        )
+                        policy.sleep(backoff.next())
+                        if broken or not submit(key):
+                            resubmit.append(key)
+                    elif policy.quarantine:
+                        info["done"] = True
+                        _quarantine(
+                            key, info["spec"], info["attempts"],
+                            message, journal, quarantined, emitter,
+                        )
+                    else:
+                        raise
+                else:
+                    info["done"] = True
+                    journal.finished(key, attempt=info["attempts"])
+            if broken:
+                # every sibling future of a broken pool is doomed —
+                # drain them now and rebuild smaller
+                for fut in list(pending):
+                    key = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    message = (
+                        f"timeout after {policy.timeout}s (worker killed)"
+                        if fut in timed_out
+                        else "pool broke while pending"
+                    )
+                    if record_death(key, message):
+                        resubmit.append(key)
+                timed_out.clear()
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                restarts += 1
+                stats.pool_restarts += 1
+                workers = max(1, workers // 2)
+                emitter.event(
+                    "sweep.pool_restart", restarts=restarts,
+                    workers=workers,
+                )
+                if restarts > policy.pool_restart_limit:
+                    break
+                policy.sleep(backoff.next())
+                try:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                except (OSError, PermissionError, ValueError):
+                    break
+                for key in resubmit:
+                    submit(key)
+            elif resubmit:
+                # the pool refused a retry without a visible break
+                # (it broke under a submit); failures stay unsubmitted
+                # and run serially as leftover
+                for key in resubmit:
+                    submit(key)
+    finally:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    leftover = [
+        (key, state[key]["spec"])
+        for key, _spec in misses
+        if not state[key]["done"] and key not in artifacts
+    ]
+    # a worker may have published to the cache before its pool broke —
+    # don't re-run those serially
+    still_missing = []
+    for key, spec in leftover:
+        artifact = cache.get(spec)
+        if artifact is not None:
+            artifacts[key] = artifact
+            executed.append(key)
+            journal.finished(key, attempt=state[key]["attempts"])
+            state[key]["done"] = True
+        else:
+            still_missing.append((key, spec))
+    if still_missing:
+        stats.degraded = True
+        emitter.event(
+            "sweep.degraded", remaining=len(still_missing),
+            restarts=restarts,
+        )
+        run_serial_supervised(
+            still_missing, cache,
+            policy=policy, journal=journal, stats=stats,
+            artifacts=artifacts, executed=executed,
+            quarantined=quarantined, emitter=emitter,
+            sweep_id=sweep_id,
+        )
+    return True

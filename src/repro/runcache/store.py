@@ -15,6 +15,13 @@ Guarantees:
   (the digest pins the content);
 * **corruption recovery** — an unreadable/truncated entry is treated as
   a miss and deleted, never raised to the caller;
+* **write-failure absorption** — a store that cannot be written
+  (ENOSPC, permissions, a torn temp file) records the failure
+  (``session_put_failures`` + a ``cache.put_failed`` telemetry event)
+  and behaves like a miss on the next lookup — a full disk degrades a
+  sweep to uncached speed, it never kills it.  Orphaned ``*.tmp``
+  files older than an hour (writers that died mid-put) are reaped when
+  a handle opens the store;
 * **LRU size cap** — ``max_bytes`` (default 512 MiB, or
   ``$REPRO_RUNCACHE_MAX_BYTES``) is enforced after every put by
   evicting least-recently-*used* entries (hits refresh an entry's
@@ -47,6 +54,10 @@ from repro.telemetry.schema import CACHE_STATS_SCHEMA
 PICKLE_PROTOCOL = 4
 
 DEFAULT_MAX_BYTES = 512 * 2**20
+
+#: age past which a leftover ``.tmp`` file is an orphan, not a
+#: concurrent writer's live temp file
+ORPHAN_TMP_MAX_AGE = 3600.0
 
 _ENV_DIR = "REPRO_RUNCACHE_DIR"
 _ENV_MAX = "REPRO_RUNCACHE_MAX_BYTES"
@@ -89,6 +100,7 @@ class CacheStats:
     misses: int
     salt: str
     by_kind: Dict[str, int] = field(default_factory=dict)
+    put_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -107,6 +119,7 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "salt": self.salt,
             "by_kind": dict(self.by_kind),
+            "put_failures": self.put_failures,
         }
 
     def render(self) -> str:
@@ -119,6 +132,10 @@ class CacheStats:
             f"(hit rate {self.hit_rate * 100:.1f}%)",
             f"  code salt   {self.salt[:16]}…",
         ]
+        if self.put_failures:
+            lines.insert(
+                3, f"  put failures {self.put_failures} (stored as misses)"
+            )
         for kind in sorted(self.by_kind):
             lines.append(f"    {kind:<11} {self.by_kind[kind]} entries")
         return "\n".join(lines)
@@ -144,6 +161,9 @@ class RunCache:
         #: cumulative ones live in stats.json)
         self.session_hits = 0
         self.session_misses = 0
+        #: stores that failed (ENOSPC, permissions) and were absorbed
+        self.session_put_failures = 0
+        self.reap_orphans()
 
     # -- paths -----------------------------------------------------------
 
@@ -219,10 +239,18 @@ class RunCache:
     # -- writes ----------------------------------------------------------
 
     def put_bytes(self, spec: RunSpec, data: bytes) -> str:
-        """Store pre-pickled artifact bytes; returns the digest."""
+        """Store pre-pickled artifact bytes; returns the digest.
+
+        A failed write (ENOSPC, permissions, a disk pulled mid-put) is
+        *absorbed*: the half-written entry is dropped, the failure is
+        counted and emitted as a ``cache.put_failed`` event, and the
+        digest is still returned — the entry simply stays a miss.  The
+        sweep's correctness never depends on a put landing.
+        """
         digest = self.digest(spec)
         pkl, meta = self._paths(digest)
-        pkl.parent.mkdir(parents=True, exist_ok=True)
+        # meta records the *intended* length: a torn artifact write
+        # (shorter file) is caught by the read-side length check
         meta_doc = {
             "digest": digest,
             "label": spec.label(),
@@ -231,10 +259,28 @@ class RunCache:
             "salt": self._salt,
             "created": time.time(),
         }
-        self._atomic_write(pkl, data)
-        self._atomic_write(
-            meta, (json.dumps(meta_doc, indent=1) + "\n").encode()
-        )
+        try:
+            if "REPRO_PROCESS_FAULTS" in os.environ:  # chaos harness
+                from repro.faults import process as process_faults
+
+                data = process_faults.corrupt_put(spec.kind, data)
+            pkl.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(pkl, data)
+            self._atomic_write(
+                meta, (json.dumps(meta_doc, indent=1) + "\n").encode()
+            )
+        except OSError as exc:
+            self.session_put_failures += 1
+            self._drop(digest)  # never leave a half pair behind
+            self._count_put_failure()
+            telemetry_runtime.current().event(
+                "cache.put_failed",
+                kind=spec.kind,
+                digest=digest[:12],
+                bytes=len(data),
+                error=f"{type(exc).__name__}: {exc}"[:200],
+            )
+            return digest
         telemetry_runtime.current().event(
             "cache.put",
             kind=spec.kind,
@@ -270,6 +316,33 @@ class RunCache:
                 pass
 
     # -- maintenance -----------------------------------------------------
+
+    def reap_orphans(
+        self, max_age: float = ORPHAN_TMP_MAX_AGE
+    ) -> int:
+        """Delete ``*.tmp`` files left by writers that died mid-put.
+
+        Only files older than ``max_age`` seconds go — younger ones
+        may belong to a live concurrent writer.  Runs on every store
+        open, so a crashed sweep never leaks temp files forever.
+        """
+        objects = self._objects()
+        if not objects.is_dir():
+            return 0
+        cutoff = time.time() - max_age
+        reaped = 0
+        for tmp in objects.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    os.unlink(tmp)
+                    reaped += 1
+            except OSError:
+                continue
+        if reaped:
+            telemetry_runtime.current().event(
+                "cache.orphans_reaped", count=reaped
+            )
+        return reaped
 
     def _entries(self) -> List[dict]:
         """All live entries: digest, size, LRU stamp, kind."""
@@ -362,6 +435,19 @@ class RunCache:
         except OSError:
             pass
 
+    def _count_put_failure(self) -> None:
+        path = self.root / "stats.json"
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            doc = {}
+        doc["put_failures"] = int(doc.get("put_failures", 0)) + 1
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(path, (json.dumps(doc) + "\n").encode())
+        except OSError:  # the disk is the thing that's broken
+            pass
+
     def stats(self) -> CacheStats:
         entries = self._entries()
         by_kind: Dict[str, int] = {}
@@ -380,6 +466,7 @@ class RunCache:
             misses=int(doc.get("misses", 0)),
             salt=self._salt,
             by_kind=by_kind,
+            put_failures=int(doc.get("put_failures", 0)),
         )
 
     # -- verification ----------------------------------------------------
@@ -396,6 +483,7 @@ class RunCache:
         """
         import random
 
+        from repro.runcache.resilience import spec_from_canonical
         from repro.runcache.sweep import execute_spec
 
         entries = sorted(self._entries(), key=lambda e: e["digest"])
@@ -408,19 +496,8 @@ class RunCache:
             pkl, meta = self._paths(entry["digest"])
             try:
                 cached = pkl.read_bytes()
-                spec_doc = json.loads(meta.read_text())["spec"]
-                spec = RunSpec(
-                    kind=spec_doc["kind"],
-                    workload=spec_doc["workload"],
-                    steps=spec_doc["steps"],
-                    seed=spec_doc["seed"],
-                    threads=spec_doc["threads"],
-                    machine=spec_doc["machine"],
-                    params=spec_doc["params"],
-                    fault_plan=spec_doc["fault_plan"],
-                    affinities=spec_doc["affinities"],
-                    master_affinity=spec_doc["master_affinity"],
-                    options=spec_doc["options"],
+                spec = spec_from_canonical(
+                    json.loads(meta.read_text())["spec"]
                 )
             except (OSError, ValueError, KeyError, TypeError) as exc:
                 reports.append(

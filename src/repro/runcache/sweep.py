@@ -21,9 +21,18 @@ import os
 import shutil
 import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.runcache import resilience
 from repro.runcache.key import RunSpec, _as_params
+from repro.runcache.resilience import (
+    NULL_JOURNAL,
+    Quarantined,
+    SupervisionPolicy,
+    SupervisionStats,
+    SweepJournal,
+)
 from repro.runcache.store import RunCache
 from repro.telemetry import runtime as telemetry_runtime
 from repro.telemetry.emit import new_trace_id
@@ -99,9 +108,11 @@ def toolerror_spec(
     *,
     seed: int = 0,
     periods: Sequence[float] = (1.0, 0.005),
+    fault_plan=None,
 ) -> RunSpec:
     """Spec for one tool-accuracy leaderboard cell (all modeled tools
-    scored against ground truth on one workload x machine point)."""
+    scored against ground truth on one workload x machine point),
+    optionally with a fault plan injected into the *measured* run."""
     from repro.workloads import resolve_workload
 
     return RunSpec(
@@ -111,6 +122,9 @@ def toolerror_spec(
         seed=seed,
         threads=threads,
         machine=machine,
+        fault_plan=(
+            fault_plan.to_dict() if fault_plan is not None else None
+        ),
         options={"periods": [float(p) for p in periods]},
     )
 
@@ -349,6 +363,7 @@ def _execute_toolerror(spec: RunSpec, cache: Optional[RunCache]) -> dict:
     """One leaderboard cell: every modeled tool's displayed-vs-true
     error on this (workload, machine) point.  The physics capture is
     the only nested dependency, so it routes through the cache."""
+    from repro.faults.plan import FaultPlan
     from repro.obs.leaderboard import toolerror_cell
 
     _machine_spec(spec.machine)  # validate before the expensive part
@@ -362,6 +377,11 @@ def _execute_toolerror(spec: RunSpec, cache: Optional[RunCache]) -> dict:
         seed=spec.seed,
         periods=periods,
         trace=trace,
+        fault_plan=(
+            FaultPlan.from_dict(spec.fault_plan)
+            if spec.fault_plan is not None
+            else None
+        ),
     )
 
 
@@ -382,6 +402,10 @@ def execute_spec(spec: RunSpec, cache: Optional[RunCache] = None):
     spec's physics capture) — the spec itself always executes, which is
     what makes this the verify path's ground truth.
     """
+    if "REPRO_PROCESS_FAULTS" in os.environ:  # chaos harness only
+        from repro.faults import process as process_faults
+
+        process_faults.execution_fault(spec.label())
     return _EXECUTORS[spec.kind](spec, cache)
 
 
@@ -411,11 +435,30 @@ class SweepResult:
     jobs: int
     #: distinct digests actually executed (cache misses after dedup)
     executed: List[str] = field(default_factory=list)
-    #: True when the misses actually ran across the process pool
+    #: True when the misses ran under a fan-out span — across the
+    #: process pool, or serially after the pool degraded
     fanout: bool = False
     #: per pool worker: ``{"hits": n, "misses": n}`` against the shared
     #: store, folded out of the workers' telemetry by the merge step
     worker_cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: specs the supervisor gave up on (permanent failures); their
+    #: artifact slots hold None
+    quarantined: List[Quarantined] = field(default_factory=list)
+    #: supervision counters (see :mod:`repro.runcache.resilience`)
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    #: True when repeated pool breaks forced in-process serial execution
+    degraded: bool = False
+    #: cache hits that were also journaled complete by the interrupted
+    #: run this sweep resumed (served with zero re-execution)
+    resumed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every spec produced an artifact (nothing
+        quarantined) — the full-success exit criterion."""
+        return not self.quarantined
 
     @property
     def hits(self) -> int:
@@ -454,14 +497,29 @@ def _pool_worker(args) -> str:
     its own JSONL file in the run, wraps the execution in a ``shard``
     span parented to the fan-out, and publishes its cache hit/miss
     counts as sweep-labeled counter samples the parent folds back into
-    :attr:`SweepResult.worker_cache`.
+    :attr:`SweepResult.worker_cache`.  With a journal active it also
+    appends a ``started`` record *before* executing — the proof the
+    chaos harness uses that resumed sweeps never re-enter completed
+    specs.
     """
-    spec, root, max_bytes, tel_root, sweep_id = args
+    spec, root, max_bytes, tel_root, sweep_id, journal_root, attempt = args
     cache = RunCache(root, max_bytes=max_bytes)
+    digest = cache.digest(spec)
+    journal = (
+        SweepJournal(journal_root) if journal_root else NULL_JOURNAL
+    )
+    journal.started(digest, attempt=attempt)
+    if "REPRO_PROCESS_FAULTS" in os.environ:  # chaos harness only
+        from repro.faults import process as process_faults
+
+        # may SIGKILL or hang this worker — after the journal record,
+        # so the parent sees a started-but-never-finished entry
+        process_faults.worker_started(spec.label())
     emitter = telemetry_runtime.activate(tel_root, parent_id=sweep_id)
     try:
         with emitter.span(
-            "shard", label=spec.label(), kind=spec.kind, sweep=sweep_id
+            "shard", label=spec.label(), kind=spec.kind,
+            sweep=sweep_id, attempt=attempt,
         ):
             run_and_store(cache, spec)
         worker = str(os.getpid())
@@ -475,7 +533,8 @@ def _pool_worker(args) -> str:
         )
     finally:
         telemetry_runtime.deactivate()
-    return cache.digest(spec)
+        journal.close()
+    return digest
 
 
 def default_jobs() -> int:
@@ -486,6 +545,10 @@ def sweep(
     specs: Sequence[RunSpec],
     cache: Optional[RunCache] = None,
     jobs: Optional[int] = None,
+    *,
+    journal: Optional[os.PathLike] = None,
+    resume: Optional[os.PathLike] = None,
+    policy: Optional[SupervisionPolicy] = None,
 ) -> SweepResult:
     """Dedupe ``specs`` against the cache and execute the misses.
 
@@ -495,73 +558,191 @@ def sweep(
     ``os.cpu_count()``) that publish into the shared store; a 1-CPU
     box, a single miss, or a pool that fails to start all degrade to
     the serial path.
+
+    Crash safety (see :mod:`repro.runcache.resilience`):
+
+    * ``journal=dir`` appends every submission/start/finish/failure to
+      ``dir/sweep-journal.jsonl``;
+    * ``resume=dir`` additionally *replays* that journal first —
+      digests journaled finished and still cached are served without
+      re-execution, previously quarantined digests stay quarantined
+      (unless ``policy.retry_quarantined``), and journaling continues
+      into the same file;
+    * ``policy`` sets retries/timeout/quarantine.  Defaults preserve
+      the historical semantics for plain calls (first error
+      propagates); journaled or resumed sweeps default to the
+      supervised :class:`SupervisionPolicy` (bounded retries,
+      quarantine instead of raise).
     """
+    if resume is not None and journal is not None and (
+        Path(resume) != Path(journal)
+    ):
+        raise ValueError("pass either journal= or resume=, not both")
+    journal_root = resume if resume is not None else journal
+    if policy is None:
+        policy = (
+            SupervisionPolicy()
+            if journal_root is not None
+            else resilience.PROPAGATE_POLICY
+        )
+    prior = (
+        resilience.load_journal(resume) if resume is not None else None
+    )
+    jrnl = (
+        SweepJournal(journal_root)
+        if journal_root is not None
+        else NULL_JOURNAL
+    )
+
     jobs = default_jobs() if jobs is None else max(1, jobs)
     emitter = telemetry_runtime.current()
-    with emitter.span(
-        "sweep", n_specs=len(specs), jobs=jobs
-    ) as sweep_span:
-        unique: Dict[str, RunSpec] = {}
-        keys: List[str] = []
-        for spec in specs:
-            key = (
-                cache.digest(spec) if cache is not None else spec.encode()
-            )
-            keys.append(key)
-            unique.setdefault(key, spec)
-
-        artifacts: Dict[str, Any] = {}
-        hit_by_key: Dict[str, bool] = {}
-        misses: List[Tuple[str, RunSpec]] = []
-        for key, spec in unique.items():
-            if cache is None:
-                hit_by_key[key] = False
-                misses.append((key, spec))
-                continue
-            artifact = cache.get(spec)
-            if artifact is not None:
-                artifacts[key] = artifact
-                hit_by_key[key] = True
-            else:
-                hit_by_key[key] = False
-                misses.append((key, spec))
-
-        executed: List[str] = []
-        worker_cache: Dict[str, Dict[str, int]] = {}
-        fanout = False
-        if misses:
-            pool_counts = None
-            if cache is not None and jobs > 1 and len(misses) > 1:
-                pool_counts = _sweep_parallel(
-                    misses, cache, jobs, artifacts, executed
+    stats = SupervisionStats()
+    quarantined: List[Quarantined] = []
+    resumed = 0
+    try:
+        with emitter.span(
+            "sweep", n_specs=len(specs), jobs=jobs,
+            resumed=resume is not None,
+        ) as sweep_span:
+            unique: Dict[str, RunSpec] = {}
+            keys: List[str] = []
+            for spec in specs:
+                key = (
+                    cache.digest(spec)
+                    if cache is not None
+                    else spec.encode()
                 )
-            if pool_counts is None:
-                for key, spec in misses:
-                    if key in artifacts:
-                        continue
-                    if cache is None:
-                        artifacts[key] = execute_spec(spec)
-                    else:
-                        artifacts[key], _ = run_and_store(cache, spec)
-                    executed.append(key)
-            else:
-                fanout = True
-                worker_cache = pool_counts
-        if sweep_span.span_id is not None:
-            sweep_span.attrs.update(
-                unique=len(unique),
-                misses=len(misses),
-                fanout=fanout,
+                keys.append(key)
+                unique.setdefault(key, spec)
+
+            prior_completed = prior.completed if prior else set()
+            prior_quarantined = (
+                {} if prior is None or policy.retry_quarantined
+                else prior.quarantined
             )
+            artifacts: Dict[str, Any] = {}
+            hit_by_key: Dict[str, bool] = {}
+            misses: List[Tuple[str, RunSpec]] = []
+            for key, spec in unique.items():
+                if key in prior_quarantined:
+                    record = prior_quarantined[key]
+                    hit_by_key[key] = False
+                    quarantined.append(
+                        Quarantined(
+                            digest=key,
+                            label=spec.label(),
+                            attempts=int(record.get("attempts", 0)),
+                            error=str(record.get("error", "")),
+                            carried=True,
+                        )
+                    )
+                    continue
+                artifact = cache.get(spec) if cache is not None else None
+                if artifact is not None:
+                    artifacts[key] = artifact
+                    hit_by_key[key] = True
+                    if key in prior_completed:
+                        resumed += 1
+                else:
+                    hit_by_key[key] = False
+                    misses.append((key, spec))
+
+            jrnl.begin(
+                [
+                    {
+                        "digest": key,
+                        "label": spec.label(),
+                        "spec": spec.canonical(),
+                    }
+                    for key, spec in unique.items()
+                ],
+                jobs=jobs,
+                resumed=resume is not None,
+            )
+
+            executed: List[str] = []
+            worker_cache: Dict[str, Dict[str, int]] = {}
+            fanout = False
+            if misses:
+                pool_counts = None
+                pooled = (
+                    cache is not None and jobs > 1 and len(misses) > 1
+                )
+                if pooled:
+                    pool_counts = _sweep_parallel(
+                        misses, cache, jobs, artifacts, executed,
+                        policy=policy, journal=jrnl, stats=stats,
+                        quarantined=quarantined, emitter=emitter,
+                    )
+                if pool_counts is None:
+                    # deliberate serial (no cache / 1 job / 1 miss), or
+                    # degraded: the pool could not be created at all
+                    if pooled:
+                        stats.degraded = True
+                        with emitter.span(
+                            "fanout", n_misses=len(misses), jobs=1,
+                            degraded=True,
+                        ) as fanout_span:
+                            sweep_id = (
+                                fanout_span.span_id
+                                or new_trace_id()[:12]
+                            )
+                            emitter.event(
+                                "sweep.degraded",
+                                remaining=len(misses), restarts=0,
+                            )
+                            worker_cache = (
+                                resilience.run_serial_supervised(
+                                    misses, cache, policy=policy,
+                                    journal=jrnl, stats=stats,
+                                    artifacts=artifacts,
+                                    executed=executed,
+                                    quarantined=quarantined,
+                                    emitter=emitter, sweep_id=sweep_id,
+                                )
+                            )
+                        fanout = True
+                    else:
+                        resilience.run_serial_supervised(
+                            misses, cache, policy=policy,
+                            journal=jrnl, stats=stats,
+                            artifacts=artifacts, executed=executed,
+                            quarantined=quarantined, emitter=emitter,
+                        )
+                else:
+                    fanout = True
+                    worker_cache = pool_counts
+            if sweep_span.span_id is not None:
+                sweep_span.attrs.update(
+                    unique=len(unique),
+                    misses=len(misses),
+                    fanout=fanout,
+                    retries=stats.retries,
+                    quarantined=len(quarantined),
+                    degraded=stats.degraded,
+                    resumed_hits=resumed,
+                )
+        jrnl.end(
+            executed=len(executed), quarantined=len(quarantined),
+            resumed=resumed,
+        )
+    finally:
+        jrnl.close()
 
     return SweepResult(
         specs=list(specs),
-        artifacts=[artifacts[k] for k in keys],
+        artifacts=[artifacts.get(k) for k in keys],
         hit_flags=[hit_by_key[k] for k in keys],
         jobs=jobs if len(misses) > 1 else 1,
         executed=executed,
         fanout=fanout,
         worker_cache=worker_cache,
+        quarantined=quarantined,
+        retries=stats.retries,
+        timeouts=stats.timeouts,
+        pool_restarts=stats.pool_restarts,
+        degraded=stats.degraded,
+        resumed=resumed,
     )
 
 
@@ -571,58 +752,74 @@ def _sweep_parallel(
     jobs: int,
     artifacts: Dict[str, Any],
     executed: List[str],
+    *,
+    policy: SupervisionPolicy,
+    journal,
+    stats: SupervisionStats,
+    quarantined: List[Quarantined],
+    emitter,
 ) -> Optional[Dict[str, Dict[str, int]]]:
-    """Fan cache misses out over a process pool.
+    """Fan cache misses out over a supervised process pool.
 
     Returns the per-worker cache hit/miss counts folded out of the
-    workers' telemetry, or ``None`` when the pool could not run (the
-    caller falls back to the serial path).  With a telemetry run active
-    the workers emit straight into it; otherwise they emit into an
-    ephemeral directory that exists only long enough to fold the
-    counts, so :attr:`SweepResult.worker_cache` is populated either
-    way.
+    workers' telemetry, or ``None`` when a pool could not be created
+    at all (the caller falls back to the serial path).  With a
+    telemetry run active the workers emit straight into it; otherwise
+    they emit into an ephemeral directory that exists only long enough
+    to fold the counts, so :attr:`SweepResult.worker_cache` is
+    populated either way.  If supervision degraded part of the work to
+    in-process serial, the parent's own hit/miss delta joins the counts
+    under its pid.
     """
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-    except ImportError:  # pragma: no cover - stdlib always has it
-        return None
-    emitter = telemetry_runtime.current()
     ephemeral: Optional[str] = None
     if telemetry_runtime.active():
         tel_root = str(emitter.run.root)
     else:
         ephemeral = tempfile.mkdtemp(prefix="repro-telemetry-")
         tel_root = ephemeral
+    parent_hits = cache.session_hits
+    parent_misses = cache.session_misses
     try:
         with emitter.span(
             "fanout", n_misses=len(misses), jobs=min(jobs, len(misses))
         ) as fanout_span:
             sweep_id = fanout_span.span_id or new_trace_id()[:12]
-            payload = [
-                (spec, str(cache.root), cache.max_bytes, tel_root, sweep_id)
-                for _key, spec in misses
-            ]
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(misses))
-                ) as pool:
-                    list(pool.map(_pool_worker, payload))
-            except (BrokenProcessPool, OSError, PermissionError, ValueError):
-                # sandboxes without /dev/shm, 1-CPU boxes mid-fork,
-                # etc. — the sweep still completes, just serially
+            ran = resilience.run_pool_supervised(
+                misses, cache, jobs,
+                tel_root=tel_root, sweep_id=sweep_id,
+                policy=policy, journal=journal, stats=stats,
+                artifacts=artifacts, executed=executed,
+                quarantined=quarantined, emitter=emitter,
+            )
+            if ran is None:
                 return None
         records, _skipped = load_records(tel_root)
         counts = worker_cache_counts(records, sweep_id)
     finally:
         if ephemeral is not None:
             shutil.rmtree(ephemeral, ignore_errors=True)
+    done_keys = set(executed) | set(artifacts)
+    quarantined_keys = {q.digest for q in quarantined}
     for key, spec in misses:
+        if key in quarantined_keys:
+            continue
+        if key in artifacts:
+            continue
         artifact = cache.get(spec)
         if artifact is None:  # worker died before publishing
             artifact, _ = run_and_store(cache, spec)
         artifacts[key] = artifact
-        executed.append(key)
+        if key not in done_keys:
+            executed.append(key)
+    # the parent's own lookups (reloads + degraded serial execution)
+    # count as one more worker so fan-out accounting stays conserved
+    delta_h = cache.session_hits - parent_hits
+    delta_m = cache.session_misses - parent_misses
+    if delta_h or delta_m:
+        me = str(os.getpid())
+        mine = counts.setdefault(me, {"hits": 0, "misses": 0})
+        mine["hits"] += delta_h
+        mine["misses"] += delta_m
     return counts
 
 

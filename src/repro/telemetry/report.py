@@ -106,6 +106,7 @@ def _process_runs(records: List[dict]) -> List[dict]:
                 "hits": 0,
                 "misses": 0,
                 "span_names": [],
+                "_root_span": False,
             },
         )
         entry["end"] = max(entry["end"], record["ts"])
@@ -114,10 +115,8 @@ def _process_runs(records: List[dict]) -> List[dict]:
             entry["start"] = min(entry["start"], record["start"])
             if record["name"] not in entry["span_names"]:
                 entry["span_names"].append(record["name"])
-            if record["name"] == "shard":
-                entry["role"] = "worker"
-            elif entry["role"] != "worker" and record["parent_id"] is None:
-                entry["role"] = "parent"
+            if record["parent_id"] is None:
+                entry["_root_span"] = True
         elif record["kind"] == "event":
             entry["n_events"] += 1
             if record["name"] == "cache.lookup":
@@ -127,6 +126,16 @@ def _process_runs(records: List[dict]) -> List[dict]:
     for pid in sorted(by_pid):
         entry = by_pid[pid]
         entry["seconds"] = max(entry["end"] - entry["start"], 0.0)
+        # a degraded sweep's parent emits shard spans itself, so the
+        # orchestration spans outrank the shard marker when both appear
+        names = set(entry["span_names"])
+        if names & {"sweep", "fanout"}:
+            entry["role"] = "parent"
+        elif "shard" in names:
+            entry["role"] = "worker"
+        elif entry["_root_span"]:
+            entry["role"] = "parent"
+        del entry["_root_span"]
         runs.append(entry)
     return runs
 
@@ -173,6 +182,38 @@ def _attribution_block(bench: Optional[dict]) -> Optional[dict]:
         "threads": peak_threads,
         "by_workload": by_workload,
     }
+
+
+#: supervision / store-hardening event -> tally key (1 event = 1 count)
+_RESILIENCE_EVENTS = {
+    "sweep.retry": "retries",
+    "sweep.timeout": "timeouts",
+    "sweep.pool_restart": "pool_restarts",
+    "sweep.degraded": "degraded",
+    "sweep.quarantine": "quarantined",
+    "cache.put_failed": "put_failures",
+}
+
+
+def _resilience_block(records: List[dict]) -> Optional[dict]:
+    """Supervision activity folded out of the sweep/cache events:
+    retries, timeout kills, pool restarts, serial degradation,
+    quarantined specs, absorbed put failures, reaped orphan temp
+    files.  ``None`` when the run never needed any of it — the common
+    fault-free case keeps its report clean."""
+    tally = {key: 0 for key in _RESILIENCE_EVENTS.values()}
+    tally["orphans_reaped"] = 0
+    for record in events(records):
+        key = _RESILIENCE_EVENTS.get(record["name"])
+        if key is not None:
+            tally[key] += 1
+        elif record["name"] == "cache.orphans_reaped":
+            tally["orphans_reaped"] += int(
+                record["attrs"].get("count", 0) or 0
+            )
+    if not any(tally.values()):
+        return None
+    return tally
 
 
 def _chaos_block(records: List[dict]) -> Optional[dict]:
@@ -251,6 +292,7 @@ def build_report(
         "speedup": _speedup_block(bench),
         "attribution": _attribution_block(bench),
         "chaos": _chaos_block(records),
+        "resilience": _resilience_block(records),
         "leaderboard": _leaderboard_block(root),
         "flamegraphs": flamegraphs,
     }
@@ -592,6 +634,13 @@ def render_html(report: dict) -> str:
         tiles.append(
             _tile(f"{chaos['ok']}/{chaos['cases']}", "chaos cases ok")
         )
+    resilience = report.get("resilience")
+    if resilience:
+        tiles.append(_tile(str(resilience["retries"]), "supervised retries"))
+        if resilience["quarantined"]:
+            tiles.append(
+                _tile(str(resilience["quarantined"]), "specs quarantined")
+            )
 
     sections: List[str] = []
     speedup = report.get("speedup")
@@ -643,6 +692,29 @@ def render_html(report: dict) -> str:
             + board_rows
             + "</table>"
             + jx_note
+        )
+    if resilience:
+        labels = (
+            ("retries", "spec retries (with backoff)"),
+            ("timeouts", "attempts killed on timeout"),
+            ("pool_restarts", "pool restarts after worker deaths"),
+            ("degraded", "degradations to serial execution"),
+            ("quarantined", "specs quarantined as permanent failures"),
+            ("put_failures", "cache writes absorbed as misses"),
+            ("orphans_reaped", "orphaned temp files reaped"),
+        )
+        res_rows = "".join(
+            f'<tr><td>{_esc(text)}</td>'
+            f'<td class="num">{resilience[key]}</td></tr>'
+            for key, text in labels
+            if resilience[key]
+        )
+        sections.append(
+            "<h2>Resilience</h2>"
+            '<p class="sub">supervision and store-hardening activity '
+            "during this run — a fault-free sweep shows none</p>"
+            f"<table><tr><th>event</th><th class=\"num\">count</th></tr>"
+            f"{res_rows}</table>"
         )
     sections.append(
         "<h2>Per-process timeline</h2>" + _timeline_svg(runs)

@@ -1,0 +1,144 @@
+"""Real-process fault plans: env-driven arming, bounded slots, hooks."""
+
+import errno
+import json
+
+import pytest
+
+from repro.faults.process import (
+    ENV_VAR,
+    PLAN_FILE,
+    PROCESS_PLAN_SCHEMA,
+    InjectedFault,
+    PoisonedSpec,
+    ProcessFaultPlan,
+    _claim,
+    activate,
+    active_plan,
+    corrupt_put,
+    deactivate,
+    execution_fault,
+    retryable,
+    worker_started,
+)
+
+
+@pytest.fixture()
+def arm(tmp_path):
+    """Activate a plan for the test, guaranteed disarmed afterwards."""
+    deactivate()
+
+    def _arm(**kwargs):
+        plan = ProcessFaultPlan(state_dir=str(tmp_path / "state"), **kwargs)
+        activate(plan)
+        return plan
+
+    yield _arm
+    deactivate()
+
+
+# ------------------------------------------------------------- the plan
+
+
+def test_plan_roundtrips_through_dict(tmp_path):
+    plan = ProcessFaultPlan(
+        state_dir=str(tmp_path),
+        kill_labels=("observe:salt*",),
+        kill_starts=2,
+        flaky_labels=("*",),
+        flaky_failures=1,
+        enospc_kinds=("observe",),
+        enospc_puts=3,
+    )
+    doc = plan.to_dict()
+    assert doc["schema"] == PROCESS_PLAN_SCHEMA
+    assert ProcessFaultPlan.from_dict(doc) == plan
+
+
+def test_from_dict_ignores_unknown_keys_and_coerces_tuples(tmp_path):
+    plan = ProcessFaultPlan.from_dict(
+        {
+            "schema": PROCESS_PLAN_SCHEMA,
+            "state_dir": str(tmp_path),
+            "poison_labels": ["observe:*"],  # list, not tuple
+            "future_field": "ignored",
+        }
+    )
+    assert plan.poison_labels == ("observe:*",)
+    assert plan.kill_labels == ()
+
+
+def test_activate_writes_plan_and_points_env_at_it(arm, tmp_path):
+    plan = arm(poison_labels=("x",))
+    path = tmp_path / "state" / PLAN_FILE
+    assert path.is_file()
+    doc = json.loads(path.read_text())
+    assert doc["poison_labels"] == ["x"]
+    assert active_plan() == plan
+    deactivate()
+    assert active_plan() is None
+
+
+def test_unreadable_plan_disarms_silently(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "does-not-exist.json"))
+    assert active_plan() is None
+    # hooks must stay no-ops rather than crash the sweep
+    worker_started("observe:salt:t1")
+    execution_fault("observe:salt:t1")
+    assert corrupt_put("observe", b"data") == b"data"
+
+
+# ----------------------------------------------------------- the hooks
+
+
+def test_hooks_are_noops_when_env_unset(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    worker_started("observe:salt:t1")
+    execution_fault("observe:salt:t1")
+    assert corrupt_put("observe", b"payload") == b"payload"
+
+
+def test_claim_is_globally_bounded(tmp_path):
+    plan = ProcessFaultPlan(state_dir=str(tmp_path))
+    assert _claim(plan, "kill", 2)
+    assert _claim(plan, "kill", 2)
+    assert not _claim(plan, "kill", 2)  # both slots spent
+    assert not _claim(plan, "hang", 0)  # zero-limit never fires
+
+
+def test_poisoned_spec_fails_every_attempt(arm):
+    arm(poison_labels=("observe:salt*",))
+    for _ in range(3):
+        with pytest.raises(PoisonedSpec):
+            execution_fault("observe:salt:t2")
+    execution_fault("observe:Al-1000:t2")  # non-matching label is fine
+
+
+def test_flaky_spec_fails_first_n_attempts_only(arm):
+    arm(flaky_labels=("*",), flaky_failures=2)
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            execution_fault("observe:salt:t1")
+    execution_fault("observe:salt:t1")  # slots exhausted: clean
+
+
+def test_corrupt_put_enospc_then_clean(arm):
+    arm(enospc_kinds=("observe",), enospc_puts=1)
+    with pytest.raises(OSError) as exc:
+        corrupt_put("observe", b"x" * 64)
+    assert exc.value.errno == errno.ENOSPC
+    assert corrupt_put("observe", b"x" * 64) == b"x" * 64
+    assert corrupt_put("trace", b"y") == b"y"  # kind filter
+
+
+def test_corrupt_put_truncates_payload(arm):
+    arm(truncate_kinds=("*",), truncate_puts=1)
+    data = b"z" * 100
+    assert corrupt_put("observe", data) == data[:50]
+    assert corrupt_put("observe", data) == data  # one torn write only
+
+
+def test_retryable_semantics():
+    assert not retryable(PoisonedSpec("permanent"))
+    assert retryable(InjectedFault("transient"))
+    assert retryable(ValueError("ordinary execution error"))

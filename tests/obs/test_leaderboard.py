@@ -139,3 +139,68 @@ def test_toolerror_spec_sweeps_and_dedupes(tmp_path):
     warm = sweep([spec], cache)
     assert warm.hit_rate == 1.0
     assert warm.artifacts[0] == cold.artifacts[0]
+
+
+# ------------------------------------------- fault-aware leaderboard
+
+
+@pytest.fixture(scope="module")
+def fault_board(tmp_path_factory):
+    """One clean-vs-straggler cell, cached so repeats stay warm."""
+    from repro.obs.leaderboard import fault_leaderboard
+
+    cache = RunCache(tmp_path_factory.mktemp("faultlb"))
+    return fault_leaderboard(
+        "salt", "i7-920", threads=2, steps=1, cache=cache
+    )
+
+
+def test_fault_board_scores_every_tool_twice(fault_board):
+    assert len(fault_board.rows) >= 8
+    assert fault_board.faulted_seconds > fault_board.true_seconds
+    clean = sorted(r.clean_rank for r in fault_board.rows)
+    fault = sorted(r.fault_rank for r in fault_board.rows)
+    assert clean == list(range(1, len(fault_board.rows) + 1))
+    assert fault == list(range(1, len(fault_board.rows) + 1))
+
+
+def test_fault_board_rank_shift_consistency(fault_board):
+    for row in fault_board.rows:
+        assert row.rank_shift == row.clean_rank - row.fault_rank
+        assert row.fooled == (row.rank_shift != 0)
+    assert fault_board.fooled == [
+        r.tool for r in fault_board.rows if r.fooled
+    ]
+
+
+def test_fault_board_payload_and_render(fault_board):
+    from repro.obs.leaderboard import (
+        FAULT_TOOLERROR_SCHEMA,
+        fault_leaderboard_payload,
+    )
+
+    payload = fault_leaderboard_payload(fault_board)
+    assert payload["schema"] == FAULT_TOOLERROR_SCHEMA
+    assert payload["plan"]["name"] == "straggler"
+    rows = payload["rows"]
+    assert [r["fault_rank"] for r in rows] == sorted(
+        r["fault_rank"] for r in rows
+    )
+    assert sorted(payload["fooled"]) == payload["fooled"]
+    text = fault_board.render()
+    assert "Fault-aware leaderboard" in text
+    for row in fault_board.rows:
+        assert row.tool in text
+
+
+def test_fault_board_is_cache_served_when_warm(tmp_path):
+    from repro.obs.leaderboard import fault_leaderboard
+
+    cache = RunCache(tmp_path / "store")
+    cold = fault_leaderboard("salt", "i7-920", threads=2, steps=1,
+                             cache=cache)
+    warm = fault_leaderboard("salt", "i7-920", threads=2, steps=1,
+                             cache=cache)
+    assert cold.hit_rate == 0.0
+    assert warm.hit_rate == 1.0
+    assert warm.rows == cold.rows

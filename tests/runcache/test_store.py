@@ -189,3 +189,67 @@ def test_verify_flags_a_tampered_artifact(cache):
 
 def test_verify_empty_store_is_empty_list(cache):
     assert cache.verify(sample=3) == []
+
+
+# ------------------------------------------- crash-safe put hardening
+
+
+def _armed_plan(tmp_path, **kwargs):
+    from repro.faults.process import ProcessFaultPlan, activate
+
+    plan = ProcessFaultPlan(state_dir=str(tmp_path / "faults"), **kwargs)
+    activate(plan)
+    return plan
+
+
+def test_enospc_put_is_absorbed_as_a_miss(cache, tmp_path):
+    from repro.faults.process import deactivate
+
+    _armed_plan(tmp_path, enospc_kinds=("capture",), enospc_puts=1)
+    try:
+        digest = cache.put(spec(), {"data": 1})  # fails, absorbed
+        assert len(digest) == 64  # digest still returned, no raise
+        assert cache.session_put_failures == 1
+        assert cache.get(spec()) is None  # the entry stayed a miss
+        assert cache.stats().put_failures == 1
+        cache.put(spec(), {"data": 1})  # slot spent: this one lands
+        assert cache.get(spec()) == {"data": 1}
+    finally:
+        deactivate()
+
+
+def test_truncated_put_is_caught_by_read_side_length_check(
+    cache, tmp_path
+):
+    from repro.faults.process import deactivate
+
+    _armed_plan(tmp_path, truncate_kinds=("capture",), truncate_puts=1)
+    try:
+        artifact = {"payload": list(range(100))}
+        cache.put(spec(), artifact)  # torn: half the bytes hit disk
+        # meta recorded the intended length, so the read detects it,
+        # drops the torn pair, and reports a plain miss
+        assert cache.get(spec()) is None
+        assert not cache.contains(spec())
+        cache.put(spec(), artifact)
+        assert cache.get_bytes(spec()) == dumps_artifact(artifact)
+    finally:
+        deactivate()
+
+
+def test_orphaned_tmp_files_reaped_on_open(cache, tmp_path):
+    import time
+
+    cache.put(spec(), 1)
+    shard = next((cache.root / "objects").iterdir())
+    old = shard / ".dead-writer.pkl.1234.tmp"
+    old.write_bytes(b"half a put")
+    stale = time.time() - 7200
+    os.utime(old, (stale, stale))
+    fresh = shard / ".live-writer.pkl.5678.tmp"
+    fresh.write_bytes(b"in flight")
+
+    reopened = RunCache(cache.root)  # reap runs on every store open
+    assert not old.exists()  # the crashed writer's orphan is gone
+    assert fresh.exists()  # a live concurrent writer's file survives
+    assert reopened.get(spec()) == 1  # sound entries untouched

@@ -182,3 +182,49 @@ def test_write_report_artifact_set(run_dir, tmp_path):
 
     merged = (out / "merged.jsonl").read_text().splitlines()
     assert len(merged) == 10
+
+
+def test_resilience_block_counts_supervision_events(tmp_path):
+    root = tmp_path / "run"
+    TelemetryRun(root, label="chaotic", trace_id=TRACE_ID)
+    records = [
+        _span(100, 0, "sweep", 1.0, 9.0, "64.1", None, n_specs=2),
+        _event(100, 1, 2.0, "sweep.retry", digest="abc", attempt=1),
+        _event(100, 2, 2.5, "sweep.retry", digest="abc", attempt=2),
+        _event(100, 3, 3.0, "sweep.timeout", digest="def", timeout=5.0),
+        _event(100, 4, 4.0, "sweep.pool_restart", restarts=1, workers=1),
+        _event(100, 5, 5.0, "sweep.degraded", remaining=1, restarts=1),
+        _event(100, 6, 6.0, "sweep.quarantine", digest="fff", attempts=3),
+        _event(100, 7, 7.0, "cache.put_failed", kind="observe"),
+        _event(100, 8, 8.0, "cache.orphans_reaped", count=3),
+        # degraded parent executes shard spans itself: still a parent
+        _span(100, 9, "shard", 5.0, 6.0, "77.1", "64.1", serial=True),
+    ]
+    (root / f"{FILE_PREFIX}100.jsonl").write_text(
+        "".join(encode_line(r) for r in records)
+    )
+
+    report = build_report(root)
+    block = report["resilience"]
+    assert block == {
+        "retries": 2,
+        "timeouts": 1,
+        "pool_restarts": 1,
+        "degraded": 1,
+        "quarantined": 1,
+        "put_failures": 1,
+        "orphans_reaped": 3,
+    }
+    roles = {r["pid"]: r["role"] for r in report["runs"]}
+    assert roles == {100: "parent"}  # shard spans don't demote the root
+
+    html = render_html(report)
+    assert "Resilience" in html
+    assert "supervised retries" in html
+    assert "orphaned temp files reaped" in html
+
+
+def test_resilience_block_absent_when_nothing_happened(run_dir):
+    report = build_report(run_dir)
+    assert report["resilience"] is None
+    assert "Resilience" not in render_html(report)

@@ -332,3 +332,148 @@ def test_report_on_empty_dir_exits_2(capsys, tmp_path):
         main(["report", str(tmp_path)])
     assert exc.value.code == 2
     assert "no telemetry records" in capsys.readouterr().err
+
+
+def test_sweep_journal_then_resume_cycle(capsys, tmp_path):
+    import json
+
+    from repro.runcache.resilience import load_journal
+
+    base = [
+        "sweep",
+        "--workloads", "salt",
+        "--threads", "1,2",
+        "--steps", "1",
+        "--cache-dir", str(tmp_path / "store"),
+    ]
+    out = run_cli(
+        capsys, *base, "--journal", str(tmp_path / "journal"),
+        "--out", str(tmp_path / "a"),
+    )
+    assert "swept 2 specs" in out and "2 executed" in out
+    state = load_journal(tmp_path / "journal")
+    assert len(state.completed) == 2
+
+    out = run_cli(
+        capsys,
+        "sweep",
+        "--resume", str(tmp_path / "journal"),
+        "--cache-dir", str(tmp_path / "store"),
+        "--out", str(tmp_path / "b"),
+    )
+    assert "resumed" in out
+    payload = json.loads(
+        (tmp_path / "b" / "sweep.json").read_text(encoding="utf-8")
+    )
+    assert payload["schema"].startswith("repro.sweepcli/")
+    assert payload["resumed"] == 2 and payload["executed"] == []
+    assert payload["quarantined"] == []
+
+
+def test_sweep_resume_without_journal_is_one_line_exit_2(capsys, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--resume", str(tmp_path / "nothing")])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "sweep-journal.jsonl" in err
+    assert err.count("\n") == 1
+
+
+def test_sweep_resume_conflicts_are_one_line_exit_2(capsys, tmp_path):
+    journal = str(tmp_path / "journal")
+    for extra in (
+        ["--journal", str(tmp_path / "other")],
+        ["--workloads", "salt"],
+        ["--steps", "1"],
+        ["--no-cache"],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--resume", journal] + extra)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1
+
+
+def test_sweep_bad_supervision_flags_exit_2(capsys):
+    for extra in (
+        ["--retries", "-1"],
+        ["--timeout", "0"],
+        ["--threads", "0"],
+        ["--threads", "lots"],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--workloads", "salt", "--steps", "1"] + extra)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
+
+def test_sweep_quarantine_exits_3_and_reports(capsys, tmp_path):
+    import json
+
+    from repro.faults.process import ProcessFaultPlan, activate, deactivate
+
+    activate(ProcessFaultPlan(
+        state_dir=str(tmp_path / "faults"),
+        poison_labels=("observe:salt*",),
+    ))
+    try:
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "sweep",
+                "--workloads", "salt",
+                "--threads", "1",
+                "--steps", "1",
+                "--retries", "0",
+                "--journal", str(tmp_path / "journal"),
+                "--cache-dir", str(tmp_path / "store"),
+                "--out", str(tmp_path / "o"),
+            ])
+    finally:
+        deactivate()
+    assert exc.value.code == 3  # partial success, not a usage error
+    out = capsys.readouterr().out
+    assert "quarantined" in out and "PoisonedSpec" in out
+    payload = json.loads(
+        (tmp_path / "o" / "sweep.json").read_text(encoding="utf-8")
+    )
+    assert len(payload["quarantined"]) == 1
+    assert payload["quarantined"][0]["label"].startswith("observe:salt")
+
+
+def test_leaderboard_faults_renders_and_writes_payload(capsys, tmp_path):
+    import json
+
+    out = run_cli(
+        capsys,
+        "leaderboard",
+        "--faults",
+        "--workloads", "salt",
+        "--threads", "2",  # the straggler sits on PU 1: needs 2 threads
+        "--steps", "1",
+        "--cache-dir", str(tmp_path / "store"),
+        "--out", str(tmp_path),
+    )
+    assert "Fault-aware leaderboard" in out
+    assert "straggler" in out
+    payload = json.loads(
+        (tmp_path / "leaderboard_faults.json").read_text(encoding="utf-8")
+    )
+    assert payload["schema"].startswith("repro.toolerror_faults/")
+    assert payload["faulted_seconds"] > payload["true_seconds"]
+    ranked = [r["tool"] for r in payload["rows"]]
+    assert len(ranked) >= 8
+    for row in payload["rows"]:
+        assert row["rank_shift"] == row["clean_rank"] - row["fault_rank"]
+        assert row["fooled"] == (row["rank_shift"] != 0)
+
+
+def test_leaderboard_faults_needs_a_single_cell(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["leaderboard", "--faults", "--workloads", "salt", "nanocar"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert err.count("\n") == 1
