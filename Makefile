@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -100,6 +100,16 @@ resilience-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/bench_resilience.py \
 		--out BENCH_resilience.json
 	$(PYTHON) scripts/check_resilience.py BENCH_resilience.json
+
+# vectorized-ensemble gate: advance 100 seeded captures in lockstep
+# through the batched engine and require >= 10x execution-phase
+# aggregate events/s over the scalar path, byte-identical per-run
+# traces, byte-equal cache artifacts on both sweep paths, and a full
+# hit on resweep (the replay-batching break-even is recorded, ungated)
+ensemble-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/bench_ensemble.py \
+		--out BENCH_ensemble.json
+	$(PYTHON) scripts/check_ensemble.py BENCH_ensemble.json
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -78,7 +78,7 @@ from repro.obs import (
     write_folded_stacks,
 )
 from repro.perftools import VTune, topology_report
-from repro.workloads import BUILDERS, resolve_workload
+from repro.workloads import BUILDERS, PAPER_WORKLOADS, resolve_workload
 
 
 def _die(message: str):
@@ -113,7 +113,9 @@ def _positive_int(text: str) -> int:
 
 
 def _workloads(names: Optional[List[str]]):
-    names = [_workload_name(n) for n in names] if names else list(BUILDERS)
+    names = (
+        [_workload_name(n) for n in names] if names else list(PAPER_WORKLOADS)
+    )
     return [BUILDERS[n]() for n in names]
 
 
@@ -546,6 +548,7 @@ def cmd_sweep(args) -> None:
         journal=args.journal,
         resume=args.resume,
         policy=policy,
+        ensemble=args.ensemble,
     )
 
     n_unique = len({s.encode() for s in specs})
@@ -557,6 +560,12 @@ def cmd_sweep(args) -> None:
         print(
             f"  resumed: {result.resumed} specs journaled complete by "
             "the interrupted run, served with zero re-execution"
+        )
+    if result.ensemble_runs:
+        print(
+            f"  ensemble: {result.ensemble_runs} runs vectorized in "
+            f"{result.ensemble_batches} "
+            f"batch{'es' if result.ensemble_batches != 1 else ''}"
         )
     if result.fanout:
         print(f"  fan-out: {result.jobs} jobs"
@@ -583,6 +592,8 @@ def cmd_sweep(args) -> None:
             "degraded": result.degraded,
             "fanout": result.fanout,
             "jobs": result.jobs,
+            "ensemble_batches": result.ensemble_batches,
+            "ensemble_runs": result.ensemble_runs,
             "quarantined": [q.to_dict() for q in result.quarantined],
         }
         with open(path, "w", encoding="utf-8") as fh:
@@ -953,6 +964,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write a repro.sweepcli/1 summary as sweep.json here "
         "(directory created if missing)",
+    )
+    ens = p.add_mutually_exclusive_group()
+    ens.add_argument(
+        "--ensemble", dest="ensemble", action="store_true",
+        default=None,
+        help="force the vectorized ensemble path for homogeneous "
+        "miss-batches (default: automatic)",
+    )
+    ens.add_argument(
+        "--no-ensemble", dest="ensemble", action="store_false",
+        help="disable ensemble batching; every miss runs on the "
+        "scalar pool path",
     )
     _add_cache_flags(p)
     _add_telemetry_flag(p)

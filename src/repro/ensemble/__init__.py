@@ -1,0 +1,46 @@
+"""Vectorized ensemble execution: many independent runs per sweep.
+
+A parameter sweep over seeds replays the same physics pipeline dozens
+to thousands of times on systems that differ only in their kinematic
+state.  Running each replica through the scalar engine pays the full
+per-call numpy/Python overhead per run — the dominant cost for the
+small systems sweeps use.  This package batches the replicas instead:
+
+* :class:`~repro.ensemble.engine.EnsembleMDEngine` advances ``R`` runs
+  at once on ``(n_runs, n_atoms, 3)`` structure-of-arrays stacks,
+  reusing the *scalar* integrator/boundary/kernel code on flattened
+  views so the two paths cannot drift — per-run step reports are
+  byte-identical (pickle protocol 4) to scalar captures by
+  construction, which keeps the content-addressed run cache sound.
+* :class:`~repro.ensemble.des.MultiSimulator` merges the event
+  processing of independent DES replays in global timestamp order
+  (:func:`~repro.ensemble.des.replay_batch`), sharing the pure
+  per-step cost plans between runs that differ only in seed/machine.
+* :func:`~repro.ensemble.routing.route_misses` is the sweep hook:
+  homogeneous cache-miss batches are detected and executed vectorized,
+  each run published under its own spec digest with the same journal
+  records a pool worker would write — cache/journal/leaderboard
+  consumers see no difference.
+
+Runs whose configuration the batched path cannot reproduce exactly
+raise :class:`~repro.ensemble.engine.EnsembleUnsupported` and fall
+back to the scalar path transparently.
+"""
+
+from repro.ensemble.des import MultiSimulator, replay_batch
+from repro.ensemble.engine import (
+    EnsembleMDEngine,
+    EnsembleUnsupported,
+    ensemble_capture,
+)
+from repro.ensemble.system import EnsembleState, FlatSystemView
+
+__all__ = [
+    "EnsembleMDEngine",
+    "EnsembleState",
+    "EnsembleUnsupported",
+    "FlatSystemView",
+    "MultiSimulator",
+    "ensemble_capture",
+    "replay_batch",
+]

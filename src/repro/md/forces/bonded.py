@@ -19,7 +19,12 @@ from typing import Optional
 import numpy as np
 
 from repro.md.boundary import Boundary
-from repro.md.forces.base import Force, ForceResult
+from repro.md.forces.base import (
+    Force,
+    ForceResult,
+    owner_counts,
+    scatter_forces,
+)
 from repro.md.neighbors import NeighborList
 from repro.md.system import AtomSystem
 
@@ -69,6 +74,20 @@ class RadialBondForce(Force):
             np.asarray(mapping)[self.bonds], self.k, self.r0
         )
 
+    def _bundle(self, system: AtomSystem, boundary: Boundary, forces_out):
+        """Term math + scatter; returns ``(owner, e_terms)``.  Indexes
+        only through ``self.bonds``, so a merged run-offset copy works
+        on the flattened ensemble view (see ``repro.ensemble``)."""
+        a, b = self.bonds[:, 0], self.bonds[:, 1]
+        dr = boundary.displacement(system.positions[a] - system.positions[b])
+        r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
+        r_safe = np.where(r > 1e-12, r, 1.0)
+        stretch = r - self.r0
+        # F_a = -k (r - r0) r̂
+        fvec = (-self.k * stretch / r_safe)[:, None] * dr
+        scatter_forces(forces_out, (a, b), (fvec, -fvec))
+        return a, 0.5 * self.k * stretch * stretch
+
     def compute(
         self,
         system: AtomSystem,
@@ -79,17 +98,9 @@ class RadialBondForce(Force):
         n = system.n_atoms
         if self.n_bonds == 0:
             return ForceResult.empty(n)
-        a, b = self.bonds[:, 0], self.bonds[:, 1]
-        dr = boundary.displacement(system.positions[a] - system.positions[b])
-        r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
-        r_safe = np.where(r > 1e-12, r, 1.0)
-        stretch = r - self.r0
-        # F_a = -k (r - r0) r̂
-        fvec = (-self.k * stretch / r_safe)[:, None] * dr
-        np.add.at(forces_out, a, fvec)
-        np.subtract.at(forces_out, b, fvec)
-        energy = float(np.sum(0.5 * self.k * stretch * stretch))
-        per_atom = np.bincount(a, minlength=n).astype(np.float64)
+        a, e_terms = self._bundle(system, boundary, forces_out)
+        energy = float(np.sum(e_terms))
+        per_atom = owner_counts(a, n)
         return ForceResult(
             energy=energy,
             terms=self.n_bonds,
@@ -130,16 +141,9 @@ class AngularBondForce(Force):
             np.asarray(mapping)[self.triples], self.k, self.theta0
         )
 
-    def compute(
-        self,
-        system: AtomSystem,
-        boundary: Boundary,
-        neighbors: Optional[NeighborList],
-        forces_out: np.ndarray,
-    ) -> ForceResult:
-        n = system.n_atoms
-        if self.n_angles == 0:
-            return ForceResult.empty(n)
+    def _bundle(self, system: AtomSystem, boundary: Boundary, forces_out):
+        """Term math + scatter; returns ``(owner, e_terms)`` (see
+        :meth:`RadialBondForce._bundle`)."""
         a = self.triples[:, 0]
         b = self.triples[:, 1]  # vertex
         c = self.triples[:, 2]
@@ -161,12 +165,23 @@ class AngularBondForce(Force):
         fa = (du / sin_t)[:, None] * dcos_da
         fc = (du / sin_t)[:, None] * dcos_dc
         fb = -fa - fc
-        np.add.at(forces_out, a, fa)
-        np.add.at(forces_out, b, fb)
-        np.add.at(forces_out, c, fc)
+        scatter_forces(forces_out, (a, b, c), (fa, fb, fc))
         dtheta = theta - self.theta0
-        energy = float(np.sum(0.5 * self.k * dtheta * dtheta))
-        per_atom = np.bincount(a, minlength=n).astype(np.float64) * 2.0
+        return a, 0.5 * self.k * dtheta * dtheta
+
+    def compute(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        neighbors: Optional[NeighborList],
+        forces_out: np.ndarray,
+    ) -> ForceResult:
+        n = system.n_atoms
+        if self.n_angles == 0:
+            return ForceResult.empty(n)
+        a, e_terms = self._bundle(system, boundary, forces_out)
+        energy = float(np.sum(e_terms))
+        per_atom = owner_counts(a, n, weight=2.0)
         return ForceResult(
             energy=energy,
             terms=self.n_angles,
@@ -226,6 +241,21 @@ class TorsionalBondForce(Force):
         n = system.n_atoms
         if self.n_torsions == 0:
             return ForceResult.empty(n)
+        a, e_terms = self._bundle(system, boundary, forces_out)
+        energy = float(np.sum(e_terms))
+        per_atom = owner_counts(a, n, weight=3.0)
+        return ForceResult(
+            energy=energy,
+            terms=self.n_torsions,
+            per_atom_work=per_atom,
+            flops=TORSIONAL_FLOPS * self.n_torsions,
+            bytes_irregular=4 * LINE_BYTES * self.n_torsions,
+            bytes_regular=0.0,
+        )
+
+    def _bundle(self, system: AtomSystem, boundary: Boundary, forces_out):
+        """Term math + scatter; returns ``(owner, e_terms)`` (see
+        :meth:`RadialBondForce._bundle`)."""
         pos = system.positions
         q = self.quads
         b1 = boundary.displacement(pos[q[:, 1]] - pos[q[:, 0]])
@@ -258,27 +288,14 @@ class TorsionalBondForce(Force):
         t2 = (np.einsum("ij,ij->i", b3, b2) / lb2sq)[:, None]
         fb = -(1.0 + t1) * fa + t2 * fd
         fc = -(fa + fb + fd)  # net force is exactly zero
-        np.add.at(forces_out, q[:, 0], fa)
-        np.add.at(forces_out, q[:, 1], fb)
-        np.add.at(forces_out, q[:, 2], fc)
-        np.add.at(forces_out, q[:, 3], fd)
-        energy = float(
-            np.sum(
-                np.where(
-                    ok,
-                    0.5
-                    * self.v
-                    * (1.0 + np.cos(self.periodicity * phi - self.phi0)),
-                    0.0,
-                )
-            )
+        scatter_forces(
+            forces_out,
+            (q[:, 0], q[:, 1], q[:, 2], q[:, 3]),
+            (fa, fb, fc, fd),
         )
-        per_atom = np.bincount(q[:, 0], minlength=n).astype(np.float64) * 3.0
-        return ForceResult(
-            energy=energy,
-            terms=self.n_torsions,
-            per_atom_work=per_atom,
-            flops=TORSIONAL_FLOPS * self.n_torsions,
-            bytes_irregular=4 * LINE_BYTES * self.n_torsions,
-            bytes_regular=0.0,
+        e_terms = np.where(
+            ok,
+            0.5 * self.v * (1.0 + np.cos(self.periodicity * phi - self.phi0)),
+            0.0,
         )
+        return q[:, 0], e_terms

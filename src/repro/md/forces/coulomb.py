@@ -27,7 +27,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.md.boundary import Boundary
-from repro.md.forces.base import Force, ForceResult
+from repro.md.forces.base import (
+    Force,
+    ForceResult,
+    owner_counts,
+    scatter_forces,
+)
 from repro.md.neighbors import NeighborList
 from repro.md.system import AtomSystem
 from repro.md.units import COULOMB_K
@@ -105,6 +110,30 @@ class CoulombForce(Force):
                 cache.popitem(last=False)
         return cache[m]
 
+    def _pair_bundle(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        gi: np.ndarray,
+        gj: np.ndarray,
+        forces_out: np.ndarray,
+    ):
+        """Interaction math + scatter for an already-enumerated and
+        filtered owner/partner pair list; returns ``(gi, e_terms)``.
+        Split from :meth:`compute` because the ring enumeration is
+        *per run*: the ensemble engine builds run-offset pair indices
+        itself (pairing charged atoms across runs would be wrong
+        physics) and calls this once on the flattened view."""
+        dr = boundary.displacement(system.positions[gi] - system.positions[gj])
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        np.maximum(r2, self.min_distance**2, out=r2)
+        r = np.sqrt(r2)
+        qq = COULOMB_K * system.charges[gi] * system.charges[gj]
+        coef = qq / (r2 * r)  # F/r
+        fvec = coef[:, None] * dr
+        scatter_forces(forces_out, (gi, gj), (fvec, -fvec))
+        return gi, qq / r
+
     def compute(
         self,
         system: AtomSystem,
@@ -126,18 +155,10 @@ class CoulombForce(Force):
         gi, gj = gi[keep], gj[keep]
         if len(gi) == 0:
             return ForceResult.empty(n)
-        dr = boundary.displacement(system.positions[gi] - system.positions[gj])
-        r2 = np.einsum("ij,ij->i", dr, dr)
-        np.maximum(r2, self.min_distance**2, out=r2)
-        r = np.sqrt(r2)
-        qq = COULOMB_K * system.charges[gi] * system.charges[gj]
-        coef = qq / (r2 * r)  # F/r
-        fvec = coef[:, None] * dr
-        np.add.at(forces_out, gi, fvec)
-        np.subtract.at(forces_out, gj, fvec)
-        energy = float(np.sum(qq / r))
+        gi, e_terms = self._pair_bundle(system, boundary, gi, gj, forces_out)
+        energy = float(np.sum(e_terms))
         n_terms = len(gi)
-        per_atom = np.bincount(gi, minlength=n).astype(np.float64)
+        per_atom = owner_counts(gi, n)
         return ForceResult(
             energy=energy,
             terms=n_terms,

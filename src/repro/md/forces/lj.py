@@ -18,7 +18,12 @@ from typing import Optional
 import numpy as np
 
 from repro.md.boundary import Boundary
-from repro.md.forces.base import Force, ForceResult
+from repro.md.forces.base import (
+    Force,
+    ForceResult,
+    owner_counts,
+    scatter_forces,
+)
 from repro.md.neighbors import NeighborList
 from repro.md.system import AtomSystem
 
@@ -95,6 +100,61 @@ class LennardJonesForce(Force):
     def uses_neighbor_list(self) -> bool:
         return True
 
+    def _bundle(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        neighbors: Optional[NeighborList],
+        forces_out: np.ndarray,
+    ):
+        """Core of :meth:`compute`: filter the candidate pairs,
+        accumulate forces into ``forces_out`` and return
+        ``(owner, e_terms)`` — the owning atom index and shifted energy
+        of every evaluated pair — or ``None`` when no pair survives.
+        Index-agnostic: the ensemble engine calls it once on the
+        flattened ``(n_runs·n, 3)`` view with run-offset pair indices."""
+        if neighbors is None or not neighbors.built:
+            raise RuntimeError("LJ force requires a built neighbor list")
+        i, j, dr = neighbors.pairs_within(system.positions, boundary)
+        if self.owner_range is not None and len(i):
+            lo, hi = self.owner_range
+            keep = (i >= lo) & (i < hi)
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if self.skip_fixed_pairs and len(i) and not system.movable.all():
+            keep = system.movable[i] | system.movable[j]
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if self._exclusion_keys is not None and len(i):
+            keys = i << 32 | j
+            keep = ~np.isin(keys, self._exclusion_keys, assume_unique=False)
+            i, j, dr = i[keep], j[keep], dr[keep]
+        if len(i) == 0:
+            return None
+
+        sig = 0.5 * (system.sigma[i] + system.sigma[j])
+        eps = np.sqrt(system.epsilon[i] * system.epsilon[j])
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        rc2 = (self.cutoff_factor * sig) ** 2
+        inside = r2 <= rc2
+        if not inside.all():  # all() skips six no-op filtered copies
+            i, j, dr = i[inside], j[inside], dr[inside]
+            sig, eps, r2 = sig[inside], eps[inside], r2[inside]
+        if len(i) == 0:
+            return None
+
+        inv2 = (sig * sig) / r2
+        inv6 = inv2 * inv2 * inv2
+        inv12 = inv6 * inv6
+        # F(r)/r = 24 eps (2 (sig/r)^12 - (sig/r)^6) / r^2
+        coef = 24.0 * eps * (2.0 * inv12 - inv6) / r2
+        fvec = coef[:, None] * dr
+        scatter_forces(forces_out, (i, j), (fvec, -fvec))
+        # energy terms, shifted so U(rc)=0 (avoids cutoff discontinuity)
+        inv2c = 1.0 / (self.cutoff_factor * self.cutoff_factor)
+        inv6c = inv2c**3
+        e_shift = 4.0 * eps * (inv6c * inv6c - inv6c)
+        e_terms = 4.0 * eps * (inv12 - inv6) - e_shift
+        return i, e_terms
+
     def compute(
         self,
         system: AtomSystem,
@@ -103,49 +163,13 @@ class LennardJonesForce(Force):
         forces_out: np.ndarray,
     ) -> ForceResult:
         n = system.n_atoms
-        if neighbors is None or not neighbors.built:
-            raise RuntimeError("LJ force requires a built neighbor list")
-        i, j, dr = neighbors.pairs_within(system.positions, boundary)
-        if self.owner_range is not None and len(i):
-            lo, hi = self.owner_range
-            keep = (i >= lo) & (i < hi)
-            i, j, dr = i[keep], j[keep], dr[keep]
-        if self.skip_fixed_pairs and len(i):
-            keep = system.movable[i] | system.movable[j]
-            i, j, dr = i[keep], j[keep], dr[keep]
-        if self._exclusion_keys is not None and len(i):
-            keys = i << 32 | j
-            keep = ~np.isin(keys, self._exclusion_keys, assume_unique=False)
-            i, j, dr = i[keep], j[keep], dr[keep]
-        if len(i) == 0:
+        bundle = self._bundle(system, boundary, neighbors, forces_out)
+        if bundle is None:
             return ForceResult.empty(n)
-
-        sig = 0.5 * (system.sigma[i] + system.sigma[j])
-        eps = np.sqrt(system.epsilon[i] * system.epsilon[j])
-        r2 = np.einsum("ij,ij->i", dr, dr)
-        rc2 = (self.cutoff_factor * sig) ** 2
-        inside = r2 <= rc2
-        i, j, dr = i[inside], j[inside], dr[inside]
-        sig, eps, r2 = sig[inside], eps[inside], r2[inside]
+        i, e_terms = bundle
         n_terms = len(i)
-        if n_terms == 0:
-            return ForceResult.empty(n)
-
-        inv2 = (sig * sig) / r2
-        inv6 = inv2 * inv2 * inv2
-        inv12 = inv6 * inv6
-        # F(r)/r = 24 eps (2 (sig/r)^12 - (sig/r)^6) / r^2
-        coef = 24.0 * eps * (2.0 * inv12 - inv6) / r2
-        fvec = coef[:, None] * dr
-        np.add.at(forces_out, i, fvec)
-        np.subtract.at(forces_out, j, fvec)
-        # energy, shifted so U(rc)=0 (avoids cutoff discontinuity)
-        inv2c = 1.0 / (self.cutoff_factor * self.cutoff_factor)
-        inv6c = inv2c**3
-        e_shift = 4.0 * eps * (inv6c * inv6c - inv6c)
-        energy = float(np.sum(4.0 * eps * (inv12 - inv6) - e_shift))
-
-        per_atom = np.bincount(i, minlength=n).astype(np.float64)
+        energy = float(np.sum(e_terms))
+        per_atom = owner_counts(i, n)
         owners = int((per_atom > 0).sum())
         return ForceResult(
             energy=energy,

@@ -16,7 +16,12 @@ from typing import Optional
 import numpy as np
 
 from repro.md.boundary import Boundary
-from repro.md.forces.base import Force, ForceResult
+from repro.md.forces.base import (
+    Force,
+    ForceResult,
+    owner_counts,
+    scatter_forces,
+)
 from repro.md.neighbors import NeighborList
 from repro.md.system import AtomSystem
 
@@ -77,15 +82,15 @@ class MorseForce(Force):
             owner_range=(lo, hi),
         )
 
-    def compute(
+    def _bundle(
         self,
         system: AtomSystem,
         boundary: Boundary,
         neighbors: Optional[NeighborList],
         forces_out: np.ndarray,
-    ) -> ForceResult:
-        """Accumulate Morse forces; see :class:`Force`."""
-        n = system.n_atoms
+    ):
+        """Core of :meth:`compute`; returns ``(owner, e_terms)`` or
+        ``None`` (see :meth:`LennardJonesForce._bundle`)."""
         if neighbors is None or not neighbors.built:
             raise RuntimeError("Morse force requires a built neighbor list")
         i, j, dr = neighbors.pairs_within(system.positions, boundary)
@@ -100,26 +105,38 @@ class MorseForce(Force):
             r2 = np.einsum("ij,ij->i", dr, dr)
             inside = r2 <= self.cutoff * self.cutoff
             i, j, dr, r2 = i[inside], j[inside], dr[inside], r2[inside]
-        n_terms = len(i)
-        if n_terms == 0:
-            return ForceResult.empty(n)
+        if len(i) == 0:
+            return None
 
         r = np.sqrt(r2)
         e = np.exp(-self.width * (r - self.r0))
         # U = D (1 - e)^2 - D, shifted so U(cutoff) = 0
         e_cut = np.exp(-self.width * (self.cutoff - self.r0))
         u_cut = self.depth * ((1.0 - e_cut) ** 2 - 1.0)
-        energy = float(
-            np.sum(self.depth * ((1.0 - e) ** 2 - 1.0) - u_cut)
-        )
+        e_terms = self.depth * ((1.0 - e) ** 2 - 1.0) - u_cut
         # dU/dr = 2 D a e (1 - e);  F = -dU/dr * r̂
         dudr = 2.0 * self.depth * self.width * e * (1.0 - e)
         coef = -dudr / np.where(r > 1e-12, r, 1.0)
         fvec = coef[:, None] * dr
-        np.add.at(forces_out, i, fvec)
-        np.subtract.at(forces_out, j, fvec)
+        scatter_forces(forces_out, (i, j), (fvec, -fvec))
+        return i, e_terms
 
-        per_atom = np.bincount(i, minlength=n).astype(np.float64)
+    def compute(
+        self,
+        system: AtomSystem,
+        boundary: Boundary,
+        neighbors: Optional[NeighborList],
+        forces_out: np.ndarray,
+    ) -> ForceResult:
+        """Accumulate Morse forces; see :class:`Force`."""
+        n = system.n_atoms
+        bundle = self._bundle(system, boundary, neighbors, forces_out)
+        if bundle is None:
+            return ForceResult.empty(n)
+        i, e_terms = bundle
+        n_terms = len(i)
+        energy = float(np.sum(e_terms))
+        per_atom = owner_counts(i, n)
         return ForceResult(
             energy=energy,
             terms=n_terms,

@@ -39,15 +39,20 @@ class TaylorPredictorCorrector:
     def predict(self, system: AtomSystem, lo: int = 0, hi=None) -> None:
         """Phase 1: advance positions and predict velocities (movable
         atoms only — platform atoms stay put).  ``lo``/``hi`` restrict
-        to an atom range so threads can process disjoint partitions."""
+        to an atom range so threads can process disjoint partitions.
+
+        All three methods index the kinematic arrays as ``[..., sl, :]``
+        so they operate unchanged on both scalar ``(n, 3)`` systems and
+        stacked ``(n_runs, n, 3)`` ensemble systems (the atom axis is
+        always second-from-last)."""
         dt = self.dt
         sl = slice(lo, hi)
         mv = system.movable[sl]
-        pos = system.positions[sl]
-        vel = system.velocities[sl]
-        acc = system.accelerations[sl]
-        pos[mv] += vel[mv] * dt + 0.5 * acc[mv] * dt * dt
-        vel[mv] += acc[mv] * dt
+        pos = system.positions[..., sl, :]
+        vel = system.velocities[..., sl, :]
+        acc = system.accelerations[..., sl, :]
+        pos[..., mv, :] += vel[..., mv, :] * dt + 0.5 * acc[..., mv, :] * dt * dt
+        vel[..., mv, :] += acc[..., mv, :] * dt
 
     def correct(self, system: AtomSystem, lo: int = 0, hi=None) -> None:
         """Phase 6: recompute accelerations from the fresh forces and
@@ -55,20 +60,22 @@ class TaylorPredictorCorrector:
         dt = self.dt
         sl = slice(lo, hi)
         mv = system.movable[sl]
-        vel = system.velocities[sl]
-        acc = system.accelerations[sl]
+        vel = system.velocities[..., sl, :]
+        acc = system.accelerations[..., sl, :]
         a_new = (
-            system.forces[sl][mv]
+            system.forces[..., sl, :][..., mv, :]
             / system.masses[sl][mv, None]
             * ACCEL_UNIT
         )
-        vel[mv] += 0.5 * (a_new - acc[mv]) * dt
-        acc[mv] = a_new
+        vel[..., mv, :] += 0.5 * (a_new - acc[..., mv, :]) * dt
+        acc[..., mv, :] = a_new
 
     def prime(self, system: AtomSystem) -> None:
         """Initialize accelerations from current forces (call once after
         the first force evaluation, before stepping)."""
         mv = system.movable
         a = np.zeros_like(system.accelerations)
-        a[mv] = system.forces[mv] / system.masses[mv, None] * ACCEL_UNIT
+        a[..., mv, :] = (
+            system.forces[..., mv, :] / system.masses[mv, None] * ACCEL_UNIT
+        )
         system.accelerations = a

@@ -112,9 +112,11 @@ class NeighborList:
         vectors (i-j).  Returns (i, j, dr)."""
         if not self.built:
             raise RuntimeError("neighbor list not built")
-        dr = boundary.displacement(
-            positions[self.pairs_i] - positions[self.pairs_j]
-        )
+        dr = positions[self.pairs_i]
+        dr -= positions[self.pairs_j]
+        dr = boundary.displacement(dr)
         r2 = np.einsum("ij,ij->i", dr, dr)
         keep = r2 <= self.cutoff * self.cutoff
+        if keep.all():  # skip the no-op filtered copies
+            return self.pairs_i, self.pairs_j, dr
         return self.pairs_i[keep], self.pairs_j[keep], dr[keep]

@@ -143,13 +143,22 @@ class RunSpec:
             )
 
     def canonical(self) -> Dict[str, Any]:
-        """The JSON-ready dict the digest is computed over."""
+        """The JSON-ready dict the digest is computed over.
+
+        Memoized on the (frozen, hence immutable) instance: a sweep
+        canonicalizes every spec several times — dedup, store meta,
+        journal — and the deep normalization is the expensive part.
+        Callers treat the returned dict as read-only.
+        """
+        cached = getattr(self, "_canonical_cache", None)
+        if cached is not None:
+            return cached
         is_capture = self.kind == "capture"
-        return {
+        out = {
             "kind": self.kind,
             "workload": self.workload,
             "steps": self.steps,
-            "seed": 0 if is_capture else self.seed,
+            "seed": self.seed,
             "threads": 0 if is_capture else self.threads,
             "machine": "" if is_capture else self.machine,
             "params": canonical_params(
@@ -160,6 +169,8 @@ class RunSpec:
             "master_affinity": _canon_value(self.master_affinity),
             "options": canonical_options(self.options),
         }
+        object.__setattr__(self, "_canonical_cache", out)
+        return out
 
     def encode(self) -> str:
         """Canonical JSON text (sorted keys, no whitespace drift)."""
@@ -199,9 +210,20 @@ def params_to_spec(params: Optional[CostParams]) -> Optional[Dict[str, Any]]:
 
 
 def spec_digest(spec: RunSpec, salt: Optional[str] = None) -> str:
-    """Content address of a spec: SHA-256(canonical JSON + code salt)."""
+    """Content address of a spec: SHA-256(canonical JSON + code salt).
+
+    Memoized per (spec instance, salt): the store digests each spec on
+    every lookup, put, and meta write, and the canonical-JSON encode
+    dominates the hash itself.
+    """
+    key = salt if salt is not None else code_version_salt()
+    cached = getattr(spec, "_digest_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
     h = hashlib.sha256()
     h.update(spec.encode().encode())
     h.update(b"\0")
-    h.update((salt if salt is not None else code_version_salt()).encode())
-    return h.hexdigest()
+    h.update(key.encode())
+    digest = h.hexdigest()
+    object.__setattr__(spec, "_digest_cache", (key, digest))
+    return digest

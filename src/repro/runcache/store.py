@@ -163,6 +163,12 @@ class RunCache:
         self.session_misses = 0
         #: stores that failed (ENOSPC, permissions) and were absorbed
         self.session_put_failures = 0
+        #: running estimate of stored artifact bytes; None until the
+        #: first put scans the directory once.  Keeping it incremental
+        #: makes put O(1) instead of O(entries) — the full rescan only
+        #: happens when the estimate crosses the cap (see
+        #: :meth:`_enforce_cap`, which resyncs it).
+        self._approx_bytes: Optional[int] = None
         self.reap_orphans()
 
     # -- paths -----------------------------------------------------------
@@ -287,7 +293,16 @@ class RunCache:
             digest=digest[:12],
             bytes=len(data),
         )
-        self._enforce_cap()
+        if self._approx_bytes is None:
+            # first put through this handle: one directory scan, which
+            # already includes the entry just written
+            self._approx_bytes = sum(
+                e["bytes"] for e in self._entries()
+            )
+        else:
+            self._approx_bytes += len(data)
+        if self._approx_bytes > self.max_bytes:
+            self._enforce_cap()
         return digest
 
     def put(self, spec: RunSpec, artifact: Any) -> str:
@@ -309,7 +324,13 @@ class RunCache:
             raise
 
     def _drop(self, digest: str) -> None:
-        for path in self._paths(digest):
+        pkl, meta = self._paths(digest)
+        if self._approx_bytes is not None:
+            try:
+                self._approx_bytes -= pkl.stat().st_size
+            except OSError:
+                pass
+        for path in (pkl, meta):
             try:
                 os.unlink(path)
             except OSError:
@@ -373,7 +394,15 @@ class RunCache:
         return out
 
     def _enforce_cap(self) -> int:
-        """Evict least-recently-used entries above the size cap."""
+        """Evict least-recently-used entries above the size cap.
+
+        The full directory scan lives here (and only here): routine
+        puts keep an incremental byte total and call this just when
+        that estimate crosses the cap.  Concurrent writers to the same
+        directory are invisible to the estimate until the next scan —
+        the cap was always best-effort across processes — so the scan
+        also resyncs the estimate to ground truth.
+        """
         entries = self._entries()
         total = sum(e["bytes"] for e in entries)
         evicted = 0
@@ -389,6 +418,7 @@ class RunCache:
             )
             total -= entry["bytes"]
             evicted += 1
+        self._approx_bytes = total
         return evicted
 
     def clear(self) -> int:
@@ -396,6 +426,7 @@ class RunCache:
         entries = self._entries()
         for entry in entries:
             self._drop(entry["digest"])
+        self._approx_bytes = 0
         for leftover in (self.root / "stats.json",):
             try:
                 os.unlink(leftover)

@@ -45,12 +45,19 @@ TRACE_ARTIFACT_KEYS = ("files", "summary", "n_trace_events")
 # -- spec builders -----------------------------------------------------------
 
 
-def capture_spec(workload: str, steps: int) -> RunSpec:
-    """Spec for one serial physics capture (the expensive part)."""
+def capture_spec(workload: str, steps: int, seed: int = 0) -> RunSpec:
+    """Spec for one serial physics capture (the expensive part).
+
+    ``seed`` seeds the workload builder, so one workload family yields
+    arbitrarily many independent runs — the ensemble engine's unit of
+    batching."""
     from repro.workloads import resolve_workload
 
     return RunSpec(
-        kind="capture", workload=resolve_workload(workload), steps=steps
+        kind="capture",
+        workload=resolve_workload(workload),
+        steps=steps,
+        seed=seed,
     )
 
 
@@ -207,7 +214,7 @@ def _execute_capture(spec: RunSpec):
     from repro.core.simulate import capture_trace
     from repro.workloads import BUILDERS
 
-    return capture_trace(BUILDERS[spec.workload](), spec.steps)
+    return capture_trace(BUILDERS[spec.workload](seed=spec.seed), spec.steps)
 
 
 def _execute_observe(spec: RunSpec, cache: Optional[RunCache]):
@@ -453,6 +460,10 @@ class SweepResult:
     #: cache hits that were also journaled complete by the interrupted
     #: run this sweep resumed (served with zero re-execution)
     resumed: int = 0
+    #: homogeneous miss-batches routed through the vectorized ensemble
+    #: engine, and the runs they covered (see :mod:`repro.ensemble`)
+    ensemble_batches: int = 0
+    ensemble_runs: int = 0
 
     @property
     def ok(self) -> bool:
@@ -538,7 +549,16 @@ def _pool_worker(args) -> str:
 
 
 def default_jobs() -> int:
-    return os.cpu_count() or 1
+    """Worker-pool width: the CPUs *this process may run on*.
+
+    ``os.cpu_count()`` reports the machine's full core count even when
+    the process is confined to a subset by cgroups or CPU affinity
+    (containers, CI runners), which oversubscribes the pool; the
+    scheduling affinity mask is the honest number where available."""
+    try:
+        return len(os.sched_getaffinity(0)) or (os.cpu_count() or 1)
+    except (AttributeError, OSError):  # non-Linux platforms
+        return os.cpu_count() or 1
 
 
 def sweep(
@@ -549,6 +569,7 @@ def sweep(
     journal: Optional[os.PathLike] = None,
     resume: Optional[os.PathLike] = None,
     policy: Optional[SupervisionPolicy] = None,
+    ensemble: Optional[bool] = None,
 ) -> SweepResult:
     """Dedupe ``specs`` against the cache and execute the misses.
 
@@ -573,6 +594,15 @@ def sweep(
       propagates); journaled or resumed sweeps default to the
       supervised :class:`SupervisionPolicy` (bounded retries,
       quarantine instead of raise).
+
+    ``ensemble`` controls the vectorized batch path (see
+    :mod:`repro.ensemble`): ``None`` (auto, the default) and ``True``
+    route homogeneous miss-batches — same workload family and step
+    count, varying seed/threads/machine — through the batched engine
+    before the pool sees them; ``False`` disables routing.  Either way
+    every run's artifact is published under its own spec digest with
+    identical journal records, so cache/journal consumers see no
+    difference.
     """
     if resume is not None and journal is not None and (
         Path(resume) != Path(journal)
@@ -663,6 +693,19 @@ def sweep(
             executed: List[str] = []
             worker_cache: Dict[str, Dict[str, int]] = {}
             fanout = False
+            ensemble_batches = ensemble_runs = 0
+            if misses and ensemble is not False and (
+                # the process-fault chaos harness injects faults into
+                # pool workers; keep its misses on the process path
+                "REPRO_PROCESS_FAULTS" not in os.environ
+            ):
+                from repro.ensemble.routing import route_misses
+
+                ensemble_batches, ensemble_runs, misses = route_misses(
+                    misses, cache,
+                    journal=jrnl, artifacts=artifacts,
+                    executed=executed, emitter=emitter,
+                )
             if misses:
                 pool_counts = None
                 pooled = (
@@ -721,6 +764,8 @@ def sweep(
                     quarantined=len(quarantined),
                     degraded=stats.degraded,
                     resumed_hits=resumed,
+                    ensemble_batches=ensemble_batches,
+                    ensemble_runs=ensemble_runs,
                 )
         jrnl.end(
             executed=len(executed), quarantined=len(quarantined),
@@ -743,6 +788,8 @@ def sweep(
         pool_restarts=stats.pool_restarts,
         degraded=stats.degraded,
         resumed=resumed,
+        ensemble_batches=ensemble_batches,
+        ensemble_runs=ensemble_runs,
     )
 
 

@@ -18,12 +18,38 @@ from repro.workloads.al1000 import build_al1000
 from repro.workloads.base import Workload, table1_rows
 from repro.workloads.nanocar import build_nanocar
 from repro.workloads.salt import build_salt
-from repro.workloads.scaling import build_ionic_gas, build_lj_block
+from repro.workloads.scaling import (
+    build_ionic_gas,
+    build_lj_block,
+    build_lj_gas,
+)
+
+#: the paper's Table I benchmarks — the default set for CLI commands
+PAPER_WORKLOADS = ("nanocar", "salt", "Al-1000")
+
+
+def _scaled(builder, n_atoms):
+    def build(seed: int = 0):
+        return builder(n_atoms, seed=seed)
+
+    build.__name__ = f"build_{builder.__name__}_{n_atoms}"
+    return build
+
 
 BUILDERS = {
     "nanocar": build_nanocar,
     "salt": build_salt,
     "Al-1000": build_al1000,
+    # scaled generator workloads (ensemble/throughput studies): small
+    # enough that per-run numpy overhead dominates, which is exactly
+    # the regime the batched ensemble engine targets
+    "gas-8": _scaled(build_lj_gas, 8),
+    "gas-16": _scaled(build_lj_gas, 16),
+    "gas-64": _scaled(build_lj_gas, 64),
+    "lj-32": _scaled(build_lj_block, 32),
+    "lj-64": _scaled(build_lj_block, 64),
+    "lj-256": _scaled(build_lj_block, 256),
+    "ionic-64": _scaled(build_ionic_gas, 64),
 }
 
 
@@ -51,10 +77,12 @@ def resolve_workload(name: str) -> str:
 
 __all__ = [
     "BUILDERS",
+    "PAPER_WORKLOADS",
     "Workload",
     "build_al1000",
     "build_ionic_gas",
     "build_lj_block",
+    "build_lj_gas",
     "build_nanocar",
     "build_salt",
     "resolve_workload",

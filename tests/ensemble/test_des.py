@@ -1,0 +1,66 @@
+"""Merged DES replay must equal draining each simulator alone: the
+k-way merge changes *when* events are processed on the host, never any
+run's outcome."""
+
+import pytest
+
+from repro.core.simulate import SimulatedParallelRun, capture_trace
+from repro.ensemble.des import MultiSimulator, replay_batch
+from repro.machine import MACHINES
+from repro.machine.machine import SimMachine
+from repro.workloads import BUILDERS
+
+STEPS = 2
+
+#: machine x threads x seed grid: heterogeneous batches are the normal
+#: case for replay routing (only workload/steps must match)
+GRID = [
+    ("e5450x2", 1, 0),
+    ("e5450x2", 4, 1),
+    ("i7-920", 2, 2),
+    ("i7-920", 8, 3),
+    ("x7560x4", 4, 4),
+    ("x7560x4", 16, 5),
+]
+
+
+@pytest.fixture(scope="module")
+def salt_setup():
+    wl = BUILDERS["salt"]()
+    return wl, capture_trace(wl, STEPS)
+
+
+def make_run(wl, trace, machine: str, threads: int, seed: int):
+    return SimulatedParallelRun(
+        trace,
+        wl.system.n_atoms,
+        SimMachine(MACHINES[machine], seed=seed),
+        threads,
+        name=wl.name,
+    )
+
+
+def assert_results_equal(got, want):
+    assert got.sim_seconds == want.sim_seconds
+    assert got.phase_seconds == want.phase_seconds
+    assert got.steps == want.steps
+    assert got.n_threads == want.n_threads
+
+
+def test_replay_batch_matches_per_run_results(salt_setup):
+    wl, trace = salt_setup
+    merged = replay_batch(
+        [make_run(wl, trace, m, t, s) for m, t, s in GRID]
+    )
+    for (m, t, s), got in zip(GRID, merged):
+        assert_results_equal(got, make_run(wl, trace, m, t, s).run())
+
+
+def test_replay_batch_of_one_equals_solo_run(salt_setup):
+    wl, trace = salt_setup
+    (got,) = replay_batch([make_run(wl, trace, "i7-920", 4, 9)])
+    assert_results_equal(got, make_run(wl, trace, "i7-920", 4, 9).run())
+
+
+def test_multisimulator_empty_batch_is_a_noop():
+    assert MultiSimulator([]).run() == 0

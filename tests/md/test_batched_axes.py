@@ -1,0 +1,111 @@
+"""The scalar boundary/integrator kernels index the atom axis as
+second-from-last (``[..., sl, :]``), so the same code must produce
+bitwise-equal results on a stacked ``(n_runs, n, 3)`` ensemble state
+and on each run's ``(n, 3)`` slice alone — the regression guard for
+the ensemble engine's reuse of the scalar kernels."""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.md.boundary import ReflectiveBox
+from repro.md.integrator import TaylorPredictorCorrector
+
+N_RUNS, N_ATOMS = 4, 12
+
+
+def make_kinematics(seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (N_RUNS, N_ATOMS, 3)
+    movable = np.ones(N_ATOMS, bool)
+    movable[::5] = False  # platform atoms stay put
+    return {
+        "positions": rng.uniform(-3.0, 12.0, shape),
+        "velocities": rng.normal(0.0, 2.0, shape),
+        "accelerations": rng.normal(0.0, 1.0, shape),
+        "forces": rng.normal(0.0, 5.0, shape),
+        "masses": rng.uniform(1.0, 30.0, N_ATOMS),
+        "movable": movable,
+    }
+
+
+def test_reflective_box_batched_equals_per_run():
+    rng = np.random.default_rng(7)
+    boxes = rng.uniform(5.0, 9.0, (N_RUNS, 3))
+    kin = make_kinematics()
+    pos, vel = kin["positions"].copy(), kin["velocities"].copy()
+    # the ensemble stacks per-run boxes as (n_runs, 1, 3)
+    ReflectiveBox(boxes[:, None, :]).apply(pos, vel)
+    for r in range(N_RUNS):
+        p, v = kin["positions"][r].copy(), kin["velocities"][r].copy()
+        ReflectiveBox(boxes[r]).apply(p, v)
+        np.testing.assert_array_equal(pos[r], p)
+        np.testing.assert_array_equal(vel[r], v)
+    assert np.all(pos >= 0.0)
+    assert np.all(pos <= boxes[:, None, :])
+
+
+def _states(kin):
+    """One stacked state plus the per-run copies of the same data."""
+    stacked = SimpleNamespace(
+        **{k: np.copy(v) for k, v in kin.items()}
+    )
+    solos = [
+        SimpleNamespace(
+            positions=kin["positions"][r].copy(),
+            velocities=kin["velocities"][r].copy(),
+            accelerations=kin["accelerations"][r].copy(),
+            forces=kin["forces"][r].copy(),
+            masses=kin["masses"],
+            movable=kin["movable"],
+        )
+        for r in range(N_RUNS)
+    ]
+    return stacked, solos
+
+
+def test_integrator_predict_batched_equals_per_run():
+    integ = TaylorPredictorCorrector(dt_fs=1.0)
+    stacked, solos = _states(make_kinematics(1))
+    integ.predict(stacked)
+    for r, solo in enumerate(solos):
+        integ.predict(solo)
+        np.testing.assert_array_equal(stacked.positions[r], solo.positions)
+        np.testing.assert_array_equal(stacked.velocities[r], solo.velocities)
+
+
+def test_integrator_correct_batched_equals_per_run():
+    integ = TaylorPredictorCorrector(dt_fs=2.0)
+    stacked, solos = _states(make_kinematics(2))
+    integ.correct(stacked)
+    for r, solo in enumerate(solos):
+        integ.correct(solo)
+        np.testing.assert_array_equal(stacked.velocities[r], solo.velocities)
+        np.testing.assert_array_equal(
+            stacked.accelerations[r], solo.accelerations
+        )
+
+
+def test_integrator_prime_batched_equals_per_run():
+    integ = TaylorPredictorCorrector(dt_fs=1.0)
+    stacked, solos = _states(make_kinematics(3))
+    integ.prime(stacked)
+    for r, solo in enumerate(solos):
+        integ.prime(solo)
+        np.testing.assert_array_equal(
+            stacked.accelerations[r], solo.accelerations
+        )
+
+
+def test_atom_range_restriction_matches_full_then_slice():
+    """Threaded partitions call predict/correct with lo/hi; the result
+    must equal the full-range call restricted to that slice."""
+    integ = TaylorPredictorCorrector(dt_fs=1.0)
+    full, _ = _states(make_kinematics(4))
+    parts, _ = _states(make_kinematics(4))
+    integ.predict(full)
+    mid = N_ATOMS // 2
+    integ.predict(parts, 0, mid)
+    integ.predict(parts, mid, None)
+    np.testing.assert_array_equal(full.positions, parts.positions)
+    np.testing.assert_array_equal(full.velocities, parts.velocities)

@@ -50,12 +50,17 @@ def test_queue_mode_enum_and_string_digest_identically():
 
 
 def test_capture_normalizes_replay_fields():
+    # threads/machine describe the replay, not the physics: captures
+    # fold them away...
     a = RunSpec(kind="capture", workload="salt", steps=3)
     b = RunSpec(
         kind="capture", workload="salt", steps=3,
-        seed=9, threads=8, machine="x7560x4",
+        threads=8, machine="x7560x4",
     )
     assert spec_digest(a) == spec_digest(b)
+    # ...but the seed picks the initial conditions, so it is observable
+    c = RunSpec(kind="capture", workload="salt", steps=3, seed=9)
+    assert spec_digest(c) != spec_digest(a)
 
 
 def test_fault_plan_round_trip_is_stable():
@@ -164,3 +169,33 @@ def test_toolerror_spec_canonicalizes_periods():
     assert c.encode() != a.encode()
     d = toolerror_spec("Al-1000", 2, 2, "e5450x2")
     assert d.encode() != a.encode()
+
+
+# --------------------------------------------------- digest memoization
+
+
+def test_spec_digest_memoized_per_salt_and_invalidated_on_change():
+    from repro.runcache.key import spec_digest
+
+    spec = RunSpec(kind="capture", workload="salt", steps=2)
+    first = spec_digest(spec, "salt-a")
+    assert spec_digest(spec, "salt-a") == first  # served from the memo
+    changed = spec_digest(spec, "salt-b")
+    assert changed != first  # a code-salt bump invalidates the memo
+    assert spec_digest(spec, "salt-a") == first  # recomputed, stable
+
+
+def test_equal_specs_digest_identically_across_instances():
+    from repro.runcache.key import spec_digest
+
+    a = RunSpec(kind="capture", workload="salt", steps=2)
+    b = RunSpec(kind="capture", workload="salt", steps=2)
+    assert spec_digest(a, "s") == spec_digest(b, "s")
+
+
+def test_canonical_dict_is_memoized_on_the_instance():
+    spec = RunSpec(
+        kind="observe", workload="salt", steps=2,
+        threads=2, machine="i7-920",
+    )
+    assert spec.canonical() is spec.canonical()

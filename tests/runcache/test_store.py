@@ -253,3 +253,40 @@ def test_orphaned_tmp_files_reaped_on_open(cache, tmp_path):
     assert not old.exists()  # the crashed writer's orphan is gone
     assert fresh.exists()  # a live concurrent writer's file survives
     assert reopened.get(spec()) == 1  # sound entries untouched
+
+
+# -------------------------------------------- incremental byte estimate
+
+
+def test_put_keeps_byte_estimate_in_sync(tmp_path):
+    """Routine puts maintain the stored-bytes estimate incrementally
+    (one directory scan on the first put, O(1) after) — it must track
+    the ground-truth entry scan exactly while no writer races."""
+    cache = RunCache(tmp_path / "acct")
+    assert cache._approx_bytes is None  # no scan before the first put
+    for n in range(4):
+        cache.put(spec(n), {"payload": list(range(50 * (n + 1)))})
+        assert cache._approx_bytes == sum(
+            e["bytes"] for e in cache._entries()
+        )
+
+
+def test_cap_enforcement_resyncs_estimate(tmp_path):
+    cache = RunCache(tmp_path / "small", max_bytes=2000)
+    for n in range(6):
+        cache.put(spec(n), {"payload": list(range(200))})
+    entries = cache._entries()
+    assert len(entries) < 6  # the cap evicted
+    assert sum(e["bytes"] for e in entries) <= 2000
+    # eviction's full scan resynced the estimate to ground truth
+    assert cache._approx_bytes == sum(e["bytes"] for e in entries)
+
+
+def test_fresh_handle_defers_the_scan_until_first_put(cache):
+    cache.put(spec(), {"payload": [1, 2, 3]})
+    reopened = RunCache(cache.root)
+    assert reopened._approx_bytes is None
+    reopened.put(spec(1), {"payload": [4, 5]})
+    assert reopened._approx_bytes == sum(
+        e["bytes"] for e in reopened._entries()
+    )

@@ -2,6 +2,8 @@
 uncached benches, and the byte-identity property behind the whole
 design — a cache hit IS a fresh run."""
 
+import importlib
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -181,3 +183,46 @@ def test_parallel_sweep_reports_per_worker_cache_counts(cache):
     assert warm.hit_rate == 1.0
     assert warm.fanout is False
     assert warm.worker_cache == {}
+
+
+# ----------------------------------------------------------- pool width
+
+
+def test_default_jobs_uses_the_affinity_mask(monkeypatch):
+    """Containers and CI runners confine the process to a subset of
+    cores; the pool must size to the mask, not the machine."""
+    # the package re-exports the sweep *function* under this name,
+    # shadowing the submodule for `import ... as`
+    sweep_mod = importlib.import_module("repro.runcache.sweep")
+
+    monkeypatch.setattr(
+        sweep_mod.os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+    )
+    assert sweep_mod.default_jobs() == 2
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    # the package re-exports the sweep *function* under this name,
+    # shadowing the submodule for `import ... as`
+    sweep_mod = importlib.import_module("repro.runcache.sweep")
+
+    def unavailable(pid):
+        raise AttributeError("sched_getaffinity")
+
+    monkeypatch.setattr(
+        sweep_mod.os, "sched_getaffinity", unavailable, raising=False
+    )
+    monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 7)
+    assert sweep_mod.default_jobs() == 7
+
+
+def test_default_jobs_empty_mask_degrades_to_cpu_count(monkeypatch):
+    # the package re-exports the sweep *function* under this name,
+    # shadowing the submodule for `import ... as`
+    sweep_mod = importlib.import_module("repro.runcache.sweep")
+
+    monkeypatch.setattr(
+        sweep_mod.os, "sched_getaffinity", lambda pid: set(), raising=False
+    )
+    monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 3)
+    assert sweep_mod.default_jobs() == 3
