@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke bench experiments examples clean
+.PHONY: install test trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke tune-smoke bench experiments examples clean
 
 install:
 	pip install -e .
 
-test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke
+test: trace-smoke bench-smoke chaos-smoke perf-smoke cache-smoke report-smoke leaderboard-smoke resilience-smoke ensemble-smoke tune-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # end-to-end observability check: produce a ground-truth trace and
@@ -110,6 +110,21 @@ ensemble-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/bench_ensemble.py \
 		--out BENCH_ensemble.json
 	$(PYTHON) scripts/check_ensemble.py BENCH_ensemble.json
+
+# autotuner recovery gate: run the attribution-driven autotuner on
+# Al-1000 at 32 threads on the simulated 32-core machine (the paper's
+# worst scaling case), render the telemetry run with the tuner
+# search-trajectory section, and require the tuned config to strictly
+# beat the fixed-queue baseline's speedup with a strictly lower
+# latch-idle share and exactly-conserved buckets (incl. steal_overhead)
+tune-smoke:
+	rm -rf benchmarks/out/tune-smoke
+	PYTHONPATH=src $(PYTHON) scripts/bench_autotune.py \
+		--telemetry benchmarks/out/tune-smoke \
+		--out BENCH_autotune.json \
+		--config-out benchmarks/out/tune-smoke/winning_config.json
+	PYTHONPATH=src $(PYTHON) -m repro report benchmarks/out/tune-smoke
+	$(PYTHON) scripts/check_autotune.py BENCH_autotune.json
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Autotuner benchmark: recover Al-1000's lost speedup on the 32-core
+machine.
+
+Runs the attribution-driven autotuner (``repro.tuning.autotune``) for
+Al-1000 at 32 threads on the simulated 4-socket Nehalem-EX box — the
+configuration whose latch-idle plateau is the paper's central finding —
+and writes the full ``repro.autotune/1`` payload (pilot diagnosis,
+search trajectory, before/after attribution diff) as
+``BENCH_autotune.json`` plus the winner's standalone
+``repro.autotune.config/1`` artifact as ``winning_config.json``.
+
+``scripts/check_autotune.py`` (``make tune-smoke``) gates on the
+payload: the tuned config must strictly beat the fixed-queue baseline's
+achieved speedup, strictly reduce its latch-idle share, and keep the
+attribution buckets (including the new ``steal_overhead``) exactly
+conserved.
+
+Exits 0 on success, 2 on usage errors (one line, no traceback).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="autotune Al-1000 on the 32-core machine and dump "
+        "the repro.autotune/1 payload"
+    )
+    parser.add_argument("--workload", default="Al-1000")
+    parser.add_argument("--machine", default="x7560x4")
+    parser.add_argument("--threads", type=int, default=32)
+    parser.add_argument("--steps", type=int, default=3)
+    parser.add_argument("--pilot-steps", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_autotune.json")
+    parser.add_argument(
+        "--config-out", default="winning_config.json",
+        help="where to write the winner's repro.autotune.config/1 "
+        "artifact",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="emit runtime telemetry (and a report-consumable "
+        "autotune.json) into this run directory",
+    )
+    args = parser.parse_args(argv)
+    if args.steps < 1 or args.pilot_steps < 1 or args.threads < 1:
+        print(
+            "bench_autotune: steps, pilot-steps and threads must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.runcache import RunCache
+    from repro.telemetry import runtime as telemetry_runtime
+    from repro.tuning import autotune, render_tune, winning_config
+
+    if args.telemetry:
+        telemetry_runtime.activate(args.telemetry, label="bench_autotune")
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-tune-cache-") as tmp:
+        # a fresh cache exercises the store path without inheriting
+        # whatever the developer's shared cache happens to hold;
+        # jobs=1 keeps the bench serial and deterministic in CI
+        cache = RunCache(tmp)
+        payload = autotune(
+            args.workload,
+            args.threads,
+            args.machine,
+            steps=args.steps,
+            pilot_steps=args.pilot_steps,
+            seed=args.seed,
+            cache=cache,
+            jobs=1,
+        )
+    payload["wall_seconds"] = time.perf_counter() - t0
+
+    print(render_tune(payload))
+    outputs = [(args.out, payload), (args.config_out, winning_config(payload))]
+    if args.telemetry:
+        outputs.append((os.path.join(args.telemetry, "autotune.json"), payload))
+    for path, doc in outputs:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}")
+    if args.telemetry:
+        telemetry_runtime.deactivate()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Gate BENCH_autotune.json: the tuner must recover Al-1000's speedup.
+
+Checks (stdlib only, no repro import):
+
+- envelope: ``repro.autotune/`` schema tag, machine/workload recorded,
+  non-empty candidate list and search-trajectory trials;
+- both the baseline and winner summaries carry the full bucket set
+  including the new ``steal_overhead`` class, with the buckets exactly
+  conserved (reported conservation error below tolerance, and the
+  bucket sum reproducing the gap implied by sim_seconds, speedup and
+  the thread count);
+- recovery: the tuned config's achieved speedup strictly beats the
+  fixed-queue baseline AND its latch-idle share is strictly lower;
+- the before/after ``diff`` covers every bucket.
+
+Exit codes: 0 pass, 1 fail, 2 usage.
+"""
+
+import sys
+
+from schema_utils import check_envelope, fail, load_json, missing_keys
+
+CONSERVATION_TOL = 1e-9
+ROW_KEYS = ("config", "label", "sim_seconds", "speedup",
+            "latch_idle_share", "buckets", "conservation_error", "steals")
+TRIAL_KEYS = ("label", "rung", "steps", "sim_seconds", "kept")
+
+
+def check_row(name, row, threads):
+    missing = missing_keys(row, ROW_KEYS)
+    if missing:
+        return fail(f"{name} summary missing keys: {missing}")
+    buckets = row["buckets"]
+    if "steal_overhead" not in buckets:
+        return fail(f"{name} buckets lack the steal_overhead class")
+    if row["conservation_error"] > CONSERVATION_TOL:
+        return fail(
+            f"{name} attribution not conserved: "
+            f"error {row['conservation_error']:.3e} > {CONSERVATION_TOL:.0e}"
+        )
+    # independent conservation cross-check: the buckets must sum to the
+    # gap between achieved time and the perfectly-scaled serial time
+    serial = row["speedup"] * row["sim_seconds"]
+    gap = row["sim_seconds"] - serial / threads
+    total = sum(buckets.values())
+    if abs(total - gap) > max(1e-6 * row["sim_seconds"], 1e-15):
+        return fail(
+            f"{name} bucket sum {total:.6e} != speedup gap {gap:.6e}"
+        )
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} BENCH_autotune.json", file=sys.stderr)
+        return 2
+    payload, err = load_json(argv[1])
+    if err:
+        return fail(err)
+    rc = check_envelope(payload, "repro.autotune/", runs_key=None)
+    if rc:
+        return rc
+    missing = missing_keys(
+        payload,
+        ("workload", "threads", "steps", "pilot", "candidates", "rungs",
+         "trials", "baseline", "winner", "diff"),
+    )
+    if missing:
+        return fail(f"payload missing keys: {missing}")
+    if not payload["candidates"]:
+        return fail("no candidates proposed")
+    trials = payload["trials"]
+    if not trials:
+        return fail("empty search trajectory")
+    for trial in trials:
+        tm = missing_keys(trial, TRIAL_KEYS)
+        if tm:
+            return fail(f"trial missing keys: {tm}")
+
+    threads = payload["threads"]
+    baseline = payload["baseline"]
+    winner = payload["winner"]
+    for name, row in (("baseline", baseline), ("winner", winner)):
+        rc = check_row(name, row, threads)
+        if rc:
+            return rc
+
+    if winner["speedup"] <= baseline["speedup"]:
+        return fail(
+            f"no recovery: tuned speedup {winner['speedup']:.3f}x does not "
+            f"beat fixed-queue baseline {baseline['speedup']:.3f}x"
+        )
+    if winner["latch_idle_share"] >= baseline["latch_idle_share"]:
+        return fail(
+            f"latch_idle share not reduced: winner "
+            f"{winner['latch_idle_share']:.3f} >= baseline "
+            f"{baseline['latch_idle_share']:.3f}"
+        )
+    diff_missing = [b for b in baseline["buckets"] if b not in payload["diff"]]
+    if diff_missing:
+        return fail(f"diff missing buckets: {diff_missing}")
+
+    print(
+        f"OK: {payload['workload']} x{threads} on {payload['machine']}: "
+        f"{baseline['speedup']:.2f}x -> {winner['speedup']:.2f}x "
+        f"({winner['label']}), latch_idle share "
+        f"{baseline['latch_idle_share']:.1%} -> "
+        f"{winner['latch_idle_share']:.1%}, "
+        f"{len(trials)} trials over {len(payload['rungs'])} rungs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -668,6 +668,44 @@ def cmd_attribute(args) -> None:
         )
 
 
+def cmd_tune(args) -> None:
+    """Autotune executor strategy for one workload × machine × threads."""
+    from repro.tuning import autotune, render_tune, winning_config
+
+    _machine_spec(args.machine)
+    payload = autotune(
+        _workload_name(args.workload),
+        args.threads,
+        args.machine,
+        steps=args.steps,
+        pilot_steps=args.pilot_steps,
+        seed=args.seed,
+        cache=_run_cache(args),
+        jobs=args.jobs,
+    )
+    print(render_tune(payload))
+    outputs = []
+    if args.out:
+        _ensure_outdir(args.out)
+        outputs.append(os.path.join(args.out, "autotune.json"))
+        outputs.append(os.path.join(args.out, "winning_config.json"))
+    if getattr(args, "telemetry", None):
+        # drop the payload next to the telemetry so `repro report DIR`
+        # renders the search trajectory
+        outputs.append(os.path.join(args.telemetry, "autotune.json"))
+    for path in outputs:
+        doc = (
+            winning_config(payload)
+            if os.path.basename(path) == "winning_config.json"
+            else payload
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    if outputs:
+        print(f"\nwrote {', '.join(outputs)}")
+
+
 def cmd_chaos(args) -> None:
     """Fault-injection sweep: arm plans, assert every run survives."""
     from repro.faults import FaultPlan, chaos_sweep, render_chaos
@@ -1002,6 +1040,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p)
     _add_telemetry_flag(p)
     p.set_defaults(fn=cmd_attribute)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune executor strategy (queue mode, assignment, "
+        "chunking, stealing, pinning) from a pilot run's attribution",
+    )
+    p.add_argument(
+        "--workload", default="Al-1000",
+        help="workload name (aliases like 'al1000' accepted)",
+    )
+    p.add_argument("--machine", default="x7560x4")
+    p.add_argument("--threads", type=_positive_int, default=32)
+    p.add_argument("--steps", type=_positive_int, default=3)
+    p.add_argument(
+        "--pilot-steps", type=_positive_int, default=1,
+        help="step count of the cheap diagnostic run that proposes "
+        "the candidate set",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", default=None,
+        help="write autotune.json / winning_config.json here "
+        "(directory created if missing)",
+    )
+    _add_cache_flags(p)
+    _add_telemetry_flag(p)
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(
         "chaos",

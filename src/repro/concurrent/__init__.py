@@ -24,25 +24,35 @@ from repro.concurrent.executor import (
     QueueMode,
 )
 from repro.concurrent.simexec import (
+    ASSIGN_POLICIES,
     Instrumentation,
     SimExecutorService,
     SimFuture,
     SimTask,
 )
 from repro.concurrent.simsync import SimCountDownLatch, SimCyclicBarrier
+from repro.concurrent.stealing import (
+    STEAL_POLICIES,
+    StealableDeque,
+    StealingExecutorService,
+)
 from repro.concurrent.sync import CountDownLatch, CyclicBarrier
 
 __all__ = [
+    "ASSIGN_POLICIES",
     "CountDownLatch",
     "CyclicBarrier",
     "ExecutorService",
     "Future",
     "Instrumentation",
     "QueueMode",
+    "STEAL_POLICIES",
     "SimCountDownLatch",
     "SimCyclicBarrier",
     "SimExecutorService",
     "SimFuture",
     "SimTask",
+    "StealableDeque",
+    "StealingExecutorService",
     "new_fixed_thread_pool",
 ]

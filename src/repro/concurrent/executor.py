@@ -27,6 +27,10 @@ class QueueMode(enum.Enum):
 
     SINGLE = "single"  # one shared queue: no idling, but contention
     PER_THREAD = "per-thread"  # one queue per worker: no contention, can idle
+    # per-worker deques with LIFO owner pops and FIFO steals: idle
+    # workers pull from loaded peers instead of parking (sim-only; see
+    # repro.concurrent.stealing)
+    STEALING = "stealing"
 
 
 class Future:

@@ -9,6 +9,14 @@ queues (uncontended, but a skewed distribution leaves workers idle).
 An :class:`Instrumentation` hook pair runs inside the worker around
 every task — the attachment point for the JaMON/VisualVM observer-effect
 models in :mod:`repro.perftools`.
+
+Multi-queue submission targeting is an explicit policy (``assign``):
+``owner-index`` keeps the historical task-``i``-to-worker-``i%N`` map
+(partition ``i`` stays with "its" worker — skewed per-range costs skew
+the load with it), ``round-robin`` deals tasks out evenly, and
+``cost-balanced`` greedily assigns each task to the least-loaded
+surviving worker by modeled cost.  The work-stealing variant lives in
+:mod:`repro.concurrent.stealing`.
 """
 
 from __future__ import annotations
@@ -19,6 +27,14 @@ from repro.des import Event, FifoStore, Interrupted, Lock, Timeout
 from repro.machine.cost import WorkCost
 from repro.concurrent.executor import QueueMode
 from repro.concurrent.simsync import SimCountDownLatch
+
+#: submit-assignment policies for the multi-queue modes
+ASSIGN_POLICIES = ("owner-index", "round-robin", "cost-balanced")
+
+#: rough core cycles one byte of traffic costs when weighing tasks for
+#: the cost-balanced assignment policy (matches the attribution layer's
+#: kernel-share weighting)
+_BYTE_CYCLES = 0.33
 
 
 class SimFuture:
@@ -144,6 +160,12 @@ class SimExecutorService:
         Optional :class:`Instrumentation` (performance-tool models).
     pop_overhead_cycles:
         Cost of the dequeue critical section in the single-queue mode.
+    assign:
+        Submit-assignment policy for the multi-queue modes:
+        ``"owner-index"`` (task ``i`` → worker ``i % N``, the historical
+        implicit map), ``"round-robin"`` (deal tasks out evenly across
+        surviving workers), or ``"cost-balanced"`` (greedy least-loaded
+        by modeled cost).  Ignored by the single-queue mode.
     watchdog_interval:
         When set, a daemon watchdog process sweeps the pool every that
         many simulated seconds: it notices crashed workers, re-issues
@@ -164,11 +186,17 @@ class SimExecutorService:
         pop_overhead_cycles: float = 150.0,
         name: str = "pool",
         watchdog_interval: Optional[float] = None,
+        assign: str = "owner-index",
     ):
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1: {n_threads}")
         if affinities is not None and len(affinities) != n_threads:
             raise ValueError("affinities must have one entry per worker")
+        if assign not in ASSIGN_POLICIES:
+            raise ValueError(
+                f"unknown assign policy {assign!r}; "
+                f"choose from {ASSIGN_POLICIES}"
+            )
         instr_machine = getattr(instrumentation, "machine", None)
         if instr_machine is not None and instr_machine is not machine:
             # an instrumentation's locks/agent threads live in one
@@ -184,6 +212,8 @@ class SimExecutorService:
         self.queue_mode = queue_mode
         self.instrumentation = instrumentation
         self.pop_overhead_cycles = pop_overhead_cycles
+        self.assign = assign
+        self._assign_rr = 0
         self.name = name
         if queue_mode is QueueMode.SINGLE:
             self.queues: List[FifoStore] = [
@@ -285,6 +315,40 @@ class SimExecutorService:
         queue.put(task)
         return task
 
+    def _phase_assignment(
+        self, costs: Sequence[WorkCost]
+    ) -> List[Optional[int]]:
+        """Target worker per task of one phase (``None`` = shared queue).
+
+        ``owner-index`` sends task ``i`` to worker ``i % N`` (partition
+        ``i`` stays with "its" worker; heterogeneous per-range costs —
+        Al-1000's lower-index force convention — skew the load with
+        it).  ``round-robin`` deals tasks across surviving workers
+        regardless of cost; ``cost-balanced`` greedily assigns each
+        task to the least-loaded survivor by modeled weight."""
+        if self.queue_mode is QueueMode.SINGLE:
+            return [None] * len(costs)
+        if self.assign == "owner-index":
+            return list(range(len(costs)))
+        alive = [w for w in range(self.n_threads) if w not in self._dead]
+        if not alive:
+            return [None] * len(costs)
+        if self.assign == "round-robin":
+            out: List[Optional[int]] = []
+            for _ in costs:
+                out.append(alive[self._assign_rr % len(alive)])
+                self._assign_rr += 1
+            return out
+        # cost-balanced: greedy least-loaded (ties break to the lowest
+        # worker index, keeping the assignment deterministic)
+        load = {w: 0.0 for w in alive}
+        out = []
+        for cost in costs:
+            w = min(alive, key=lambda i: (load[i], i))
+            load[w] += cost.cycles + _BYTE_CYCLES * cost.total_bytes
+            out.append(w)
+        return out
+
     def submit_phase(
         self, costs: Sequence[WorkCost], metas: Optional[Sequence[Any]] = None
     ) -> SimCountDownLatch:
@@ -293,11 +357,10 @@ class SimExecutorService:
         latch = SimCountDownLatch(
             self.sim, len(costs), name=f"{self.name}.phase"
         )
+        workers = self._phase_assignment(costs)
         for i, cost in enumerate(costs):
             meta = metas[i] if metas is not None else None
-            # per-thread mode: distribute task i to worker i (block map)
-            worker = i if self.queue_mode is QueueMode.PER_THREAD else None
-            self.submit(cost, meta=meta, worker=worker, latch=latch)
+            self.submit(cost, meta=meta, worker=workers[i], latch=latch)
         return latch
 
     def shutdown(self) -> None:
@@ -314,113 +377,121 @@ class SimExecutorService:
 
     # -- worker ---------------------------------------------------------------
 
+    def _pop_cost(self) -> Optional[WorkCost]:
+        """The contended-dequeue toll — the same frozen WorkCost every
+        time, so build it once instead of per task."""
+        if (
+            self.queue_mode is QueueMode.SINGLE
+            and self.pop_overhead_cycles > 0
+            and self.n_threads > 1
+        ):
+            return WorkCost(
+                cycles=self.pop_overhead_cycles, label="queue-pop"
+            )
+        return None
+
+    def _note_death(self, index: int, exc: Interrupted) -> None:
+        """Record a worker-crash fault: die cleanly so the simulation
+        survives; ``_inflight`` keeps the claimed task for the watchdog
+        to salvage."""
+        self._dead.add(index)
+        victim = self._inflight[index]
+        if self.sim._subscribers:
+            self.sim.emit(
+                "worker.death", f"{self.name}-worker-{index}",
+                ("cause", repr(exc.cause)),
+                ("inflight", victim.uid if victim is not None else ""),
+            )
+
+    def _run_task(self, index: int, task: SimTask, pop_cost):
+        """Claim, price, and complete one dequeued task — the execution
+        core shared by the fixed-queue worker loop here and the
+        work-stealing loop in :mod:`repro.concurrent.stealing`."""
+        sim = self.sim
+        instr = self.instrumentation
+        self._inflight[index] = task
+        # the epoch claimed now guards completion below: if the
+        # watchdog re-issued the task in the meantime, this
+        # execution is stale and must not complete it again
+        claim = task.epoch
+        task.attempts += 1
+        task.dequeued_at = sim.now
+        task.worker = index
+        if sim._subscribers:
+            sim.emit(
+                "task.dequeue", task.uid,
+                ("worker", index),
+                ("queue_wait", sim.now - task.submitted_at),
+            )
+        if pop_cost is not None:
+            # the contended dequeue critical section; released in
+            # a finally so a worker crashed mid-section cannot
+            # wedge the survivors behind a dead holder
+            yield self._qlock.acquire()
+            try:
+                yield pop_cost
+            finally:
+                self._qlock.release()
+        if instr is not None:
+            yield from instr.on_task_start(index, task)
+            cost = instr.transform_cost(index, task.cost)
+        else:
+            cost = task.cost
+        started = sim.now
+        task.started_at = started
+        if sim._subscribers:
+            sim.emit(
+                "task.start", task.uid,
+                ("worker", index), ("label", cost.label),
+            )
+        yield cost
+        self.busy_time[index] += sim.now - started
+        self.tasks_executed[index] += 1
+        if task.epoch != claim or task.future.done:
+            # re-issued under us (at-most-once per epoch): the
+            # re-issued copy owns completion, drop this one
+            self._inflight[index] = None
+            if sim._subscribers:
+                sim.emit(
+                    "task.stale", task.uid,
+                    ("worker", index), ("epoch", claim),
+                )
+            if instr is not None:
+                yield from instr.on_task_end(index, task)
+            return
+        task.finished_at = sim.now
+        if sim._subscribers:
+            worker_thread = self.workers[index]
+            sim.emit(
+                "task.end", task.uid,
+                ("worker", index),
+                ("pu", worker_thread.last_pu),
+                ("exec", sim.now - started),
+            )
+        if instr is not None:
+            yield from instr.on_task_end(index, task)
+        self._inflight[index] = None
+        self._outstanding.pop(task.uid, None)
+        self._suspect.discard(task.uid)
+        task.future._fire(sim.now, sim)
+        if task.latch is not None:
+            task.latch.count_down()
+
     def _worker_body(self, index: int):
         q = (
             self.queues[0]
             if self.queue_mode is QueueMode.SINGLE
             else self.queues[index]
         )
-        machine = self.machine
-        sim = self.sim
-        instr = self.instrumentation
-        # the contended-dequeue toll is the same frozen WorkCost every
-        # time — build it once instead of per task
-        pop_cost = None
-        if (
-            self.queue_mode is QueueMode.SINGLE
-            and self.pop_overhead_cycles > 0
-            and self.n_threads > 1
-        ):
-            pop_cost = WorkCost(
-                cycles=self.pop_overhead_cycles, label="queue-pop"
-            )
-        qlock = self._qlock
-        inflight = self._inflight
-        busy_time = self.busy_time
-        tasks_executed = self.tasks_executed
+        pop_cost = self._pop_cost()
         try:
             while True:
                 task = yield q.get()
                 if task is None:
                     return
-                inflight[index] = task
-                # the epoch claimed now guards completion below: if the
-                # watchdog re-issued the task in the meantime, this
-                # execution is stale and must not complete it again
-                claim = task.epoch
-                task.attempts += 1
-                task.dequeued_at = sim.now
-                task.worker = index
-                if sim._subscribers:
-                    sim.emit(
-                        "task.dequeue", task.uid,
-                        ("worker", index),
-                        ("queue_wait", sim.now - task.submitted_at),
-                    )
-                if pop_cost is not None:
-                    # the contended dequeue critical section; released in
-                    # a finally so a worker crashed mid-section cannot
-                    # wedge the survivors behind a dead holder
-                    yield qlock.acquire()
-                    try:
-                        yield pop_cost
-                    finally:
-                        qlock.release()
-                if instr is not None:
-                    yield from instr.on_task_start(index, task)
-                    cost = instr.transform_cost(index, task.cost)
-                else:
-                    cost = task.cost
-                started = sim.now
-                task.started_at = started
-                if sim._subscribers:
-                    sim.emit(
-                        "task.start", task.uid,
-                        ("worker", index), ("label", cost.label),
-                    )
-                yield cost
-                busy_time[index] += sim.now - started
-                tasks_executed[index] += 1
-                if task.epoch != claim or task.future.done:
-                    # re-issued under us (at-most-once per epoch): the
-                    # re-issued copy owns completion, drop this one
-                    inflight[index] = None
-                    if sim._subscribers:
-                        sim.emit(
-                            "task.stale", task.uid,
-                            ("worker", index), ("epoch", claim),
-                        )
-                    if instr is not None:
-                        yield from instr.on_task_end(index, task)
-                    continue
-                task.finished_at = sim.now
-                if sim._subscribers:
-                    worker_thread = self.workers[index]
-                    sim.emit(
-                        "task.end", task.uid,
-                        ("worker", index),
-                        ("pu", worker_thread.last_pu),
-                        ("exec", sim.now - started),
-                    )
-                if instr is not None:
-                    yield from instr.on_task_end(index, task)
-                inflight[index] = None
-                self._outstanding.pop(task.uid, None)
-                self._suspect.discard(task.uid)
-                task.future._fire(sim.now, sim)
-                if task.latch is not None:
-                    task.latch.count_down()
+                yield from self._run_task(index, task, pop_cost)
         except Interrupted as exc:
-            # worker-crash fault: die cleanly so the simulation survives;
-            # _inflight keeps the claimed task for the watchdog to salvage
-            self._dead.add(index)
-            victim = self._inflight[index]
-            if sim._subscribers:
-                sim.emit(
-                    "worker.death", f"{self.name}-worker-{index}",
-                    ("cause", repr(exc.cause)),
-                    ("inflight", victim.uid if victim is not None else ""),
-                )
+            self._note_death(index, exc)
             return
 
     # -- self-healing ---------------------------------------------------------

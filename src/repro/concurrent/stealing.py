@@ -1,0 +1,257 @@
+"""Work-stealing simulated executor (``QueueMode.STEALING``).
+
+The fixed-queue pools reproduce the paper's §II-B configurations; this
+module adds the strategy the paper's load-imbalance finding calls for.
+Each worker owns a :class:`StealableDeque` — LIFO pops on its own tail
+(hot data stays hot), FIFO steals from a victim's head (the oldest,
+coldest task moves).  An idle worker pays a modeled steal cost per
+probe, so the latch_idle ↔ steal_overhead trade that
+Acar/Charguéraud/Rainey analyze is directly priced and — via the
+``steal`` attribution class — directly measured.
+
+Victim selection is randomized, and with the default
+``steal_policy="locality"`` the random order is stably re-sorted by
+topology distance from the thief's last PU (same core < same LLC <
+same socket < cross-socket), preferring victims whose stolen data is
+still warm in a shared cache.
+
+Determinism and observability contracts match the base executor:
+
+* same seed ⇒ byte-identical event traces (the steal RNG is seeded and
+  drawn in simulated-time order, never conditionally on tracing);
+* every ``emit`` is guarded by ``sim._subscribers`` — tracing a run
+  never changes its simulated time (``steal.attempt`` /
+  ``steal.success`` / ``steal.miss`` events);
+* the watchdog/self-healing semantics are inherited: a dead worker's
+  deque needs no re-routing because survivors steal from it before
+  parking, and the two-sweep lost-task recovery sees deque items
+  through the same ``_items`` surface the fixed queues expose.
+
+Exactly-once execution holds because a probe's check-and-pop runs with
+no intervening yield: the steal toll is paid *first*, then the head is
+taken atomically in simulated time, so two thieves can never claim the
+same task.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.des import Event, Interrupted
+from repro.machine.cost import WorkCost
+from repro.concurrent.executor import QueueMode
+from repro.concurrent.simexec import Instrumentation, SimExecutorService
+
+#: victim-ordering policies
+STEAL_POLICIES = ("random", "locality")
+
+
+class StealableDeque:
+    """Per-worker task deque: LIFO owner pops, FIFO steals.
+
+    Exposes just enough of :class:`~repro.des.FifoStore`'s surface for
+    the shared executor plumbing — ``put``/``name`` and the ``_items``
+    list the watchdog's visibility scan reads — but is never blocked
+    on: idle workers park on pool-wide wake events instead of a
+    per-store get queue, so any worker can take from any deque.
+    """
+
+    __slots__ = ("name", "_items", "_pool")
+
+    def __init__(self, pool: "StealingExecutorService", name: str):
+        self.name = name
+        self._items: List = []
+        self._pool = pool
+
+    def put(self, task) -> None:
+        """Append at the tail and wake every parked worker."""
+        self._items.append(task)
+        self._pool._wake_parked()
+
+    def pop_tail(self):
+        """Owner pop (LIFO); None when empty."""
+        return self._items.pop() if self._items else None
+
+    def pop_head(self):
+        """Thief pop (FIFO); None when empty."""
+        return self._items.pop(0) if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class StealingExecutorService(SimExecutorService):
+    """Pool of SimThreads with per-worker stealable deques.
+
+    Parameters (beyond :class:`SimExecutorService`'s)
+    ------------------------------------------------
+    steal_policy:
+        ``"locality"`` (randomized order, stably re-sorted by topology
+        distance from the thief's PU) or ``"random"``.
+    steal_cost_cycles:
+        Cycles one steal probe costs the thief (CAS + cold deque line);
+        paid per attempted victim whether or not the steal lands.
+    steal_seed:
+        Seed of the victim-ordering RNG (deterministic replays).
+    """
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int,
+        affinities: Optional[Sequence[Optional[Iterable[int]]]] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        name: str = "pool",
+        watchdog_interval: Optional[float] = None,
+        assign: str = "owner-index",
+        steal_policy: str = "locality",
+        steal_cost_cycles: float = 400.0,
+        steal_seed: int = 0,
+    ):
+        if steal_policy not in STEAL_POLICIES:
+            raise ValueError(
+                f"unknown steal policy {steal_policy!r}; "
+                f"choose from {STEAL_POLICIES}"
+            )
+        self.steal_policy = steal_policy
+        self.steal_cost_cycles = float(steal_cost_cycles)
+        self._steal_rng = random.Random(steal_seed)
+        self._steal_cost = (
+            WorkCost(cycles=self.steal_cost_cycles, label="steal")
+            if self.steal_cost_cycles > 0
+            else None
+        )
+        #: per-worker count of successful steals
+        self.steals = [0] * n_threads
+        #: worker index → wake event while parked (empty deques pool-wide)
+        self._parked = {}
+        super().__init__(
+            machine,
+            n_threads,
+            queue_mode=QueueMode.STEALING,
+            affinities=affinities,
+            instrumentation=instrumentation,
+            pop_overhead_cycles=0.0,
+            name=name,
+            watchdog_interval=watchdog_interval,
+            assign=assign,
+        )
+        # workers have not started yet (SimThreads run lazily), so the
+        # base FifoStores can be swapped for stealable deques wholesale
+        self.queues = [
+            StealableDeque(self, f"{name}.d{i}") for i in range(n_threads)
+        ]
+
+    # -- parking --------------------------------------------------------------
+
+    def _wake_parked(self) -> None:
+        """Fire every parked worker's wake event (ascending index, so
+        wake order — and therefore the trace — is deterministic)."""
+        if not self._parked:
+            return
+        sim = self.sim
+        for index in sorted(self._parked):
+            self._parked.pop(index).fire(sim.now, sim=sim)
+
+    def shutdown(self) -> None:
+        """Flag shutdown and wake everyone; workers exit once every
+        deque is drained.  No poison pills — a stealable pill could be
+        taken by the wrong worker and starve its owner."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self._wake_parked()
+
+    # -- stealing -------------------------------------------------------------
+
+    def _steal_order(self, index: int, victims: List[int]) -> List[int]:
+        """Victim visit order: seeded shuffle, then (locality policy) a
+        stable sort by topology distance from the thief's last PU —
+        random within a distance class, near classes first."""
+        self._steal_rng.shuffle(victims)
+        if self.steal_policy != "locality" or len(victims) < 2:
+            return victims
+        me = self.workers[index].last_pu
+        if me is None:
+            return victims
+        topo = self.machine.topology
+        workers = self.workers
+
+        def distance_class(v: int) -> int:
+            pu = workers[v].last_pu
+            return 4 if pu is None else topo.distance(me, pu)
+
+        victims.sort(key=distance_class)
+        return victims
+
+    def _steal_round(self, index: int):
+        """One pass over non-empty victim deques; returns the stolen
+        task or None.  Each probe pays the steal toll *before* the
+        check-and-pop, which then runs with no yield — atomic in
+        simulated time, so a task is never taken twice."""
+        sim = self.sim
+        queues = self.queues
+        victims = [
+            v
+            for v in range(self.n_threads)
+            if v != index and queues[v]._items
+        ]
+        if not victims:
+            return None
+        me = f"{self.name}-worker-{index}"
+        for v in self._steal_order(index, victims):
+            if sim._subscribers:
+                sim.emit("steal.attempt", me, ("victim", v))
+            if self._steal_cost is not None:
+                yield self._steal_cost
+            task = queues[v].pop_head()
+            if task is not None:
+                self.steals[index] += 1
+                if sim._subscribers:
+                    sim.emit(
+                        "steal.success", me,
+                        ("uid", task.uid), ("victim", v),
+                        ("queued", sim.now - task.submitted_at),
+                    )
+                return task
+            # another thief (or the owner) drained the deque while the
+            # probe's toll was being paid
+            if sim._subscribers:
+                sim.emit("steal.miss", me, ("victim", v))
+        return None
+
+    # -- worker ---------------------------------------------------------------
+
+    def _worker_body(self, index: int):
+        own = self.queues[index]
+        queues = self.queues
+        try:
+            while True:
+                task = own.pop_tail()
+                if task is None:
+                    task = yield from self._steal_round(index)
+                if task is not None:
+                    yield from self._run_task(index, task, None)
+                    continue
+                if self._shutdown and not any(
+                    q._items for q in queues
+                ):
+                    return
+                # park: register the wake event first, then re-scan —
+                # both without yielding, so a put() can never slip in
+                # between the scan and the subscription (no missed
+                # wake-ups; a put after registration fires the event)
+                event = Event(name=f"{self.name}.park{index}")
+                self._parked[index] = event
+                if self._shutdown or any(q._items for q in queues):
+                    self._parked.pop(index, None)
+                    continue
+                yield event
+                # _wake_parked already removed us; pop is a no-op kept
+                # for the re-issue path, which fires events directly
+                self._parked.pop(index, None)
+        except Interrupted as exc:
+            self._parked.pop(index, None)
+            self._note_death(index, exc)
+            return

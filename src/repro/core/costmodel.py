@@ -91,12 +91,20 @@ class MachineCostModel:
         name: str = "wl",
         fuse_rebuild: bool = True,
         hot_bytes_per_step: Optional[float] = None,
+        force_ranges: Optional[Sequence[Range]] = None,
     ):
         if n_atoms < 1:
             raise ValueError(f"n_atoms must be >= 1: {n_atoms}")
         self.n_atoms = n_atoms
         self.ranges = list(ranges)
         self.n_threads = len(self.ranges)
+        #: irregular phases (forces / rebuild) may be decomposed finer
+        #: than one task per thread — each chunk writes its own
+        #: privatized force copy, and the reduction reads *every* copy,
+        #: so finer granularity has a real, priced cost
+        self.force_ranges = (
+            list(force_ranges) if force_ranges is not None else self.ranges
+        )
         params = params if params is not None else DEFAULT_COST_PARAMS
         self.params = params
         self.name = name
@@ -120,10 +128,11 @@ class MachineCostModel:
             )
             for t, (lo, hi) in enumerate(self.ranges)
         ]
-        #: privatized force arrays (read by everyone during reduction)
+        #: privatized force arrays, one per force task (read by
+        #: everyone during reduction)
         self.force_regions = [
             Region(f"{name}.forces{t}", n_atoms * 24, shared=True)
-            for t in range(self.n_threads)
+            for t in range(len(self.force_ranges))
         ]
         #: young-generation churn (per thread TLAB, fixed size)
         self.tmp_regions = [
@@ -133,15 +142,30 @@ class MachineCostModel:
 
     # -- helpers -----------------------------------------------------------
 
-    def _share(self, work: PhaseWork) -> np.ndarray:
-        """Fraction of the phase's work owned by each thread."""
+    def _share(
+        self, work: PhaseWork, ranges: Optional[Sequence[Range]] = None
+    ) -> np.ndarray:
+        """Fraction of the phase's work owned by each task range."""
+        ranges = self.ranges if ranges is None else ranges
         per_atom = work.per_atom
         total = float(per_atom.sum())
         if total <= 0:
-            return np.zeros(self.n_threads)
+            return np.zeros(len(ranges))
         return np.array(
-            [per_atom[lo:hi].sum() / total for lo, hi in self.ranges]
+            [per_atom[lo:hi].sum() / total for lo, hi in ranges]
         )
+
+    def _part_overlap(self, lo: int, hi: int) -> List[Tuple[int, float]]:
+        """(thread index, fraction of [lo, hi)) for each thread
+        partition a force chunk overlaps — chunks read their atoms from
+        whichever partition regions actually hold them."""
+        span = max(1, hi - lo)
+        out: List[Tuple[int, float]] = []
+        for t, (tlo, thi) in enumerate(self.ranges):
+            ov = min(hi, thi) - max(lo, tlo)
+            if ov > 0:
+                out.append((t, ov / span))
+        return out
 
     def _uniform_costs(self, work: PhaseWork, label: str) -> List[WorkCost]:
         """Per-thread costs for an atom-uniform streaming phase
@@ -175,22 +199,29 @@ class MachineCostModel:
     def _force_like_costs(
         self, work: PhaseWork, label: str
     ) -> List[WorkCost]:
-        """Per-thread costs for irregular gather phases (forces,
-        neighbor rebuild)."""
+        """Per-task costs for irregular gather phases (forces,
+        neighbor rebuild) — one per ``force_ranges`` chunk."""
         p = self.params
-        shares = self._share(work)
+        ranges = self.force_ranges
+        shares = self._share(work, ranges)
         costs = []
         for t, share in enumerate(shares):
+            lo, hi = ranges[t]
             irregular = (
                 work.bytes_irregular * share * p.irregular_amplification
             )
             regular = work.bytes_regular * share * p.regular_amplification
             reads = []
+            overlap = self._part_overlap(lo, hi)
+            own_parts = {s for s, _frac in overlap}
             if irregular > 0:
-                others = [s for s in range(self.n_threads) if s != t]
+                others = [
+                    s for s in range(self.n_threads) if s not in own_parts
+                ]
                 ghost = irregular * p.shared_read_fraction if others else 0.0
                 own = irregular - ghost
-                reads.append(Traffic(self.part_regions[t], own))
+                for s, frac in overlap:
+                    reads.append(Traffic(self.part_regions[s], own * frac))
                 for s in others:
                     # boundary atoms gathered from neighbor partitions;
                     # remote when partition s is homed on another socket
@@ -198,14 +229,19 @@ class MachineCostModel:
                         Traffic(self.part_regions[s], ghost / len(others))
                     )
             if regular > 0:
-                reads.append(Traffic(self.part_regions[t], regular))
+                for s, frac in overlap:
+                    reads.append(
+                        Traffic(self.part_regions[s], regular * frac)
+                    )
             if p.include_temp_churn and work.terms > 0:
                 churn = work.terms * share * p.temp_bytes_per_term
-                reads.append(Traffic(self.tmp_regions[t], churn))
+                reads.append(
+                    Traffic(self.tmp_regions[t % self.n_threads], churn)
+                )
             writes = (
                 Traffic(
                     self.force_regions[t],
-                    work.terms and (self.ranges[t][1] - self.ranges[t][0]) * 24.0,
+                    work.terms and (hi - lo) * 24.0,
                     write=True,
                 ),
             )
@@ -220,19 +256,23 @@ class MachineCostModel:
         return costs
 
     def _reduce_costs(self) -> List[WorkCost]:
-        """Phase 5: each thread sums all copies over its atom range."""
+        """Phase 5: each thread sums all copies over its atom range.
+        Every privatized force copy is read, so finer force chunks make
+        this phase strictly more expensive — the granularity trade the
+        autotuner weighs."""
         p = self.params
+        n_copies = len(self.force_regions)
         costs = []
         for t, (lo, hi) in enumerate(self.ranges):
             span = hi - lo
             reads = tuple(
                 Traffic(self.force_regions[s], span * 24.0)
-                for s in range(self.n_threads)
+                for s in range(n_copies)
             )
             writes = (Traffic(self.part_regions[t], span * 24.0, write=True),)
             costs.append(
                 WorkCost(
-                    cycles=self.n_threads
+                    cycles=n_copies
                     * span
                     * 3
                     * p.reduce_flops_per_element

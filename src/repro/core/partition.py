@@ -67,6 +67,40 @@ def balanced_partition(
     return ranges
 
 
+def guided_partition(
+    n_items: int, n_workers: int, min_chunk: int = 0
+) -> List[Range]:
+    """Guided self-scheduling chunks: contiguous ranges of decreasing
+    size, each ``ceil(remaining / n_workers)`` items (Polychronopoulos
+    & Kuck's GSS).  Early chunks are big (low dispatch overhead), late
+    chunks are small (stragglers level out at the phase latch) — the
+    classic granularity curve for irregular per-item cost.
+
+    ``min_chunk`` floors the chunk size (0 picks
+    ``max(1, n_items // (16 * n_workers))``) so the tail does not
+    degenerate into thousands of single-item tasks.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1: {n_workers}")
+    if n_items < 0:
+        raise ValueError(f"negative n_items: {n_items}")
+    if min_chunk < 0:
+        raise ValueError(f"negative min_chunk: {min_chunk}")
+    if min_chunk == 0:
+        min_chunk = max(1, n_items // (16 * n_workers))
+    ranges: List[Range] = []
+    lo = 0
+    while lo < n_items:
+        remaining = n_items - lo
+        size = max(min_chunk, -(-remaining // n_workers))
+        hi = min(n_items, lo + size)
+        ranges.append((lo, hi))
+        lo = hi
+    if not ranges:
+        ranges = block_partition(n_items, n_workers)
+    return ranges
+
+
 def range_weights(
     ranges: Sequence[Range], weights: np.ndarray
 ) -> np.ndarray:

@@ -24,7 +24,11 @@ from repro.core.costmodel import (
     CostParams,
     MachineCostModel,
 )
-from repro.core.partition import balanced_partition, block_partition
+from repro.core.partition import (
+    balanced_partition,
+    block_partition,
+    guided_partition,
+)
 from repro.des import SyncTimeout, Timeout
 from repro.jvm.gc import GcModel
 from repro.machine.machine import SimMachine
@@ -64,6 +68,8 @@ class RunResult:
     dead_workers: List[int] = field(default_factory=list)
     #: realized FaultWindow records when a fault plan was armed
     fault_windows: List[object] = field(default_factory=list)
+    #: per-worker successful-steal counts (STEALING pools; else empty)
+    steals: List[int] = field(default_factory=list)
     machine: SimMachine = field(repr=False, default=None)
 
     @property
@@ -101,6 +107,29 @@ class SimulatedParallelRun:
         (equalizes measured force work; the partition ablation).
     queue_mode / instrumentation / params / fuse_rebuild:
         See :class:`SimExecutorService` and :class:`MachineCostModel`.
+        ``QueueMode.STEALING`` swaps in a
+        :class:`~repro.concurrent.stealing.StealingExecutorService`.
+    assign:
+        MULTI-queue phase-submit assignment policy (see
+        ``ASSIGN_POLICIES``): ``"owner-index"`` (the paper's implicit
+        task-i→queue-i wiring), ``"round-robin"``, or
+        ``"cost-balanced"``.
+    chunk / chunk_factor:
+        Task granularity of the irregular force phases (forces and
+        neighbor rebuild; uniform phases always run one task per
+        worker).  ``"thread"`` is the paper's §II-B one-task-per-worker
+        decomposition; ``"fixed"`` issues ``n_threads * chunk_factor``
+        same-partition-policy chunks (finer grains for stealing to
+        balance); ``"guided"`` issues decreasing guided-self-scheduling
+        chunks (GSS defines its own range sizes, so ``partition`` only
+        shapes the uniform phases).  Each chunk writes a privatized
+        force copy the reduce phase must read — finer granularity is
+        priced, not free.
+    steal_policy / steal_cost_cycles:
+        STEALING-pool victim ordering and per-probe toll (ignored for
+        other queue modes).
+    pop_overhead_cycles:
+        SINGLE-queue shared-dequeue toll (see SimExecutorService).
     repeat:
         Replay the trace this many times (longer simulated runs).
     fault_plan:
@@ -128,6 +157,12 @@ class SimulatedParallelRun:
         affinities: Optional[Sequence] = None,
         partition: str = "block",
         queue_mode: QueueMode = QueueMode.SINGLE,
+        assign: str = "owner-index",
+        chunk: str = "thread",
+        chunk_factor: int = 1,
+        steal_policy: str = "locality",
+        steal_cost_cycles: float = 400.0,
+        pop_overhead_cycles: float = 150.0,
         instrumentation: Optional[Instrumentation] = None,
         params: Optional[CostParams] = None,
         fuse_rebuild: bool = True,
@@ -148,13 +183,33 @@ class SimulatedParallelRun:
         self.machine = machine
         self.n_threads = n_threads
         self.repeat = repeat
+        if chunk_factor < 1:
+            raise ValueError(f"chunk_factor must be >= 1: {chunk_factor}")
         if partition == "block":
+            weights = None
             ranges = block_partition(n_atoms, n_threads)
         elif partition == "balanced":
             weights = self.trace[0].phase_work["forces"].per_atom + 1e-9
             ranges = balanced_partition(weights, n_threads)
         else:
             raise ValueError(f"unknown partition {partition!r}")
+        # force-phase granularity: the irregular phases may run as more
+        # (smaller) tasks than workers, feeding the stealing/queue
+        # strategies finer grains to balance; uniform phases stay at
+        # one task per worker
+        if chunk == "thread":
+            force_ranges = None
+        elif chunk == "fixed":
+            n_tasks = n_threads * chunk_factor
+            force_ranges = (
+                block_partition(n_atoms, n_tasks)
+                if weights is None
+                else balanced_partition(weights, n_tasks)
+            )
+        elif chunk == "guided":
+            force_ranges = guided_partition(n_atoms, n_threads)
+        else:
+            raise ValueError(f"unknown chunk {chunk!r}")
         self.ranges = ranges
         self.cost_model = MachineCostModel(
             n_atoms,
@@ -163,21 +218,39 @@ class SimulatedParallelRun:
             name=name,
             fuse_rebuild=fuse_rebuild,
             hot_bytes_per_step=self._hot_bytes_per_step(params),
+            force_ranges=force_ranges,
         )
         if fault_plan is not None and watchdog_interval is None:
             # self-healing must be on to survive an armed fault plan;
             # 0.5 ms sweeps sit well inside the 3–30 ms runs while
             # staying far coarser than individual 80–5000 µs tasks
             watchdog_interval = 5e-4
-        self.pool = SimExecutorService(
-            machine,
-            n_threads,
-            queue_mode=queue_mode,
-            affinities=affinities,
-            instrumentation=instrumentation,
-            name=f"{name}-pool",
-            watchdog_interval=watchdog_interval,
-        )
+        if queue_mode is QueueMode.STEALING:
+            from repro.concurrent.stealing import StealingExecutorService
+
+            self.pool = StealingExecutorService(
+                machine,
+                n_threads,
+                affinities=affinities,
+                instrumentation=instrumentation,
+                name=f"{name}-pool",
+                watchdog_interval=watchdog_interval,
+                assign=assign,
+                steal_policy=steal_policy,
+                steal_cost_cycles=steal_cost_cycles,
+            )
+        else:
+            self.pool = SimExecutorService(
+                machine,
+                n_threads,
+                queue_mode=queue_mode,
+                affinities=affinities,
+                instrumentation=instrumentation,
+                pop_overhead_cycles=pop_overhead_cycles,
+                name=f"{name}-pool",
+                watchdog_interval=watchdog_interval,
+                assign=assign,
+            )
         self.injector = None
         if fault_plan is not None:
             from repro.faults.injector import FaultInjector
@@ -372,6 +445,7 @@ class SimulatedParallelRun:
                 if self.injector is not None
                 else []
             ),
+            steals=list(getattr(self.pool, "steals", [])),
             machine=self.machine,
         )
 

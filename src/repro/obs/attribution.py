@@ -14,6 +14,9 @@ Rainey (arXiv:1709.03767) and LAMMPS-style per-phase breakdowns:
 * **sched_overhead** — ready-but-not-running time, the contended
   queue-pop critical section, and the master's serial display/dispatch
   sections that leave every worker idle (the Amdahl fraction);
+* **steal_overhead** — on-core seconds spent probing victim deques
+  under ``QueueMode.STEALING`` (the toll work-stealing pays to convert
+  latch_idle back into useful work); zero for the fixed-queue pools;
 * **gc** — stop-the-world collections injected by the GC model;
 * **fault_loss** — time lost to injected faults (crashed workers' dead
   tails, straggler-core slowdown, preemption storms, lock stalls,
@@ -57,6 +60,7 @@ SERIAL_PHASE = "serial"
 CLASSES = (
     "exec",           # on-core inside a task span
     "pool_overhead",  # on-core outside spans: queue-pop lock, ctx switch
+    "steal",          # on-core probing victim deques (STEALING pools)
     "ready",          # runnable, waiting for a PU
     "fault",          # time lost to an injected fault (chaos runs)
     "gc",             # parked during a stop-the-world collection
@@ -65,10 +69,11 @@ CLASSES = (
     "latch_idle",     # parked at the phase latch (stragglers running)
 )
 
-#: class → displayed bucket (the report's six columns)
+#: class → displayed bucket (the report's columns)
 CLASS_TO_BUCKET = {
     "exec": "work_inflation",
     "pool_overhead": "sched_overhead",
+    "steal": "steal_overhead",
     "ready": "sched_overhead",
     "serial_master": "sched_overhead",
     "queue_wait": "queue_wait",
@@ -79,7 +84,7 @@ CLASS_TO_BUCKET = {
 
 BUCKETS = (
     "work_inflation", "latch_idle", "queue_wait",
-    "sched_overhead", "gc", "fault_loss",
+    "sched_overhead", "steal_overhead", "gc", "fault_loss",
 )
 
 #: rough core cycles one byte of DRAM-bandwidth traffic costs — used
@@ -270,6 +275,8 @@ def observe_run(
     death_time: Dict[int, float] = {}
     loss_start: Dict[str, float] = {}
     loss_ivs: List[Interval] = []
+    steal_open: Dict[str, float] = {}
+    steal_windows: Dict[str, List[Interval]] = {}
     for e in tracer.events:
         if e.kind == "worker.death":
             death_time[int(e.subject.rsplit("-", 1)[1])] = e.time
@@ -283,6 +290,18 @@ def observe_run(
                 # the pool idled on the vanished task until the watchdog
                 # re-issued it: that whole window is the fault's doing
                 loss_ivs.append((t_lost, e.time))
+        elif e.kind == "steal.attempt":
+            steal_open[e.subject] = e.time
+        elif e.kind in ("steal.success", "steal.miss"):
+            t0 = steal_open.pop(e.subject, None)
+            if t0 is not None:
+                steal_windows.setdefault(e.subject, []).append(
+                    (t0, e.time)
+                )
+    # a worker interrupted mid-probe leaves its attempt open; its
+    # on-core tail up to the crash was still steal work
+    for subject, t0 in steal_open.items():
+        steal_windows.setdefault(subject, []).append((t0, T))
     loss_ivs.extend((t, T) for t in loss_start.values())
     loss_ivs = merge_intervals(loss_ivs, 0.0, T)
     gc_mult = (
@@ -350,9 +369,14 @@ def observe_run(
                     # (1−factor) is fault loss, factor is honest work
                     attribute_phase("fault", slow_exec, scale=1.0 - factor)
                     attribute_phase("exec", slow_exec, scale=factor - 1.0)
-        attribute_phase(
-            "pool_overhead", subtract_intervals(running, span_ivs, 0.0, T)
-        )
+        off_span = subtract_intervals(running, span_ivs, 0.0, T)
+        steal_ivs = merge_intervals(steal_windows.get(wname, []), 0.0, T)
+        if steal_ivs:
+            attribute_phase(
+                "steal", intersect_intervals(off_span, steal_ivs)
+            )
+            off_span = subtract_intervals(off_span, steal_ivs, 0.0, T)
+        attribute_phase("pool_overhead", off_span)
         if storm_ivs:
             attribute_phase("fault", intersect_intervals(ready, storm_ivs))
             attribute_phase(

@@ -45,6 +45,13 @@ OPTION_DEFAULTS: Dict[str, Any] = {
     "gc_model": "none",        # "none" | "chaos" (the chaos harness's)
     "phase_timeout_factor": None,
     "trace_steps": None,       # distinct capture length (chaos refs)
+    # executor strategy knobs (the autotuner's search space)
+    "assign": "owner-index",
+    "chunk": "thread",
+    "chunk_factor": 1,
+    "steal_policy": "locality",
+    "steal_cost_cycles": 400.0,
+    "pop_overhead_cycles": 150.0,
 }
 
 _SALT_CACHE: Dict[str, str] = {}
@@ -104,7 +111,25 @@ def canonical_options(options: Optional[Dict[str, Any]]) -> Dict[str, Any]:
     """
     merged = dict(OPTION_DEFAULTS)
     for k, v in (options or {}).items():
-        merged[k] = _canon_value(v)
+        canon = _canon_value(v)
+        # numeric knobs fold to the default's type, so 400 and 400.0
+        # (or a future int-typed default passed as a float) encode
+        # identically — JSON distinguishes them, the run does not
+        default = OPTION_DEFAULTS.get(k)
+        if (
+            isinstance(default, float)
+            and isinstance(canon, int)
+            and not isinstance(canon, bool)
+        ):
+            canon = float(canon)
+        elif (
+            isinstance(default, int)
+            and not isinstance(default, bool)
+            and isinstance(canon, float)
+            and canon.is_integer()
+        ):
+            canon = int(canon)
+        merged[k] = canon
     return merged
 
 

@@ -70,6 +70,8 @@ def observe_spec(
     seed: int = 0,
     params=None,
     fault_plan=None,
+    affinities=None,
+    master_affinity=None,
     **options,
 ) -> RunSpec:
     """Spec for one traced + classified replay (attribution input)."""
@@ -86,6 +88,14 @@ def observe_spec(
         params=params_to_spec(params) if params is not None else None,
         fault_plan=(
             fault_plan.to_dict() if fault_plan is not None else None
+        ),
+        affinities=(
+            tuple(tuple(a) for a in affinities)
+            if affinities is not None
+            else None
+        ),
+        master_affinity=(
+            tuple(master_affinity) if master_affinity is not None else None
         ),
         options=options,
     )
@@ -182,7 +192,11 @@ def _run_kwargs(spec: RunSpec) -> Dict[str, Any]:
         kwargs["master_affinity"] = list(spec.master_affinity)
     if "queue_mode" in opts:
         kwargs["queue_mode"] = QueueMode(opts["queue_mode"])
-    for name in ("partition", "repeat", "fuse_rebuild"):
+    for name in (
+        "partition", "repeat", "fuse_rebuild",
+        "assign", "chunk", "chunk_factor",
+        "steal_policy", "steal_cost_cycles", "pop_overhead_cycles",
+    ):
         if name in opts:
             kwargs[name] = opts[name]
     if opts.get("gc_model") == "chaos":

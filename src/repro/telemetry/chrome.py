@@ -85,6 +85,35 @@ def orchestration_trace_events(records: List[dict]) -> List[dict]:
                 "args": dict(record["attrs"]),
             }
         )
+        # autotuner trials also feed a steals-per-worker counter lane:
+        # one series per simulated worker, sampled once per trial, so
+        # Perfetto shows which search points actually stole work
+        steals = record["attrs"].get("steals")
+        if isinstance(steals, str):
+            # the emitter flattens list attrs to their repr, which for
+            # a list of ints is valid JSON
+            try:
+                steals = json.loads(steals)
+            except ValueError:
+                steals = None
+        if (
+            record["name"] == "tune.trial"
+            and isinstance(steals, list)
+            and steals
+        ):
+            out.append(
+                {
+                    "name": "steals per worker",
+                    "cat": "orchestration",
+                    "ph": "C",
+                    "ts": (record["ts"] - t0) * _US,
+                    "pid": record["pid"],
+                    "tid": 0,
+                    "args": {
+                        f"w{i:02d}": int(v) for i, v in enumerate(steals)
+                    },
+                }
+            )
     return out
 
 

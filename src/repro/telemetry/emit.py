@@ -68,7 +68,12 @@ class TelemetryRun:
         else:
             self.trace_id = trace_id or new_trace_id()
             self.label = label
-            tmp = manifest.with_suffix(".tmp")
+            # pool workers can open a manifest-less run concurrently
+            # (the parent swept with no telemetry active), so publish
+            # via a per-process temp name and an atomic
+            # first-writer-wins create; losers adopt the winner's
+            # trace id so the fan-out still forms one coherent trace
+            tmp = manifest.with_suffix(f".{os.getpid()}.tmp")
             tmp.write_text(
                 json.dumps(
                     {
@@ -81,7 +86,25 @@ class TelemetryRun:
                 )
                 + "\n"
             )
-            os.replace(tmp, manifest)
+            try:
+                os.link(tmp, manifest)
+            except FileExistsError:
+                try:
+                    doc = json.loads(manifest.read_text())
+                except (OSError, ValueError):
+                    doc = None
+                if isinstance(doc, dict) and doc.get("trace_id"):
+                    self.trace_id = str(doc["trace_id"])
+                    self.label = str(doc.get("label", ""))
+            except OSError:
+                # filesystem without hard links: keep the old rename
+                # (last writer wins; no crash either way)
+                os.replace(tmp, manifest)
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def telemetry_files(self) -> List[Path]:
         """Sorted per-process JSONL files currently in the run."""

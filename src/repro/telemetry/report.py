@@ -46,6 +46,7 @@ from repro.telemetry.schema import REPORT_SCHEMA
 
 BENCH_NAME = "bench.json"
 LEADERBOARD_NAME = "leaderboard.json"
+AUTOTUNE_NAME = "autotune.json"
 
 #: fixed categorical slot order (light, dark) — validated palette
 _SERIES = (
@@ -87,6 +88,28 @@ def _leaderboard_block(run_dir: Path) -> Optional[dict]:
         "threads": payload.get("threads"),
         "jxperf": payload.get("jxperf") or {},
         "timers": payload.get("timers") or {},
+    }
+
+
+def _autotune_block(run_dir: Path) -> Optional[dict]:
+    """The ``repro.autotune/1`` search trajectory, when the tuner
+    dropped an ``autotune.json`` next to the telemetry."""
+    path = run_dir / AUTOTUNE_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or not payload.get("trials"):
+        return None
+    return {
+        "workload": payload.get("workload"),
+        "machine": payload.get("machine"),
+        "threads": payload.get("threads"),
+        "rungs": payload.get("rungs", []),
+        "trials": payload["trials"],
+        "baseline": payload.get("baseline") or {},
+        "winner": payload.get("winner") or {},
+        "diff": payload.get("diff") or {},
     }
 
 
@@ -294,6 +317,7 @@ def build_report(
         "chaos": _chaos_block(records),
         "resilience": _resilience_block(records),
         "leaderboard": _leaderboard_block(root),
+        "autotune": _autotune_block(root),
         "flamegraphs": flamegraphs,
     }
 
@@ -471,6 +495,77 @@ def _leaderboard_svg(block: dict) -> str:
     return "".join(parts)
 
 
+def _tune_trajectory_svg(block: dict) -> str:
+    """Bar chart of the tuner's search trajectory: one bar per trial in
+    rung order, kept survivors vs pruned configs as the two series,
+    dashed separators between successive-halving rungs."""
+    trials = block["trials"]
+    if not trials:
+        return ""
+    width, height = 640, 260
+    left, right, top, bottom = 60, 16, 14, 46
+    plot_w, plot_h = width - left - right, height - top - bottom
+    vmax = max(t["sim_seconds"] for t in trials) * 1.08
+    vmax = max(vmax, 1e-12)
+    slot_w = plot_w / len(trials)
+    bar_w = max(min(slot_w - 6, 34), 3.0)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="Autotuner search trajectory">'
+    ]
+    n_ticks = 4
+    for i in range(n_ticks + 1):
+        value = vmax * i / n_ticks
+        y = top + plot_h - value / vmax * plot_h
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" class="grid"/>'
+            f'<text x="{left - 8}" y="{y + 4:.1f}" class="tick" '
+            f'text-anchor="end">{value * 1e3:.2f}</text>'
+        )
+    parts.append(
+        f'<text x="{left - 44}" y="{top + plot_h / 2:.0f}" class="tick" '
+        f'transform="rotate(-90 {left - 44} {top + plot_h / 2:.0f})" '
+        f'text-anchor="middle">sim ms</text>'
+    )
+    prev_rung = None
+    for i, trial in enumerate(trials):
+        x0 = left + i * slot_w
+        if trial["rung"] != prev_rung:
+            if prev_rung is not None:
+                parts.append(
+                    f'<line x1="{x0:.1f}" y1="{top}" x2="{x0:.1f}" '
+                    f'y2="{top + plot_h}" class="ideal"/>'
+                )
+            parts.append(
+                f'<text x="{x0 + 2:.1f}" y="{height - bottom + 18}" '
+                f'class="tick">rung {trial["rung"]} '
+                f'({trial["steps"]} step'
+                f'{"s" if trial["steps"] != 1 else ""})</text>'
+            )
+            prev_rung = trial["rung"]
+        bar_h = trial["sim_seconds"] / vmax * plot_h
+        y = top + plot_h - bar_h
+        slot = 0 if trial["kept"] else 1
+        color = f"var(--series-{slot + 1})"
+        fate = "kept" if trial["kept"] else "pruned"
+        steals = sum(trial.get("steals") or [])
+        parts.append(
+            f'<rect x="{x0 + (slot_w - bar_w) / 2:.1f}" y="{y:.1f}" '
+            f'width="{bar_w:.1f}" height="{max(bar_h, 1):.1f}" rx="2" '
+            f'fill="{color}"><title>{_esc(trial["label"])} @ rung '
+            f'{trial["rung"]}: {trial["sim_seconds"] * 1e3:.3f} ms, '
+            f"{steals} steals, {fate}</title></rect>"
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        f'class="axis-label" text-anchor="middle">trials in rung '
+        f"order (fastest first within each rung)</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _timeline_svg(runs: List[dict]) -> str:
     """Per-process lanes: one bar per emitting process, single hue."""
     entries = [r for r in runs if r["seconds"] >= 0]
@@ -634,6 +729,9 @@ def render_html(report: dict) -> str:
         tiles.append(
             _tile(f"{chaos['ok']}/{chaos['cases']}", "chaos cases ok")
         )
+    tuned = (report.get("autotune") or {}).get("winner") or {}
+    if tuned.get("speedup"):
+        tiles.append(_tile(f"{tuned['speedup']:.2f}x", "tuned speedup"))
     resilience = report.get("resilience")
     if resilience:
         tiles.append(_tile(str(resilience["retries"]), "supervised retries"))
@@ -692,6 +790,58 @@ def render_html(report: dict) -> str:
             + board_rows
             + "</table>"
             + jx_note
+        )
+    tune = report.get("autotune")
+    if tune:
+        base = tune.get("baseline") or {}
+        win = tune.get("winner") or {}
+        scope = ""
+        if tune.get("workload"):
+            scope = (
+                f" — {tune['workload']} x{tune.get('threads', '?')} on "
+                f"{tune.get('machine', '?')}"
+            )
+        tune_rows = "".join(
+            f"<tr><td>{_esc(kind)}</td><td>{_esc(row.get('label', '?'))}"
+            f'</td><td class="num">'
+            f"{row.get('sim_seconds', 0.0) * 1e3:.3f}</td>"
+            f'<td class="num">{row.get("speedup", 0.0):.2f}x</td>'
+            f'<td class="num">'
+            f"{row.get('latch_idle_share', 0.0) * 100:.1f}%</td>"
+            f'<td class="num">{sum(row.get("steals") or [])}</td></tr>'
+            for kind, row in (("baseline", base), ("tuned", win))
+            if row
+        )
+        diff_rows = "".join(
+            f"<tr><td>{_esc(bucket)}</td>"
+            f'<td class="num">{delta * 1e3:+.3f}</td></tr>'
+            for bucket, delta in sorted(
+                (tune.get("diff") or {}).items(), key=lambda kv: kv[1]
+            )
+            if delta
+        )
+        sections.append(
+            f"<h2>Autotuner search trajectory{_esc(scope)}</h2>"
+            '<p class="sub">successive halving over the proposed '
+            "executor configs; each bar is one trial, the slower half "
+            "of every rung is pruned</p>"
+            + _legend(["kept", "pruned"])
+            + _tune_trajectory_svg(tune)
+            + "<table><tr><th>config</th><th>label</th>"
+            '<th class="num">sim ms</th><th class="num">speedup</th>'
+            '<th class="num">latch idle</th><th class="num">steals</th>'
+            "</tr>"
+            + tune_rows
+            + "</table>"
+            + (
+                "<h2>Attribution diff (tuned − baseline)</h2>"
+                "<table><tr><th>bucket</th>"
+                '<th class="num">Δ ms</th></tr>'
+                + diff_rows
+                + "</table>"
+                if diff_rows
+                else ""
+            )
         )
     if resilience:
         labels = (

@@ -1,0 +1,29 @@
+"""Attribution-driven autotuning of the executor strategy space.
+
+See :mod:`repro.tuning.autotune` for the pilot → propose → successive
+halving → verify pipeline behind ``repro tune``.
+"""
+
+from repro.tuning.autotune import (
+    BASELINE,
+    PINNINGS,
+    TUNE_SCHEMA,
+    TuneConfig,
+    autotune,
+    pinning_affinities,
+    propose_candidates,
+    render_tune,
+    winning_config,
+)
+
+__all__ = [
+    "BASELINE",
+    "PINNINGS",
+    "TUNE_SCHEMA",
+    "TuneConfig",
+    "autotune",
+    "pinning_affinities",
+    "propose_candidates",
+    "render_tune",
+    "winning_config",
+]

@@ -1,0 +1,484 @@
+"""Attribution-driven executor autotuning.
+
+The paper stops at *diagnosing* Al-1000's plateau (load imbalance →
+latch idle).  This module closes the loop: a cheap pilot run's
+conserved attribution buckets say *which* losses dominate, the bucket
+shares propose a targeted candidate set over the executor strategy
+space (queue mode × assignment policy × force-chunk granularity ×
+steal policy × partition × pinning), and successive halving — short
+replays first, survivors graduate to longer ones — finds the winner
+without paying full-length replays for obviously-bad configs.
+
+Every trial is a canonical :class:`~repro.runcache.key.RunSpec` run
+through :func:`~repro.runcache.sweep.sweep`, so re-tuning is nearly
+free once the cache is warm, tuning inherits crash-safe journaling and
+process-pool fan-out, and two tuners asking the same question share
+work byte-identically.
+
+The output payload (``repro.autotune/1``) carries the pilot
+diagnosis, the full search trajectory (every trial, kept or pruned),
+and a before/after attribution diff of the winner against the
+fixed-queue baseline — the proof that the recovered speedup came out
+of the bucket the pilot blamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.machine.topology import Topology
+from repro.runcache.store import RunCache
+from repro.runcache.sweep import (
+    _machine_spec,
+    capture_spec,
+    machine_key,
+    observe_spec,
+    sweep,
+)
+from repro.telemetry import runtime as telemetry_runtime
+
+TUNE_SCHEMA = "repro.autotune/1"
+
+#: worker-pinning policies the tuner may propose
+PINNINGS = ("none", "pack", "spread")
+
+#: bucket share of achieved runtime below which a loss is not worth
+#: proposing candidates against
+PROPOSE_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One point in the executor strategy space.
+
+    Frozen and hashable so configs dedupe structurally; the default
+    instance is exactly the paper's fixed-queue §II-B configuration
+    (single shared queue, one task per worker, block partition, OS
+    scheduling) — the baseline every tuned config is diffed against.
+    """
+
+    queue_mode: str = "single"
+    assign: str = "owner-index"
+    chunk: str = "thread"
+    chunk_factor: int = 1
+    steal_policy: str = "locality"
+    partition: str = "block"
+    pinning: str = "none"
+
+    def options(self) -> Dict[str, Any]:
+        """The RunSpec option dict this config selects (pinning rides
+        separately, as explicit affinity masks)."""
+        opts: Dict[str, Any] = {
+            "queue_mode": self.queue_mode,
+            "assign": self.assign,
+            "chunk": self.chunk,
+            "chunk_factor": self.chunk_factor,
+            "partition": self.partition,
+        }
+        if self.queue_mode == "stealing":
+            opts["steal_policy"] = self.steal_policy
+        return opts
+
+    def label(self) -> str:
+        bits = [self.queue_mode]
+        if self.assign != "owner-index":
+            bits.append(self.assign)
+        bits.append(
+            f"fixed{self.chunk_factor}" if self.chunk == "fixed" else self.chunk
+        )
+        if self.queue_mode == "stealing":
+            bits.append(self.steal_policy)
+        if self.partition != "block":
+            bits.append(self.partition)
+        if self.pinning != "none":
+            bits.append(f"pin-{self.pinning}")
+        return "/".join(bits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+BASELINE = TuneConfig()
+
+
+def pinning_affinities(
+    machine: str, n_threads: int, pinning: str
+) -> Optional[List[List[int]]]:
+    """Per-worker single-PU masks for a pinning policy.
+
+    ``"pack"`` fills cores socket by socket (dense: maximal LLC
+    sharing); ``"spread"`` deals cores round-robin across sockets
+    (maximal aggregate cache/bandwidth — the Table III axis);
+    ``"none"`` leaves placement to the simulated OS.
+    """
+    if pinning == "none":
+        return None
+    if pinning not in PINNINGS:
+        raise ValueError(
+            f"unknown pinning {pinning!r}; choose from {PINNINGS}"
+        )
+    topo = Topology(_machine_spec(machine))
+    if pinning == "pack":
+        cores = list(topo.cores())  # socket-major already
+    else:
+        per_socket: List[List[int]] = [
+            [c for c in topo.cores() if topo._socket_of_core[c] == s]
+            for s in range(topo.spec.sockets)
+        ]
+        cores = []
+        for i in range(max(len(g) for g in per_socket)):
+            for group in per_socket:
+                if i < len(group):
+                    cores.append(group[i])
+    pus = [topo.pus_of_core(c)[0] for c in cores]
+    return [[pus[i % len(pus)]] for i in range(n_threads)]
+
+
+def propose_candidates(
+    buckets: Dict[str, float], achieved_seconds: float
+) -> List[TuneConfig]:
+    """Candidate configs targeted at the pilot's dominant losses.
+
+    The baseline always competes (the tuner can answer "keep what you
+    have").  Order matters: ranking ties break by proposal order, and
+    work-stealing sorts before the fixed alternatives because it is
+    robust to imbalance the pilot could not see (other step counts,
+    faults).
+    """
+
+    def share(bucket: str) -> float:
+        if achieved_seconds <= 0:
+            return 0.0
+        return buckets.get(bucket, 0.0) / achieved_seconds
+
+    cands: List[TuneConfig] = [BASELINE]
+    if share("latch_idle") >= PROPOSE_THRESHOLD:
+        # load imbalance: let idle workers take queued work (stealing,
+        # finer force grains), balance the assignment, or re-cut the
+        # partition by measured weight
+        cands += [
+            TuneConfig(queue_mode="stealing"),
+            TuneConfig(queue_mode="stealing", chunk="fixed", chunk_factor=2),
+            TuneConfig(queue_mode="stealing", chunk="fixed", chunk_factor=4),
+            TuneConfig(queue_mode="stealing", chunk="guided"),
+            TuneConfig(
+                queue_mode="stealing", steal_policy="random",
+                chunk="fixed", chunk_factor=2,
+            ),
+            TuneConfig(queue_mode="per-thread"),
+            TuneConfig(queue_mode="per-thread", assign="cost-balanced"),
+            TuneConfig(queue_mode="per-thread", partition="balanced"),
+        ]
+    if share("sched_overhead") >= PROPOSE_THRESHOLD:
+        # contended shared-queue pops / serial dispatch: per-thread
+        # queues drop the pop critical section entirely
+        cands += [
+            TuneConfig(queue_mode="per-thread"),
+            TuneConfig(queue_mode="stealing"),
+        ]
+    if share("queue_wait") >= PROPOSE_THRESHOLD:
+        cands += [
+            TuneConfig(queue_mode="per-thread", assign="cost-balanced"),
+            TuneConfig(queue_mode="stealing", chunk="fixed", chunk_factor=2),
+        ]
+    if share("work_inflation") >= PROPOSE_THRESHOLD:
+        # cache/bandwidth pressure: placement is the lever
+        cands += [
+            TuneConfig(queue_mode="per-thread", pinning="spread"),
+            TuneConfig(queue_mode="per-thread", pinning="pack"),
+            TuneConfig(queue_mode="stealing", pinning="spread"),
+        ]
+    seen = set()
+    out: List[TuneConfig] = []
+    for c in cands:
+        if c not in seen:
+            seen.add(c)
+            out.append(c)
+    return out
+
+
+def _config_spec(
+    name: str,
+    steps: int,
+    threads: int,
+    machine: str,
+    seed: int,
+    cfg: TuneConfig,
+):
+    return observe_spec(
+        name, steps, threads, machine,
+        seed=seed,
+        affinities=pinning_affinities(machine, threads, cfg.pinning),
+        **cfg.options(),
+    )
+
+
+def _rung_steps(steps: int) -> List[int]:
+    """Successive-halving step ladder: quarter, half, full (deduped)."""
+    ladder = [max(1, steps // 4), max(1, steps // 2), steps]
+    out: List[int] = []
+    for s in ladder:
+        if not out or s > out[-1]:
+            out.append(s)
+    return out
+
+
+def _summarize(cfg: TuneConfig, attribution) -> Dict[str, Any]:
+    """JSON row for the baseline/winner attribution of one config."""
+    obs = attribution.observation
+    achieved = attribution.achieved_seconds
+    latch = attribution.buckets.get("latch_idle", 0.0)
+    return {
+        "config": cfg.to_dict(),
+        "label": cfg.label(),
+        "sim_seconds": achieved,
+        "speedup": attribution.achieved_speedup,
+        "latch_idle_share": latch / achieved if achieved > 0 else 0.0,
+        "buckets": attribution.buckets,
+        "conservation_error": attribution.conservation_error(),
+        "steals": list(obs.result.steals) if obs.result is not None else [],
+    }
+
+
+def autotune(
+    workload: str,
+    threads: int,
+    machine: str = "x7560x4",
+    *,
+    steps: int = 3,
+    pilot_steps: int = 1,
+    seed: int = 0,
+    cache: Optional[RunCache] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Tune one workload × machine × thread count; returns the
+    ``repro.autotune/1`` payload.
+
+    Phases (each one cache-backed sweep):
+
+    1. **pilot** — baseline config at ``pilot_steps``, plus the
+       1-thread reference; its bucket shares drive the proposal;
+    2. **search** — successive halving over the candidates: every
+       surviving config replays at the rung's step count, the slower
+       half is pruned (ranked by simulated seconds, ties by proposal
+       order), repeat through the full ``steps``;
+    3. **verify** — full attribution of winner and baseline at
+       ``steps``, diffed bucket by bucket.
+    """
+    from repro.obs.attribution import attribute_observations
+
+    name_key = machine_key(machine)
+    from repro.workloads import resolve_workload
+
+    wname = resolve_workload(workload)
+    emitter = telemetry_runtime.current()
+
+    with emitter.span(
+        "tune", workload=wname, machine=name_key, threads=threads,
+        steps=steps, pilot_steps=pilot_steps,
+    ):
+        # -- pilot ---------------------------------------------------------
+        pilot_specs = [
+            capture_spec(wname, pilot_steps),
+            observe_spec(wname, pilot_steps, 1, name_key, seed=seed),
+            _config_spec(
+                wname, pilot_steps, threads, name_key, seed, BASELINE
+            ),
+        ]
+        pilot_sweep = sweep(pilot_specs, cache, jobs=jobs)
+        pilot_trace, pilot_base, pilot_obs = pilot_sweep.artifacts
+        pilot = attribute_observations(
+            pilot_obs, pilot_base, pilot_trace, machine=name_key
+        )
+        candidates = propose_candidates(
+            pilot.buckets, pilot.achieved_seconds
+        )
+
+        # -- successive halving -------------------------------------------
+        survivors = list(candidates)
+        trials: List[Dict[str, Any]] = []
+        rungs: List[Dict[str, Any]] = []
+        for rung_index, rung_steps in enumerate(_rung_steps(steps)):
+            specs = [
+                _config_spec(
+                    wname, rung_steps, threads, name_key, seed, cfg
+                )
+                for cfg in survivors
+            ]
+            result = sweep(specs, cache, jobs=jobs)
+            # order (unique per rung) breaks sim_seconds ties before the
+            # trailing cfg/obs fields are ever compared
+            ranked = sorted(
+                (
+                    (obs.sim_seconds, order, cfg, obs)
+                    for order, (cfg, obs) in enumerate(
+                        zip(survivors, result.artifacts)
+                    )
+                    if obs is not None
+                ),
+            )
+            keep = max(1, -(-len(ranked) // 2))
+            kept = {cfg for _s, _o, cfg, _a in ranked[:keep]}
+            for sim_seconds, _order, cfg, obs in ranked:
+                steals = (
+                    list(obs.result.steals)
+                    if obs.result is not None
+                    else []
+                )
+                trials.append(
+                    {
+                        "config": cfg.to_dict(),
+                        "label": cfg.label(),
+                        "rung": rung_index,
+                        "steps": rung_steps,
+                        "sim_seconds": sim_seconds,
+                        "kept": cfg in kept,
+                        "steals": steals,
+                    }
+                )
+                emitter.event(
+                    "tune.trial", label=cfg.label(), rung=rung_index,
+                    steps=rung_steps, sim_seconds=sim_seconds,
+                    kept=cfg in kept, steals=steals,
+                )
+            rungs.append(
+                {
+                    "rung": rung_index,
+                    "steps": rung_steps,
+                    "candidates": len(ranked),
+                    "kept": [c.label() for _s, _o, c, _a in ranked[:keep]],
+                    "pruned": [
+                        c.label() for _s, _o, c, _a in ranked[keep:]
+                    ],
+                }
+            )
+            survivors = [c for _s, _o, c, _a in ranked[:keep]]
+            if len(survivors) == 1:
+                break
+        winner_cfg = survivors[0]
+
+        # -- before/after attribution at full steps -----------------------
+        final_specs = [
+            capture_spec(wname, steps),
+            observe_spec(wname, steps, 1, name_key, seed=seed),
+            _config_spec(wname, steps, threads, name_key, seed, BASELINE),
+            _config_spec(wname, steps, threads, name_key, seed, winner_cfg),
+        ]
+        final = sweep(final_specs, cache, jobs=jobs)
+        trace, base_obs, baseline_obs, winner_obs = final.artifacts
+        baseline_att = attribute_observations(
+            baseline_obs, base_obs, trace, machine=name_key
+        )
+        winner_att = attribute_observations(
+            winner_obs, base_obs, trace, machine=name_key
+        )
+        baseline_row = _summarize(BASELINE, baseline_att)
+        winner_row = _summarize(winner_cfg, winner_att)
+        diff = {
+            b: winner_row["buckets"][b] - baseline_row["buckets"][b]
+            for b in winner_row["buckets"]
+        }
+        emitter.event(
+            "tune.winner", label=winner_cfg.label(),
+            speedup=winner_row["speedup"],
+            baseline_speedup=baseline_row["speedup"],
+        )
+
+    return {
+        "schema": TUNE_SCHEMA,
+        "workload": wname,
+        "machine": name_key,
+        "threads": threads,
+        "steps": steps,
+        "pilot_steps": pilot_steps,
+        "seed": seed,
+        "pilot": {
+            "speedup": pilot.achieved_speedup,
+            "achieved_seconds": pilot.achieved_seconds,
+            "buckets": pilot.buckets,
+            "dominant_bucket": pilot.dominant()[1],
+        },
+        "candidates": [c.label() for c in candidates],
+        "rungs": rungs,
+        "trials": trials,
+        "baseline": baseline_row,
+        "winner": winner_row,
+        "diff": diff,
+    }
+
+
+def winning_config(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The standalone best-config artifact (``repro.autotune.config/1``)
+    a deployment would consume: workload × machine → strategy knobs."""
+    winner = payload["winner"]
+    cfg = TuneConfig(**winner["config"])
+    return {
+        "schema": "repro.autotune.config/1",
+        "workload": payload["workload"],
+        "machine": payload["machine"],
+        "threads": payload["threads"],
+        "label": winner["label"],
+        "config": winner["config"],
+        "options": cfg.options(),
+        "affinities": pinning_affinities(
+            payload["machine"], payload["threads"], cfg.pinning
+        ),
+        "speedup": winner["speedup"],
+        "baseline_speedup": payload["baseline"]["speedup"],
+    }
+
+
+def render_tune(payload: Dict[str, Any]) -> str:
+    """ASCII report of one tuning run (the ``repro tune`` output)."""
+    lines: List[str] = []
+    lines.append(
+        f"autotune: {payload['workload']} x{payload['threads']} threads "
+        f"on simulated {payload['machine']} ({payload['steps']} steps)"
+    )
+    pilot = payload["pilot"]
+    lines.append(
+        f"  pilot ({payload['pilot_steps']} step"
+        f"{'s' if payload['pilot_steps'] != 1 else ''}): speedup "
+        f"{pilot['speedup']:.2f}x, dominant loss "
+        f"{pilot['dominant_bucket']} -> {len(payload['candidates'])} "
+        f"candidates"
+    )
+    for rung in payload["rungs"]:
+        lines.append(
+            f"  rung {rung['rung']} ({rung['steps']} steps): "
+            f"{rung['candidates']} configs -> kept "
+            f"{', '.join(rung['kept'])}"
+        )
+    base = payload["baseline"]
+    win = payload["winner"]
+    lines.append("")
+    lines.append(
+        f"{'config':<32}{'sim ms':>10}{'speedup':>10}{'latch %':>10}"
+        f"{'steals':>8}"
+    )
+    for row in (base, win):
+        lines.append(
+            f"{row['label']:<32}"
+            f"{row['sim_seconds'] * 1e3:>10.3f}"
+            f"{row['speedup']:>9.2f}x"
+            f"{row['latch_idle_share'] * 100:>9.1f}%"
+            f"{sum(row['steals']):>8}"
+        )
+    lines.append("")
+    lines.append("attribution diff (winner - baseline), ms of wall clock:")
+    for bucket, delta in sorted(
+        payload["diff"].items(), key=lambda kv: kv[1]
+    ):
+        if abs(delta) < 1e-12:
+            continue
+        lines.append(f"  {bucket:<16}{delta * 1e3:>+10.3f} ms")
+    gain = (
+        win["speedup"] / base["speedup"] if base["speedup"] > 0 else 0.0
+    )
+    lines.append("")
+    lines.append(
+        f"winner {win['label']}: {win['speedup']:.2f}x vs baseline "
+        f"{base['speedup']:.2f}x ({gain:.2f}x relative)"
+    )
+    return "\n".join(lines)

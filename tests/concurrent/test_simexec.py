@@ -155,6 +155,69 @@ def test_queue_contention_slower_than_per_thread():
     assert contended > uncontended
 
 
+def test_unknown_assign_policy_rejected():
+    with pytest.raises(ValueError, match="assign policy"):
+        SimExecutorService(make_machine(), 2, assign="sticky")
+
+
+def test_owner_index_assignment_skews_with_range_costs():
+    """The historical implicit map, made explicit: task ``i`` stays on
+    worker ``i % N``, so Al-1000-style monotone per-range costs pile up
+    on the low-index workers — the skew that motivated stealing."""
+
+    def run(assign):
+        m = make_machine()
+        pool = SimExecutorService(
+            m, 2, QueueMode.PER_THREAD,
+            affinities=pinned_affinities(m, 2), assign=assign,
+        )
+
+        def master():
+            # one heavy range + seven light ones (§III's decreasing
+            # per-atom pair counts, collapsed to two weight classes)
+            costs = [cpu(m, 0.2)] + [cpu(m, 0.02) for _ in range(7)]
+            latch = pool.submit_phase(costs)
+            yield latch
+            pool.shutdown()
+
+        m.thread(master(), "master")
+        m.run()
+        return m.now, pool
+
+    skewed_t, skewed = run("owner-index")
+    balanced_t, balanced = run("cost-balanced")
+    # owner-index: worker 0 owns the heavy range plus half the light
+    # ones; cost-balanced isolates the heavy range on one worker
+    assert skewed.tasks_executed == [4, 4]
+    assert max(balanced.busy_time) < max(skewed.busy_time)
+    assert balanced_t < skewed_t
+
+
+def test_round_robin_assignment_continues_across_phases():
+    """Round-robin deals from where the last phase stopped; owner-index
+    restarts at worker 0 every phase (partition identity)."""
+
+    def run(assign):
+        m = make_machine()
+        pool = SimExecutorService(
+            m, 4, QueueMode.PER_THREAD,
+            affinities=pinned_affinities(m, 4), assign=assign,
+        )
+
+        def master():
+            for _ in range(2):
+                latch = pool.submit_phase([cpu(m, 0.01), cpu(m, 0.01)])
+                yield latch
+            pool.shutdown()
+
+        m.thread(master(), "master")
+        m.run()
+        return pool.tasks_executed
+
+    assert run("owner-index") == [2, 2, 0, 0]
+    assert run("round-robin") == [1, 1, 1, 1]
+
+
 def test_instrumentation_hooks_run_in_worker():
     m = make_machine()
     events = []

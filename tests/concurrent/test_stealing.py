@@ -1,0 +1,237 @@
+"""Work-stealing executor: balance on skew, exactly-once execution
+(fault-free and under seeded fault plans), determinism per strategy,
+and zero observer effect for the steal events."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrent import QueueMode, SimExecutorService
+from repro.concurrent.stealing import StealingExecutorService
+from repro.faults import FaultInjector, FaultPlan, TaskLoss, WorkerCrash
+from repro.machine import CORE_I7_920, SimMachine, WorkCost
+from repro.obs import Tracer
+
+N_THREADS = 3
+
+
+def make_machine(**kw):
+    kw.setdefault("seed", 1)
+    kw.setdefault("migrate_prob", 0.0)
+    return SimMachine(CORE_I7_920, **kw)
+
+
+def cpu(machine, seconds, label=""):
+    return WorkCost(cycles=seconds * machine.spec.freq_hz, label=label)
+
+
+def pinned_affinities(machine, n):
+    topo = machine.topology
+    return [[topo.pus_of_core(i % 4)[0]] for i in range(n)]
+
+
+def skewed_run(pool_factory, n_tasks=8, task_s=0.05):
+    """All work lands on worker 0's queue; returns (machine, pool)."""
+    m = make_machine()
+    pool = pool_factory(m)
+
+    def master():
+        latch = None
+        for _ in range(n_tasks):
+            task = pool.submit(cpu(m, task_s), worker=0)
+            latch = task.future
+        yield latch
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    return m, pool
+
+
+def test_all_tasks_complete_and_execute_exactly_once():
+    m = make_machine()
+    pool = StealingExecutorService(
+        m, 4, affinities=pinned_affinities(m, 4), name="p"
+    )
+    tasks = []
+
+    def master():
+        latch = pool.submit_phase([cpu(m, 0.02) for _ in range(16)])
+        tasks.extend(pool._outstanding.values())
+        yield latch
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    assert sum(pool.tasks_executed) == 16
+    assert all(t.future.done for t in tasks)
+    assert all(t.attempts == 1 for t in tasks)
+
+
+def test_skewed_queue_is_rebalanced_by_steals():
+    """The case that motivated stealing: every task targeted at one
+    worker.  Fixed per-thread queues serialize it; thieves spread it."""
+    m_fixed, fixed = skewed_run(
+        lambda m: SimExecutorService(
+            m, 4, QueueMode.PER_THREAD,
+            affinities=pinned_affinities(m, 4),
+        )
+    )
+    m_steal, stealing = skewed_run(
+        lambda m: StealingExecutorService(
+            m, 4, affinities=pinned_affinities(m, 4)
+        )
+    )
+    assert fixed.tasks_executed[0] == 8  # serialized on the owner
+    assert sum(stealing.steals) > 0
+    assert max(stealing.tasks_executed) < 8  # peers took a share
+    assert m_steal.now < 0.6 * m_fixed.now
+
+
+def test_steal_toll_is_priced():
+    """A dearer probe visibly delays the same rebalanced schedule."""
+    def factory(cost):
+        return lambda m: StealingExecutorService(
+            m, 4, affinities=pinned_affinities(m, 4),
+            steal_cost_cycles=cost,
+        )
+
+    m_cheap, _ = skewed_run(factory(0.0), task_s=0.001)
+    m_dear, pool = skewed_run(factory(2_000_000.0), task_s=0.001)
+    assert sum(pool.steals) > 0
+    assert m_dear.now > m_cheap.now
+
+
+def test_owner_pops_lifo_thief_steals_fifo():
+    m = make_machine()
+    pool = StealingExecutorService(m, 2, name="p")
+    pool.shutdown()  # workers drain before ever parking
+    deque = pool.queues[0]
+    for uid in ("a", "b", "c"):
+        deque._items.append(uid)
+    assert deque.pop_head() == "a"  # thief: oldest/coldest
+    assert deque.pop_tail() == "c"  # owner: newest/hottest
+    assert deque.pop_tail() == "b"
+    assert deque.pop_head() is None
+    m.run()  # empty deques + shutdown flag: workers exit cleanly
+
+
+def test_unknown_steal_policy_rejected():
+    with pytest.raises(ValueError, match="steal policy"):
+        StealingExecutorService(make_machine(), 2, steal_policy="eager")
+
+
+def test_steal_events_have_zero_observer_effect():
+    def run(traced):
+        m = make_machine()
+        tracer = Tracer().attach(m.sim) if traced else None
+        pool = StealingExecutorService(
+            m, 4, affinities=pinned_affinities(m, 4)
+        )
+
+        def master():
+            latch = pool.submit_phase([cpu(m, 0.03) for _ in range(4)])
+            yield latch
+            pool.shutdown()
+
+        m.thread(master(), "master")
+        m.run()
+        if tracer is not None:
+            assert any(
+                e.kind.startswith("steal.") for e in tracer.events
+            ) or sum(pool.steals) == 0
+            tracer.detach()
+        return m.now
+
+    assert run(traced=True) == run(traced=False)
+
+
+# -- determinism and exactly-once under faults ------------------------------
+
+STRATEGIES = {
+    "single": lambda m: SimExecutorService(
+        m, N_THREADS, QueueMode.SINGLE, name="p"
+    ),
+    "per-thread": lambda m: SimExecutorService(
+        m, N_THREADS, QueueMode.PER_THREAD, name="p"
+    ),
+    "steal-random": lambda m: StealingExecutorService(
+        m, N_THREADS, name="p", steal_policy="random"
+    ),
+    "steal-locality": lambda m: StealingExecutorService(
+        m, N_THREADS, name="p", steal_policy="locality"
+    ),
+}
+
+
+def traced_run(strategy, seed):
+    m = SimMachine(CORE_I7_920, seed=seed)
+    tracer = Tracer().attach(m.sim)
+    pool = STRATEGIES[strategy](m)
+
+    def master():
+        for _ in range(2):
+            latch = pool.submit_phase(
+                [
+                    WorkCost(cycles=(i + 1) * 0.01 * m.spec.freq_hz)
+                    for i in range(2 * N_THREADS)
+                ]
+            )
+            yield latch
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    tracer.detach()
+    return tracer.serialize()
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_same_seed_runs_are_byte_identical_per_strategy(strategy):
+    assert traced_run(strategy, seed=3) == traced_run(strategy, seed=3)
+
+
+TIMES = st.floats(min_value=0.0, max_value=0.1, allow_nan=False)
+FAULTS = st.one_of(
+    st.builds(WorkerCrash, at=TIMES, worker=st.integers(0, N_THREADS - 1)),
+    st.builds(TaskLoss, at=TIMES, index=st.integers(0, 5)),
+)
+PLANS = st.lists(FAULTS, min_size=0, max_size=2).map(
+    lambda faults: FaultPlan(faults=tuple(faults))
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(plan=PLANS, seed=st.integers(0, 3))
+def test_every_task_completes_exactly_once_under_stealing(plan, seed):
+    """Stealing preserves the self-healing contract: whatever the
+    seeded crash/loss plan, every submitted task's future fires (exactly
+    once — it is a write-once event) and no completed task is left
+    outstanding."""
+    m = SimMachine(CORE_I7_920, seed=seed)
+    pool = StealingExecutorService(
+        m, N_THREADS, name="p", watchdog_interval=0.01
+    )
+    FaultInjector(m, plan, pool=pool).arm()
+    tasks = []
+
+    def master():
+        for _ in range(3):
+            latch = pool.submit_phase(
+                [
+                    WorkCost(cycles=0.02 * m.spec.freq_hz)
+                    for _ in range(N_THREADS)
+                ]
+            )
+            tasks.extend(
+                t for t in pool._outstanding.values() if t not in tasks
+            )
+            ok = yield latch.wait(timeout=30.0)
+            assert ok, "phase stalled despite self-healing"
+        pool.shutdown()
+
+    m.thread(master(), "master")
+    m.run()
+    assert len(tasks) == 3 * N_THREADS
+    assert all(t.future.done for t in tasks)
+    assert not pool._outstanding

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.partition import (
     balanced_partition,
     block_partition,
+    guided_partition,
     imbalance,
     range_weights,
 )
@@ -86,6 +87,49 @@ def test_property_balanced_partition_covers(n, parts, seed):
     ranges = balanced_partition(weights, parts)
     assert len(ranges) == parts
     assert ranges_cover(ranges, n)
+
+
+def test_guided_partition_sizes_decrease_geometrically():
+    ranges = guided_partition(1000, 4, min_chunk=10)
+    sizes = [hi - lo for lo, hi in ranges]
+    assert sizes[0] == 250  # first chunk = remaining / workers
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert ranges_cover(ranges, 1000)
+
+
+def test_guided_partition_respects_min_chunk():
+    ranges = guided_partition(1000, 4, min_chunk=100)
+    sizes = [hi - lo for lo, hi in ranges]
+    # every chunk but the final remainder is at least min_chunk
+    assert all(s >= 100 for s in sizes[:-1])
+
+
+def test_guided_partition_default_min_chunk():
+    # default floor is n_items / (16 * workers): bounded task count
+    ranges = guided_partition(1600, 4)
+    assert len(ranges) <= 16 * 4
+    assert ranges_cover(ranges, 1600)
+
+
+def test_guided_partition_finer_than_block():
+    assert len(guided_partition(1000, 4, min_chunk=10)) > 4
+
+
+def test_guided_partition_validation():
+    with pytest.raises(ValueError):
+        guided_partition(10, 0)
+    with pytest.raises(ValueError):
+        guided_partition(-1, 2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=2000),
+    workers=st.integers(min_value=1, max_value=16),
+    min_chunk=st.integers(min_value=0, max_value=64),
+)
+def test_property_guided_partition_covers(n, workers, min_chunk):
+    assert ranges_cover(guided_partition(n, workers, min_chunk), n)
 
 
 def test_imbalance_metric():

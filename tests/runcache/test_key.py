@@ -49,6 +49,24 @@ def test_queue_mode_enum_and_string_digest_identically():
     assert spec_digest(a) == spec_digest(b)
 
 
+def test_explicit_default_strategy_knobs_are_noops():
+    explicit = obs(
+        options={
+            "assign": "owner-index",
+            "chunk": "thread",
+            "chunk_factor": 1,
+            "steal_policy": "locality",
+            "steal_cost_cycles": 400.0,
+            "pop_overhead_cycles": 150.0,
+        }
+    )
+    assert spec_digest(explicit) == spec_digest(obs())
+    # int-vs-float of a numeric knob canonicalizes too
+    assert spec_digest(
+        obs(options={"steal_cost_cycles": 400})
+    ) == spec_digest(obs())
+
+
 def test_capture_normalizes_replay_fields():
     # threads/machine describe the replay, not the physics: captures
     # fold them away...
@@ -89,7 +107,16 @@ def test_fault_plan_round_trip_is_stable():
         {"options": {"repeat": 2}},
         {"options": {"partition": "interleave"}},
         {"options": {"queue_mode": "per-thread"}},
+        {"options": {"queue_mode": "stealing"}},
         {"options": {"gc_model": "chaos"}},
+        # executor strategy knobs (the autotuner's search space)
+        {"options": {"assign": "round-robin"}},
+        {"options": {"assign": "cost-balanced"}},
+        {"options": {"chunk": "guided"}},
+        {"options": {"chunk": "fixed", "chunk_factor": 2}},
+        {"options": {"steal_policy": "random"}},
+        {"options": {"steal_cost_cycles": 800.0}},
+        {"options": {"pop_overhead_cycles": 300.0}},
         {
             "fault_plan": FaultPlan(
                 name="crash", faults=(WorkerCrash(at=0.1, worker=0),)

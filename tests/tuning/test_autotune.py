@@ -1,0 +1,190 @@
+"""Autotuner: config space, pinning masks, bucket-driven proposals,
+and one end-to-end pilot → halving → verify run on a small workload."""
+
+import pytest
+
+from repro.tuning import (
+    BASELINE,
+    TuneConfig,
+    autotune,
+    pinning_affinities,
+    propose_candidates,
+    render_tune,
+    winning_config,
+)
+
+
+# -- TuneConfig -------------------------------------------------------------
+
+
+def test_baseline_is_the_papers_fixed_queue_config():
+    assert BASELINE.queue_mode == "single"
+    assert BASELINE.chunk == "thread"
+    assert BASELINE.partition == "block"
+    assert BASELINE.pinning == "none"
+
+
+def test_options_include_steal_policy_only_when_stealing():
+    assert "steal_policy" not in BASELINE.options()
+    stealing = TuneConfig(queue_mode="stealing", steal_policy="random")
+    assert stealing.options()["steal_policy"] == "random"
+
+
+def test_labels_are_compact_and_distinct():
+    assert BASELINE.label() == "single/thread"
+    assert (
+        TuneConfig(queue_mode="stealing", chunk="fixed", chunk_factor=2)
+        .label()
+        == "stealing/fixed2/locality"
+    )
+    a = TuneConfig(queue_mode="per-thread", pinning="spread")
+    assert a.label() == "per-thread/thread/pin-spread"
+    assert a.label() != BASELINE.label()
+
+
+def test_configs_dedupe_structurally():
+    assert TuneConfig() == TuneConfig()
+    assert len({TuneConfig(), TuneConfig(), BASELINE}) == 1
+
+
+# -- pinning ----------------------------------------------------------------
+
+
+def test_pinning_none_means_os_scheduled():
+    assert pinning_affinities("i7-920", 4, "none") is None
+
+
+def test_pinning_unknown_rejected():
+    with pytest.raises(ValueError, match="pinning"):
+        pinning_affinities("i7-920", 4, "diagonal")
+
+
+def test_pack_fills_sockets_densely_spread_interleaves():
+    from repro.machine.topology import MACHINES, Topology
+
+    topo = Topology(MACHINES["x7560x4"])
+
+    def socket_of_mask(mask):
+        (pu,) = mask
+        return topo._socket_of_core[pu // topo.spec.smt]
+
+    pack = pinning_affinities("x7560x4", 8, "pack")
+    spread = pinning_affinities("x7560x4", 8, "spread")
+    assert len(pack) == len(spread) == 8
+    # pack: the first 8 workers all land on socket 0 (8 cores/socket)
+    assert {socket_of_mask(m) for m in pack} == {0}
+    # spread: round-robin across all 4 sockets
+    assert [socket_of_mask(m) for m in spread[:4]] == [0, 1, 2, 3]
+
+
+def test_pinning_wraps_when_threads_exceed_cores():
+    masks = pinning_affinities("i7-920", 6, "pack")
+    assert len(masks) == 6
+    assert masks[4] == masks[0]  # i7-920 has 4 cores
+
+
+# -- proposals --------------------------------------------------------------
+
+
+def bucket_shares(total, **shares):
+    return {k: v * total for k, v in shares.items()}
+
+
+def test_baseline_always_first_candidate():
+    cands = propose_candidates({}, 1.0)
+    assert cands[0] == BASELINE
+
+
+def test_latch_idle_proposes_stealing_before_per_thread():
+    cands = propose_candidates(
+        bucket_shares(1.0, latch_idle=0.5), 1.0
+    )
+    modes = [c.queue_mode for c in cands]
+    assert "stealing" in modes
+    assert "per-thread" in modes
+    assert modes.index("stealing") < modes.index("per-thread")
+
+
+def test_small_losses_propose_nothing_but_the_baseline():
+    cands = propose_candidates(
+        bucket_shares(1.0, latch_idle=0.01, sched_overhead=0.01), 1.0
+    )
+    assert cands == [BASELINE]
+
+
+def test_candidates_are_unique():
+    cands = propose_candidates(
+        bucket_shares(
+            1.0,
+            latch_idle=0.3,
+            sched_overhead=0.2,
+            queue_wait=0.2,
+            work_inflation=0.2,
+        ),
+        1.0,
+    )
+    assert len(cands) == len(set(cands))
+
+
+# -- end to end -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return autotune("salt", 4, "i7-920", steps=2, pilot_steps=1)
+
+
+def test_autotune_payload_shape(payload):
+    assert payload["schema"] == "repro.autotune/1"
+    assert payload["workload"] == "salt"
+    assert payload["machine"] == "i7-920"
+    assert payload["threads"] == 4
+    assert payload["candidates"][0] == BASELINE.label()
+    assert payload["trials"] and payload["rungs"]
+    # every trial carries its fate and per-worker steal counts
+    for trial in payload["trials"]:
+        assert isinstance(trial["kept"], bool)
+        assert isinstance(trial["steals"], list)
+
+
+def test_autotune_buckets_conserved_with_steal_overhead(payload):
+    for row in (payload["baseline"], payload["winner"]):
+        assert "steal_overhead" in row["buckets"]
+        assert row["conservation_error"] < 1e-9
+    assert set(payload["diff"]) == set(payload["winner"]["buckets"])
+
+
+def test_autotune_winner_never_loses_to_baseline(payload):
+    # the baseline itself is always a candidate, so the winner is at
+    # worst the baseline (ties break by proposal order)
+    assert (
+        payload["winner"]["sim_seconds"]
+        <= payload["baseline"]["sim_seconds"] * (1 + 1e-12)
+    )
+
+
+def test_rungs_prune_the_slower_half(payload):
+    for rung in payload["rungs"]:
+        kept, pruned = len(rung["kept"]), len(rung["pruned"])
+        assert kept + pruned == rung["candidates"]
+        assert kept == max(1, -(-rung["candidates"] // 2))
+
+
+def test_winning_config_artifact(payload):
+    cfg = winning_config(payload)
+    assert cfg["schema"] == "repro.autotune.config/1"
+    assert cfg["label"] == payload["winner"]["label"]
+    assert cfg["speedup"] == payload["winner"]["speedup"]
+    assert set(cfg["config"]) == set(BASELINE.to_dict())
+
+
+def test_render_tune_mentions_winner_and_baseline(payload):
+    text = render_tune(payload)
+    assert payload["winner"]["label"] in text
+    assert payload["baseline"]["label"] in text
+    assert "attribution diff" in text
+
+
+def test_autotune_validates_steps():
+    with pytest.raises(ValueError):
+        autotune("salt", 4, "i7-920", steps=0)
